@@ -1,0 +1,160 @@
+"""ABL — ablations of the engine's own design choices.
+
+* ABL-JOIN (a): selectivity-driven join ordering vs textual order, on
+  the triangle query Q9 (where a bad order starts from the widest
+  scan);
+* ABL-JOIN (b): factorized evaluation (join of unions) vs explicit UCQ
+  expansion (union of joins) for reformulated queries — the paper's
+  open problem of "efficiently evaluating large reformulated queries";
+* ABL-IDX: index coverage — 1 order (spo only, scan-and-filter
+  fallbacks), 3 orders (default: every pattern shape indexed) and all
+  6 hexastore orders, on a mixed pattern workload.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import best_of
+from repro.rdf import Graph
+from repro.reasoning import reformulate, saturate
+from repro.schema import Schema
+from repro.sparql import evaluate, evaluate_reformulation
+from repro.workloads import workload_query
+
+from conftest import save_report
+
+
+@pytest.fixture(scope="module")
+def saturated(lubm_2dept):
+    return saturate(lubm_2dept).graph
+
+
+@pytest.fixture(scope="module")
+def closed(lubm_2dept):
+    schema = Schema.from_graph(lubm_2dept)
+    graph = lubm_2dept.copy()
+    graph.update(schema.closure_triples())
+    return graph, schema
+
+
+# ----------------------------------------------------------------------
+# ABL-JOIN (a): join ordering
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("optimize", [True, False],
+                         ids=["ordered", "textual"])
+def test_join_ordering(benchmark, optimize, saturated):
+    query = workload_query("Q9")
+    rows = benchmark(lambda: evaluate(saturated, query, optimize=optimize))
+    assert len(rows) > 0
+
+
+# ----------------------------------------------------------------------
+# ABL-JOIN (b): factorized vs expanded UCQ evaluation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", ["factorized", "ucq"])
+def test_reformulation_evaluation_strategy(benchmark, strategy, closed):
+    graph, schema = closed
+    query = workload_query("Q1")
+    reformulation = reformulate(query, schema)
+
+    rows = benchmark(lambda: evaluate_reformulation(graph, reformulation,
+                                                    strategy=strategy))
+    assert len(rows) > 0
+
+
+def test_strategies_return_identical_answers(closed):
+    graph, schema = closed
+    for qid in ("Q1", "Q9", "Q10"):
+        reformulation = reformulate(workload_query(qid), schema)
+        assert evaluate_reformulation(graph, reformulation,
+                                      "factorized").to_set() == \
+            evaluate_reformulation(graph, reformulation, "ucq").to_set()
+
+
+# ----------------------------------------------------------------------
+# ABL-JOIN (c): UCQ minimization via CQ containment
+# ----------------------------------------------------------------------
+
+def test_ucq_minimization_cost(benchmark, closed):
+    """What minimizing the union costs (quadratic containment checks)."""
+    __, schema = closed
+    reformulation = reformulate(workload_query("Q1"), schema)
+    minimized = benchmark(reformulation.to_minimized_ucq)
+    assert len(minimized) <= reformulation.ucq_size
+
+
+def test_minimized_union_evaluation(benchmark, closed):
+    """Evaluating the minimized union (to compare with the 'ucq' row)."""
+    from repro.sparql import evaluate_ucq
+
+    graph, schema = closed
+    minimized = reformulate(workload_query("Q1"), schema).to_minimized_ucq()
+    rows = benchmark(lambda: evaluate_ucq(graph, minimized))
+    assert len(rows) > 0
+
+
+# ----------------------------------------------------------------------
+# ABL-IDX: index coverage
+# ----------------------------------------------------------------------
+
+INDEX_LAYOUTS = {
+    "spo-only": ("spo",),
+    "three": ("spo", "pos", "osp"),
+    "hexastore": ("spo", "sop", "pso", "pos", "osp", "ops"),
+}
+
+
+def pattern_mix(graph: Graph) -> int:
+    """A fixed mix of the pattern shapes a BGP engine issues."""
+    triples = sorted(graph)[: 50]
+    total = 0
+    for t in triples:
+        total += sum(1 for __ in graph.triples(t.s, None, None))
+        total += sum(1 for __ in graph.triples(None, t.p, t.o))
+        total += sum(1 for __ in graph.triples(None, None, t.o))
+    return total
+
+
+@pytest.mark.parametrize("layout", list(INDEX_LAYOUTS))
+def test_index_coverage(benchmark, layout, lubm_1dept):
+    graph = Graph(lubm_1dept, index_orders=INDEX_LAYOUTS[layout])
+    total = benchmark(lambda: pattern_mix(graph))
+    assert total > 0
+
+
+def test_ablation_report(benchmark, saturated, closed, lubm_1dept):
+    def build() -> str:
+        lines = ["ABL — design-choice ablations", ""]
+
+        query = workload_query("Q9")
+        ordered = best_of(lambda: evaluate(saturated, query, optimize=True),
+                          repeat=3)
+        textual = best_of(lambda: evaluate(saturated, query, optimize=False),
+                          repeat=3)
+        lines.append(f"join ordering (Q9): ordered {ordered.millis:.2f} ms "
+                     f"vs textual {textual.millis:.2f} ms "
+                     f"({textual.seconds / max(ordered.seconds, 1e-9):.1f}x)")
+
+        graph, schema = closed
+        reformulation = reformulate(workload_query("Q1"), schema)
+        factorized = best_of(lambda: evaluate_reformulation(
+            graph, reformulation, "factorized"), repeat=3)
+        expanded = best_of(lambda: evaluate_reformulation(
+            graph, reformulation, "ucq"), repeat=3)
+        lines.append(f"UCQ evaluation (Q1, {reformulation.ucq_size} "
+                     f"conjuncts): factorized {factorized.millis:.2f} ms vs "
+                     f"expanded {expanded.millis:.2f} ms")
+
+        lines.append("index coverage (mixed pattern scan):")
+        for layout, orders in INDEX_LAYOUTS.items():
+            indexed = Graph(lubm_1dept, index_orders=orders)
+            timing = best_of(lambda: pattern_mix(indexed), repeat=3)
+            lines.append(f"  {layout:>10} ({len(orders)} orders): "
+                         f"{timing.millis:8.2f} ms")
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("abl_ablations", report)

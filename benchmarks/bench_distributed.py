@@ -1,0 +1,61 @@
+"""EXP-DIST — the §II-D distributed-setting open problem, simulated.
+
+Sweeps the worker count and reports the quantities a distributed
+saturation deployment trades off:
+
+* rounds to convergence (the BSP barrier count — latency);
+* shipped triples and total messages (network volume);
+* fragment skew (load balance of subject hashing).
+
+Expected shape: rounds stay flat (bounded by rule-dependency depth,
+not data), shipped volume grows with the worker count and is bounded
+by the rdfs3 (range-typing) conclusions — the only rule that moves a
+conclusion off its premise's worker under subject hashing.
+"""
+
+import pytest
+
+from repro.distributed import distributed_saturate, partition_graph
+from repro.reasoning import saturate
+
+from conftest import save_report
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_distributed_saturation(benchmark, workers, lubm_2dept):
+    merged, stats = benchmark(lambda: distributed_saturate(lubm_2dept,
+                                                           workers))
+    assert stats.workers == workers
+
+
+def test_partitioning_cost(benchmark, lubm_2dept):
+    partitioned = benchmark(lambda: partition_graph(lubm_2dept, 8))
+    assert partitioned.workers == 8
+
+
+def test_distributed_report(benchmark, lubm_2dept):
+    def build() -> str:
+        central = saturate(lubm_2dept)
+        lines = [f"EXP-DIST — simulated distributed saturation "
+                 f"({central.base_size} -> {central.saturated_size} triples; "
+                 f"centralized: {central.seconds * 1000:.1f} ms)",
+                 f"{'workers':>8} {'rounds':>7} {'shipped':>8} "
+                 f"{'broadcast':>10} {'messages':>9} {'skew':>6} {'ms':>9}",
+                 "-" * 64]
+        for workers in WORKER_COUNTS:
+            merged, stats = distributed_saturate(lubm_2dept, workers)
+            assert merged == central.graph
+            lines.append(f"{workers:8} {stats.rounds:7} {stats.shipped:8} "
+                         f"{stats.broadcast:10} {stats.messages:9} "
+                         f"{stats.skew:6.2f} {stats.seconds * 1000:9.1f}")
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("exp_dist_distributed", report)
+
+    # shape assertions: flat rounds, monotone-ish message volume
+    results = [distributed_saturate(lubm_2dept, w)[1] for w in (1, 8)]
+    assert results[0].rounds == results[1].rounds
+    assert results[0].messages <= results[1].messages

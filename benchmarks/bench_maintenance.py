@@ -1,0 +1,113 @@
+"""EXP-MAINT — saturation maintenance vs recomputation.
+
+Measures, for the four update kinds of Figure 3 and batch sizes 1/10/50:
+
+* DRed (delete-and-rederive) maintenance;
+* counting (justification bookkeeping) maintenance;
+* the baseline the paper discusses: re-saturating from scratch.
+
+Expected shape: maintenance beats re-saturation for small batches;
+schema updates cost more than instance updates (their consequences fan
+out); counting deletes beat DRed's overdelete/rederive double pass.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import best_of
+from repro.reasoning import CountingReasoner, DRedReasoner, saturate
+from repro.workloads import (instance_deletions, instance_insertions,
+                             schema_deletions, schema_insertions)
+
+from conftest import save_report
+
+UPDATE_MAKERS = {
+    "instance-insert": instance_insertions,
+    "instance-delete": instance_deletions,
+    "schema-insert": schema_insertions,
+    "schema-delete": schema_deletions,
+}
+ALGORITHMS = {"dred": DRedReasoner, "counting": CountingReasoner}
+
+
+def apply_batch(reasoner, batch):
+    if batch.kind.endswith("insert"):
+        reasoner.insert(batch.triples)
+    else:
+        reasoner.delete(batch.triples)
+
+
+@pytest.mark.parametrize("kind", list(UPDATE_MAKERS))
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_maintenance(benchmark, kind, algorithm, lubm_1dept):
+    """Apply one batch of 10 updates of the given kind."""
+    batch = UPDATE_MAKERS[kind](lubm_1dept, 10, seed=1)
+
+    def setup():
+        return (ALGORITHMS[algorithm](lubm_1dept),), {}
+
+    benchmark.pedantic(lambda reasoner: apply_batch(reasoner, batch),
+                       setup=setup, rounds=3)
+
+
+def test_resaturation_baseline(benchmark, lubm_1dept):
+    """The maintenance baseline: recompute the saturation from scratch."""
+    batch = instance_insertions(lubm_1dept, 10, seed=1)
+    enlarged = lubm_1dept.copy()
+    enlarged.update(batch.triples)
+    result = benchmark(lambda: saturate(enlarged))
+    assert result.inferred > 0
+
+
+def test_maintenance_report(benchmark, lubm_1dept):
+    """kind x batch-size x algorithm table, with the resaturation bar."""
+
+    def build() -> str:
+        resaturation = best_of(lambda: saturate(lubm_1dept), repeat=3)
+        lines = [f"EXP-MAINT — maintenance vs recomputation "
+                 f"(resaturation = {resaturation.millis:.1f} ms)",
+                 f"{'update kind':>16} {'batch':>6} {'dred ms':>9} "
+                 f"{'counting ms':>12} {'resat ms':>9}",
+                 "-" * 58]
+        for kind, maker in UPDATE_MAKERS.items():
+            for size in (1, 10, 50):
+                batch = maker(lubm_1dept, size, seed=2)
+                costs = {}
+                for name, factory in ALGORITHMS.items():
+                    reasoner = factory(lubm_1dept)
+                    started = time.perf_counter()
+                    apply_batch(reasoner, batch)
+                    costs[name] = (time.perf_counter() - started) * 1000
+                lines.append(f"{kind:>16} {size:6} {costs['dred']:9.2f} "
+                             f"{costs['counting']:12.2f} "
+                             f"{resaturation.millis:9.1f}")
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("exp_maint_maintenance", report)
+
+
+def test_maintenance_beats_resaturation_for_small_batches(lubm_1dept):
+    """The economic argument for incremental maintenance."""
+    batch = instance_insertions(lubm_1dept, 1, seed=3)
+    resaturation = best_of(lambda: saturate(lubm_1dept), repeat=3).seconds
+    reasoner = DRedReasoner(lubm_1dept)
+    started = time.perf_counter()
+    apply_batch(reasoner, batch)
+    maintenance = time.perf_counter() - started
+    assert maintenance < resaturation
+
+
+def test_correctness_under_benchmark_workload(lubm_1dept):
+    """Whatever the timings, both algorithms stay equivalent to the
+    from-scratch saturation on the benchmark batches."""
+    for kind, maker in UPDATE_MAKERS.items():
+        batch = maker(lubm_1dept, 10, seed=4)
+        dred = DRedReasoner(lubm_1dept)
+        counting = CountingReasoner(lubm_1dept)
+        apply_batch(dred, batch)
+        apply_batch(counting, batch)
+        expected = saturate(dred.explicit_graph()).graph
+        assert dred.graph == expected, kind
+        assert counting.graph == expected, kind

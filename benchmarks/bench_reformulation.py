@@ -1,0 +1,92 @@
+"""EXP-REF — reformulation size and rewriting time ([12]-style).
+
+Two sweeps:
+
+* the Q1–Q10 workload on the university schema: rewrite time and the
+  size of the produced UCQ (the paper: "reformulated queries are often
+  syntactically more complex than the original");
+* hierarchy-depth sweep on a synthetic chain schema, showing UCQ size
+  growing linearly with subclass depth — and the closure-based
+  algorithm staying fast while the literal fixpoint algorithm of [12]
+  re-enumerates the whole union.
+"""
+
+import pytest
+
+from repro.rdf import Triple, TriplePattern as TP
+from repro.rdf.namespaces import Namespace, RDF, RDFS
+from repro.rdf.terms import Variable as V
+from repro.reasoning import reformulate, reformulate_fixpoint
+from repro.schema import Schema
+from repro.sparql import BGPQuery
+from repro.workloads import WORKLOAD_QUERIES, workload_query
+
+from conftest import save_report
+
+EX = Namespace("http://example.org/")
+
+
+def chain_schema(depth: int) -> Schema:
+    schema = Schema()
+    for i in range(depth):
+        schema.add(Triple(EX.term(f"D{i}"), RDFS.subClassOf,
+                          EX.term(f"D{i + 1}")))
+    return schema
+
+
+@pytest.fixture(scope="module")
+def lubm_schema(lubm_1dept):
+    return Schema.from_graph(lubm_1dept)
+
+
+@pytest.mark.parametrize("qid", ["Q1", "Q4", "Q5", "Q9", "Q10"])
+def test_reformulate_workload_query(benchmark, qid, lubm_schema):
+    query = workload_query(qid)
+    reformulation = benchmark(lambda: reformulate(query, lubm_schema))
+    assert reformulation.ucq_size >= 1
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_reformulate_depth_sweep_closure(benchmark, depth):
+    schema = chain_schema(depth)
+    query = BGPQuery([TP(V("x"), RDF.type, EX.term(f"D{depth}"))])
+    reformulation = benchmark(lambda: reformulate(query, schema))
+    # identity + depth subclasses (no domains/ranges in a chain schema)
+    assert reformulation.ucq_size == depth + 1
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_reformulate_depth_sweep_fixpoint(benchmark, depth):
+    """The literal [12] algorithm for comparison (enumerates the UCQ)."""
+    schema = chain_schema(depth)
+    query = BGPQuery([TP(V("x"), RDF.type, EX.term(f"D{depth}"))])
+    conjuncts = benchmark(lambda: reformulate_fixpoint(query, schema))
+    assert len(conjuncts) == depth + 1
+
+
+def test_reformulation_report(benchmark, lubm_schema):
+    """Per-query: UCQ size, #variants, rewrite time — the paper's
+    'syntactically larger queries' quantified."""
+
+    def build() -> str:
+        import time
+        lines = ["EXP-REF — reformulation sizes on the university schema",
+                 f"{'query':>6} {'atoms':>6} {'variants':>9} {'UCQ size':>9} "
+                 f"{'rewrite ms':>11}",
+                 "-" * 48]
+        for qid, (__, query) in WORKLOAD_QUERIES.items():
+            started = time.perf_counter()
+            reformulation = reformulate(query, lubm_schema)
+            elapsed = (time.perf_counter() - started) * 1000
+            lines.append(f"{qid:>6} {query.size():6} "
+                         f"{reformulation.variant_count:9} "
+                         f"{reformulation.ucq_size:9} {elapsed:11.2f}")
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("exp_ref_reformulation", report)
+
+    # shape: the workload spans UCQ sizes from 1 to dozens
+    sizes = [reformulate(workload_query(qid), lubm_schema).ucq_size
+             for qid in WORKLOAD_QUERIES]
+    assert min(sizes) == 1 and max(sizes) >= 30

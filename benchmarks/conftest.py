@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and the results-artifact helper.
+
+Every benchmark module both *times* its experiment (pytest-benchmark)
+and *writes the paper-style rows* to ``benchmarks/results/<exp>.txt``
+so the reproduction artifacts survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import LUBMConfig, generate_lubm
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist an experiment's report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] report written to {path}\n{text}")
+
+
+@pytest.fixture(scope="session")
+def lubm_1dept():
+    """~700-triple university graph (fast benches)."""
+    return generate_lubm(LUBMConfig(departments=1))
+
+
+@pytest.fixture(scope="session")
+def lubm_2dept():
+    """~1.4k-triple university graph (Figure 3 scale for CI)."""
+    return generate_lubm(LUBMConfig(departments=2))
+
+
+@pytest.fixture(scope="session")
+def lubm_4dept():
+    """~2.8k-triple university graph (scaling points)."""
+    return generate_lubm(LUBMConfig(departments=4))

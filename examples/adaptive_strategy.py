@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Adaptive strategy switching — §II-D's automation running live.
+
+A simulated application goes through three phases against one database:
+
+1. *reporting season*: the same analytical queries run constantly;
+2. *data migration*: heavy insert/delete churn, few queries;
+3. *back to reporting*.
+
+The adaptive database watches its own operation mix and re-decides the
+saturation-vs-reformulation choice with the estimate-only recommender
+(it never saturates just to decide).  Watch it switch — with
+hysteresis, because flapping would pay the saturation cost repeatedly.
+
+Run:  python examples/adaptive_strategy.py
+"""
+
+from repro.analysis import calibrate
+from repro.db import AdaptiveDatabase, Strategy
+from repro.workloads import (LUBMConfig, generate_lubm,
+                             instance_insertions, workload_query)
+
+
+def main() -> None:
+    graph = generate_lubm(LUBMConfig(departments=1))
+    calibration = calibrate(size=150, repeat=1)
+    db = AdaptiveDatabase(graph, strategy=Strategy.REFORMULATION,
+                          review_interval=25, patience=2,
+                          calibration=calibration)
+    print(f"university graph: {len(graph)} triples, "
+          f"starting strategy: {db.strategy.value}\n")
+
+    q_persons = workload_query("Q1")
+    churn = list(instance_insertions(graph, 5, seed=7).triples)
+
+    def report(phase: str) -> None:
+        print(f"{phase:32} -> strategy: {db.strategy.value:13} "
+              f"(switches so far: {len(db.switches)})")
+
+    print("--- phase 1: reporting season (120 queries) ---")
+    for __ in range(120):
+        db.query(q_persons)
+    report("after 120 analytical queries")
+
+    print("\n--- phase 2: data migration (100 update batches) ---")
+    for __ in range(50):
+        db.insert(churn)
+        db.delete(churn)
+    report("after 100 update batches")
+
+    print("\n--- phase 3: reporting again (120 queries) ---")
+    for __ in range(120):
+        db.query(q_persons)
+    report("after 120 more queries")
+
+    print("\n--- the switch log ---")
+    for switch in db.switches:
+        print(f"operation {switch.at_operation:5}: "
+              f"{switch.from_strategy.value} -> {switch.to_strategy.value} "
+              f"({switch.reason})")
+    print(f"\nfinal stats: {db.stats()}")
+
+
+if __name__ == "__main__":
+    main()

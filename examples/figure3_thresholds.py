@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 3: saturation thresholds.
+
+For every workload query this measures, on a generated university
+graph, the costs of both answering routes and of maintaining the
+saturation under the four update kinds, then computes the five
+thresholds of Figure 3 (saturation, instance insert/delete, schema
+insert/delete) and renders them as the paper's log-scale bar chart.
+
+The absolute numbers depend on the machine; the *shape* is the claim:
+thresholds vary by orders of magnitude across queries on the same
+database, and for some queries saturation never amortizes.
+
+Run:  python examples/figure3_thresholds.py [scale]
+      scale = departments in the generated university (default 2)
+"""
+
+import sys
+
+from repro.analysis import analyze_thresholds
+from repro.workloads import (LUBMConfig, WORKLOAD_QUERIES, generate_lubm)
+
+
+def main() -> None:
+    departments = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    graph = generate_lubm(LUBMConfig(departments=departments))
+    print(f"university graph: {len(graph)} triples "
+          f"({departments} department(s))\n")
+
+    queries = [(qid, query) for qid, (__, query) in WORKLOAD_QUERIES.items()]
+    report = analyze_thresholds(graph, queries, repeat=3, update_size=10)
+
+    print(f"saturation: {report.graph_size} -> {report.saturated_size} "
+          f"triples in {report.saturation_cost * 1000:.1f} ms")
+    print("maintenance cost per batch of 10 updates:")
+    for kind, cost in report.maintenance_costs.items():
+        print(f"  {kind:16}: {cost * 1000:8.2f} ms")
+    print()
+    print(report.to_table())
+    print()
+    print("Figure 3 (log-scale thresholds, five bars per query):")
+    print(report.to_ascii_chart())
+    print()
+    print(f"threshold spread: {report.spread_orders_of_magnitude():.1f} "
+          f"orders of magnitude across the workload")
+    infinite = [t.query_id for t in report.thresholds
+                if t.saturation == float('inf')]
+    if infinite:
+        print(f"saturation never amortizes for: {', '.join(infinite)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Performance analysis: cost measurement and the Figure 3 threshold
+model quantifying when saturation amortizes over reformulation."""
+
+from .measure import Timing, best_of, time_call
+from .model import (Calibration, GraphStatistics, calibrate,
+                    estimate_inferred_triples, estimate_query_cost,
+                    estimate_saturation_seconds, quick_recommendation)
+from .thresholds import (QueryCosts, QueryThresholds, ThresholdReport,
+                         UPDATE_KINDS, analyze_thresholds, compute_threshold)
+
+__all__ = [
+    "Timing", "time_call", "best_of",
+    "GraphStatistics", "Calibration", "calibrate",
+    "estimate_inferred_triples", "estimate_saturation_seconds",
+    "estimate_query_cost", "quick_recommendation",
+    "QueryCosts", "QueryThresholds", "ThresholdReport",
+    "compute_threshold", "analyze_thresholds", "UPDATE_KINDS",
+]

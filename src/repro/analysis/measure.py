@@ -1,0 +1,53 @@
+"""Cost measurement utilities for the threshold analysis.
+
+All costs feeding the Figure 3 reproduction are wall-clock timings of
+the actual engines on the actual workload, measured with a
+best-of-``repeat`` discipline (the standard way to suppress scheduler
+noise on a shared machine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+__all__ = ["Timing", "time_call", "best_of"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timing:
+    """A measured duration plus the measured call's return value."""
+
+    seconds: float
+    result: object = None
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1000.0
+
+
+def time_call(fn: Callable[[], T]) -> Timing:
+    """Time a single call of ``fn``."""
+    started = time.perf_counter()
+    result = fn()
+    return Timing(time.perf_counter() - started, result)
+
+
+def best_of(fn: Callable[[], T], repeat: int = 3) -> Timing:
+    """The minimum duration over ``repeat`` calls (last result kept).
+
+    Minimum — not mean — because timing noise is strictly additive:
+    the fastest observation is the closest to the true cost.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best: Optional[Timing] = None
+    for __ in range(repeat):
+        timing = time_call(fn)
+        if best is None or timing.seconds < best.seconds:
+            best = Timing(timing.seconds, timing.result)
+    assert best is not None
+    return best

@@ -1,0 +1,271 @@
+"""Command-line interface: the library as a small RDF reasoning tool.
+
+Subcommands mirror the paper's workflow:
+
+* ``info``        — load a graph, report sizes and schema diagnostics;
+* ``saturate``    — compute G∞, print the summary, optionally dump it;
+* ``query``       — answer a SPARQL BGP query under a chosen strategy;
+* ``ask``         — boolean query under a chosen strategy;
+* ``reformulate`` — print the UCQ a query rewrites into;
+* ``explain``     — print a proof tree for an entailed triple;
+* ``thresholds``  — Figure 3 on the given graph and queries;
+* ``generate``    — emit a seeded LUBM-style university graph.
+
+Graphs load from ``.ttl``/``.turtle`` (Turtle) or ``.nt``/``.ntriples``
+(N-Triples) files, or from ``-`` (Turtle on stdin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .db import RDFDatabase, Strategy
+from .rdf import (Graph, Triple, URI, graph_from_ntriples, graph_from_turtle,
+                  serialize_ntriples, serialize_turtle)
+from .reasoning import get_ruleset, reformulate, saturate
+from .reasoning.explain import explain
+from .schema import Schema, validate_schema
+from .sparql import parse_query
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str) -> Graph:
+    if path == "-":
+        return graph_from_turtle(sys.stdin.read())
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    lowered = path.lower()
+    if lowered.endswith((".nt", ".ntriples")):
+        return graph_from_ntriples(text)
+    if lowered.endswith((".ttl", ".turtle")):
+        return graph_from_turtle(text)
+    raise SystemExit(f"unsupported file extension: {path} "
+                     f"(expected .ttl/.turtle/.nt/.ntriples)")
+
+
+def _dump_graph(graph: Graph, path: str) -> None:
+    if path.lower().endswith((".nt", ".ntriples")):
+        text = serialize_ntriples(graph, sort=True)
+    else:
+        text = serialize_turtle(graph)
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reasoning on Web Data: saturation- and "
+                    "reformulation-based RDF query answering")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("graph", help="input file (.ttl/.nt) or '-' for stdin")
+
+    def add_ruleset_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--ruleset", default="rdfs-default",
+                         help="rule set: rhodf, rdfs-default, rdfs-full, "
+                              "rdfs-plus (default: rdfs-default)")
+
+    sub = subparsers.add_parser("info", help="graph sizes and schema report")
+    add_graph_argument(sub)
+
+    sub = subparsers.add_parser("saturate", help="compute the closure G-inf")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("-o", "--output", help="write the saturated graph here")
+    sub.add_argument("--engine", default="auto",
+                     choices=["auto", "seminaive", "schema-aware"])
+
+    sub = subparsers.add_parser("query", help="answer a SPARQL BGP query")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("-q", "--query", required=True, help="SPARQL text")
+    sub.add_argument("--strategy", default="reformulation",
+                     choices=[s.value for s in Strategy])
+    sub.add_argument("--max-rows", type=int, default=25)
+
+    sub = subparsers.add_parser("ask", help="boolean (ASK) query")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("-q", "--query", required=True, help="SPARQL ASK text")
+    sub.add_argument("--strategy", default="reformulation",
+                     choices=[s.value for s in Strategy])
+
+    sub = subparsers.add_parser("reformulate",
+                                help="print the UCQ a query rewrites into")
+    add_graph_argument(sub)
+    sub.add_argument("-q", "--query", required=True, help="SPARQL text")
+    sub.add_argument("--minimize", action="store_true",
+                     help="drop conjuncts subsumed by others")
+
+    sub = subparsers.add_parser("explain",
+                                help="proof tree for an entailed triple")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("-s", "--subject", required=True)
+    sub.add_argument("-p", "--property", required=True)
+    sub.add_argument("-o", "--object", required=True)
+
+    sub = subparsers.add_parser("thresholds",
+                                help="Figure 3 thresholds on this graph")
+    add_graph_argument(sub)
+    sub.add_argument("-q", "--query", action="append", default=[],
+                     help="SPARQL query (repeatable); defaults to the "
+                          "built-in Q1-Q10 workload")
+    sub.add_argument("--update-size", type=int, default=10)
+    sub.add_argument("--repeat", type=int, default=2)
+    sub.add_argument("--csv", action="store_true",
+                     help="emit CSV instead of the table + chart")
+
+    sub = subparsers.add_parser("generate",
+                                help="emit a seeded LUBM-style graph")
+    sub.add_argument("--departments", type=int, default=1)
+    sub.add_argument("--universities", type=int, default=1)
+    sub.add_argument("--seed", type=int, default=20150413)
+    sub.add_argument("-o", "--output", default="-")
+
+    return parser
+
+
+def _cmd_info(args) -> int:
+    graph = _load_graph(args.graph)
+    schema = Schema.from_graph(graph)
+    instance = len(graph) - len(schema)
+    print(f"triples: {len(graph)} ({len(schema)} schema, {instance} instance)")
+    print(f"distinct properties: {len(graph.predicates())}")
+    print(validate_schema(schema).summary())
+    return 0
+
+
+def _cmd_saturate(args) -> int:
+    graph = _load_graph(args.graph)
+    result = saturate(graph, get_ruleset(args.ruleset), engine=args.engine)
+    print(result.summary())
+    for rule, count in sorted(result.rule_counts.items()):
+        if count:
+            print(f"  {rule}: {count} derivations")
+    if args.output:
+        _dump_graph(result.graph, args.output)
+        print(f"saturated graph written to {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    graph = _load_graph(args.graph)
+    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
+                     ruleset=get_ruleset(args.ruleset))
+    results = db.query(args.query)
+    print(results.pretty(max_rows=args.max_rows))
+    print(f"({len(results)} row(s), strategy={args.strategy})")
+    return 0
+
+
+def _cmd_ask(args) -> int:
+    graph = _load_graph(args.graph)
+    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
+                     ruleset=get_ruleset(args.ruleset))
+    answer = db.ask_query(args.query)
+    print("yes" if answer else "no")
+    return 0 if answer else 1
+
+
+def _cmd_reformulate(args) -> int:
+    graph = _load_graph(args.graph)
+    schema = Schema.from_graph(graph)
+    query = parse_query(args.query, graph.namespaces)
+    reformulation = reformulate(query, schema)
+    conjuncts = (reformulation.to_minimized_ucq() if args.minimize
+                 else reformulation.to_ucq())
+    print(reformulation.summary())
+    if args.minimize:
+        print(f"after minimization: {len(conjuncts)} conjunct(s)")
+    for conjunct in conjuncts:
+        print(f"  UNION {conjunct.to_sparql()}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    graph = _load_graph(args.graph)
+    triple = Triple(URI(args.subject), URI(args.property), URI(args.object))
+    proof = explain(graph, triple, get_ruleset(args.ruleset))
+    if proof is None:
+        print(f"not entailed: {triple.n3()}")
+        return 1
+    print(proof.pretty())
+    leaves = ", ".join(t.n3().rstrip(" .") for t in sorted(proof.leaves()))
+    print(f"\nrests on {len(proof.leaves())} explicit triple(s): {leaves}")
+    return 0
+
+
+def _cmd_thresholds(args) -> int:
+    from .analysis import analyze_thresholds
+    from .workloads import WORKLOAD_QUERIES
+
+    graph = _load_graph(args.graph)
+    if args.query:
+        queries = [(f"q{i + 1}", parse_query(text, graph.namespaces))
+                   for i, text in enumerate(args.query)]
+    else:
+        queries = [(qid, q) for qid, (__, q) in WORKLOAD_QUERIES.items()]
+    report = analyze_thresholds(graph, queries, repeat=args.repeat,
+                                update_size=args.update_size)
+    if args.csv:
+        print(report.to_csv())
+    else:
+        print(report.to_table())
+        print()
+        print(report.to_ascii_chart())
+        print(f"\nspread: {report.spread_orders_of_magnitude():.1f} "
+              f"orders of magnitude")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .workloads import LUBMConfig, generate_lubm
+
+    config = LUBMConfig(universities=args.universities,
+                        departments=args.departments, seed=args.seed)
+    graph = generate_lubm(config)
+    _dump_graph(graph, args.output)
+    if args.output != "-":
+        print(f"{len(graph)} triples written to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "saturate": _cmd_saturate,
+    "query": _cmd_query,
+    "ask": _cmd_ask,
+    "reformulate": _cmd_reformulate,
+    "explain": _cmd_explain,
+    "thresholds": _cmd_thresholds,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe: exit quietly, the
+        # Unix way (and silence the interpreter-shutdown flush too)
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Datalog substrate: the Section II-D "translation to Datalog" route.
+
+A positive Datalog engine (semi-naive bottom-up + magic sets) and the
+RDF/RDFS translation that turns graphs into ``t/3`` facts, rule sets
+into programs and BGP queries into query clauses.
+"""
+
+from .engine import Database, EvaluationStats, SemiNaiveEngine
+from .magic import MagicTransformation, magic_query, magic_transform
+from .program import Atom, Clause, Program, Relation, Var
+from .translate import (TRIPLE_PREDICATE, answer_query, graph_to_database,
+                        query_to_clause, ruleset_to_program,
+                        saturate_via_datalog)
+
+__all__ = [
+    "Var", "Atom", "Clause", "Program", "Relation",
+    "Database", "SemiNaiveEngine", "EvaluationStats",
+    "MagicTransformation", "magic_transform", "magic_query",
+    "TRIPLE_PREDICATE", "graph_to_database", "ruleset_to_program",
+    "query_to_clause", "saturate_via_datalog", "answer_query",
+]

@@ -1,0 +1,203 @@
+"""Semi-naive bottom-up Datalog evaluation.
+
+The engine computes the least fixpoint of a positive Datalog program
+over an extensional database, with the standard semi-naive
+optimization: after the first round, each rule is evaluated once per
+body atom, restricting that atom to the previous round's delta — the
+same evaluation discipline as the parallel materialization engines the
+paper points to in [29].
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .program import Atom, Program, Relation, Var
+
+__all__ = ["Database", "SemiNaiveEngine", "EvaluationStats"]
+
+Binding = Dict[Var, Hashable]
+Fact = Tuple[str, Tuple[Hashable, ...]]
+
+
+@dataclass
+class EvaluationStats:
+    """Counters from one fixpoint computation."""
+
+    rounds: int = 0
+    derived: int = 0
+    seconds: float = 0.0
+    per_predicate: Dict[str, int] = field(default_factory=dict)
+
+
+class Database:
+    """A mutable collection of relations (the EDB plus derived IDB)."""
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+
+    def relation(self, predicate: str, arity: Optional[int] = None) -> Relation:
+        rel = self._relations.get(predicate)
+        if rel is None:
+            if arity is None:
+                raise KeyError(f"unknown predicate {predicate!r}")
+            rel = Relation(arity)
+            self._relations[predicate] = rel
+        return rel
+
+    def add_fact(self, predicate: str, args: Tuple[Hashable, ...]) -> bool:
+        return self.relation(predicate, len(args)).add(args)
+
+    def add_atom(self, atom: Atom) -> bool:
+        if not atom.is_ground():
+            raise ValueError(f"cannot store a non-ground atom: {atom!r}")
+        return self.add_fact(atom.predicate, atom.args)
+
+    def facts(self, predicate: str) -> Iterable[Tuple[Hashable, ...]]:
+        rel = self._relations.get(predicate)
+        return rel if rel is not None else ()
+
+    def __contains__(self, fact: Fact) -> bool:
+        predicate, args = fact
+        rel = self._relations.get(predicate)
+        return rel is not None and args in rel
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def size(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for predicate, rel in self._relations.items():
+            target = clone.relation(predicate, rel.arity)
+            for item in rel:
+                target.add(item)
+        return clone
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def match_atom(self, atom: Atom,
+                   binding: Optional[Binding] = None) -> Iterator[Binding]:
+        """Bindings under which ``atom`` holds, extending ``binding``."""
+        rel = self._relations.get(atom.predicate)
+        if rel is None:
+            return
+        base = binding or {}
+        pattern = [None] * atom.arity
+        for i, arg in enumerate(atom.args):
+            if isinstance(arg, Var):
+                value = base.get(arg)
+                if value is not None:
+                    pattern[i] = value
+            else:
+                pattern[i] = arg
+        for fact in rel.match(pattern):
+            extended = atom.match(fact, base)
+            if extended is not None:
+                yield extended
+
+
+class SemiNaiveEngine:
+    """Bottom-up least-fixpoint evaluation of a positive program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def evaluate(self, database: Database,
+                 max_rounds: Optional[int] = None) -> EvaluationStats:
+        """Extend ``database`` with all derivable facts (in place)."""
+        started = time.perf_counter()
+        stats = EvaluationStats()
+
+        # Make sure every head relation exists, so joins can run even
+        # before the first derivation.
+        for clause in self.program:
+            database.relation(clause.head.predicate, clause.head.arity)
+            for atom in clause.body:
+                database.relation(atom.predicate, atom.arity)
+
+        # Round 1 (naive): seed the deltas with everything derivable
+        # from the EDB as it stands.
+        delta: Set[Fact] = set()
+        for clause in self.program:
+            # materialize the join before inserting: the head relation
+            # may appear in the body, and inserting while its index is
+            # being iterated would corrupt the scan
+            derived = [clause.head.substitute(binding)
+                       for binding in self._join(database, clause.body, {})]
+            for head in derived:
+                if database.add_atom(head):
+                    fact = (head.predicate, head.args)
+                    delta.add(fact)
+                    stats.derived += 1
+                    stats.per_predicate[head.predicate] = \
+                        stats.per_predicate.get(head.predicate, 0) + 1
+        stats.rounds = 1
+
+        while delta:
+            if max_rounds is not None and stats.rounds >= max_rounds:
+                break
+            stats.rounds += 1
+            next_delta: Set[Fact] = set()
+            for clause in self.program:
+                for pivot, atom in enumerate(clause.body):
+                    for predicate, args in delta:
+                        if predicate != atom.predicate:
+                            continue
+                        seed = atom.match(args)
+                        if seed is None:
+                            continue
+                        rest = [b for i, b in enumerate(clause.body) if i != pivot]
+                        derived = [clause.head.substitute(binding)
+                                   for binding in self._join(database, rest, seed)]
+                        for head in derived:
+                            if database.add_atom(head):
+                                fact = (head.predicate, head.args)
+                                next_delta.add(fact)
+                                stats.derived += 1
+                                stats.per_predicate[head.predicate] = \
+                                    stats.per_predicate.get(head.predicate, 0) + 1
+            delta = next_delta
+
+        stats.seconds = time.perf_counter() - started
+        return stats
+
+    @staticmethod
+    def _join(database: Database, atoms: List[Atom],
+              binding: Binding) -> Iterator[Binding]:
+        """Left-to-right indexed nested-loop join of ``atoms``."""
+        if not atoms:
+            yield dict(binding)
+            return
+
+        def recurse(index: int, current: Binding) -> Iterator[Binding]:
+            if index == len(atoms):
+                yield current
+                return
+            for extended in database.match_atom(atoms[index], current):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, dict(binding))
+
+    def query(self, database: Database, goal: Atom,
+              evaluate_first: bool = True) -> Set[Tuple[Hashable, ...]]:
+        """All ground instantiations of ``goal``'s arguments.
+
+        With ``evaluate_first`` the fixpoint is computed before
+        matching (bottom-up query answering).
+        """
+        if evaluate_first:
+            self.evaluate(database)
+        results: Set[Tuple[Hashable, ...]] = set()
+        for binding in database.match_atom(goal):
+            results.add(tuple(
+                binding.get(arg, arg) if isinstance(arg, Var) else arg
+                for arg in goal.args
+            ))
+        return results

@@ -1,0 +1,255 @@
+"""Datalog core: atoms, clauses, programs, relations.
+
+Section II-D of the paper singles out "translation to Datalog" and
+"new-generation, very efficient Datalog engines" [29] as a promising
+route for RDF reasoning.  This package provides that substrate from
+scratch: a positive (negation-free) Datalog engine with semi-naive
+bottom-up evaluation and a magic-set transformation for goal-directed
+(backward-chaining-like) query answering.
+
+Values are arbitrary hashable Python objects — the RDF translation
+binds them to :class:`~repro.rdf.terms.Term` instances directly.
+Variables are :class:`Var` instances.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, FrozenSet, Hashable, Iterable, Iterator, List,
+                    Optional, Sequence, Set, Tuple)
+
+__all__ = ["Var", "Atom", "Clause", "Program", "Relation"]
+
+
+class Var:
+    """A Datalog variable, identified by name."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("datalog-var", name)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name.upper() if self.name.islower() else f"?{self.name}"
+
+
+class Atom:
+    """A predicate applied to arguments: ``p(a, X, b)``."""
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Sequence[Hashable]):
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((predicate, self.args)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Atom) and other.predicate == self.predicate
+                and other.args == self.args)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({rendered})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(a for a in self.args if isinstance(a, Var))
+
+    def is_ground(self) -> bool:
+        return not any(isinstance(a, Var) for a in self.args)
+
+    def substitute(self, binding: Dict[Var, Hashable]) -> "Atom":
+        return Atom(self.predicate,
+                    tuple(binding.get(a, a) if isinstance(a, Var) else a
+                          for a in self.args))
+
+    def match(self, fact: Tuple[Hashable, ...],
+              binding: Optional[Dict[Var, Hashable]] = None
+              ) -> Optional[Dict[Var, Hashable]]:
+        """Unify this atom's arguments against a ground tuple."""
+        result = dict(binding) if binding else {}
+        for arg, value in zip(self.args, fact):
+            if isinstance(arg, Var):
+                bound = result.get(arg)
+                if bound is None:
+                    result[arg] = value
+                elif bound != value:
+                    return None
+            elif arg != value:
+                return None
+        return result
+
+
+class Clause:
+    """A definite clause ``head :- body``; a fact when the body is empty.
+
+    Clauses must be *safe*: every head variable appears in the body
+    (facts must be ground).
+    """
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Atom, body: Sequence[Atom] = ()):
+        body_tuple = tuple(body)
+        body_variables: Set[Var] = set()
+        for atom in body_tuple:
+            body_variables |= atom.variables()
+        unsafe = head.variables() - body_variables
+        if unsafe:
+            names = ", ".join(sorted(str(v) for v in unsafe))
+            raise ValueError(f"unsafe clause: head variables {names} "
+                             f"missing from the body")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body_tuple)
+        object.__setattr__(self, "_hash", hash((head, body_tuple)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Clause is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Clause) and other.head == self.head
+                and other.body == self.body)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        rendered = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {rendered}."
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+
+class Relation:
+    """A set of ground tuples with lazily-built secondary hash indexes.
+
+    ``match((None, c, None))`` iterates tuples whose second component is
+    ``c``; the index for that bound-position mask is built on first use
+    and maintained on subsequent inserts.
+    """
+
+    __slots__ = ("arity", "_tuples", "_indexes")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self._tuples: Set[Tuple[Hashable, ...]] = set()
+        # mask (tuple of bound positions) -> key tuple -> set of tuples
+        self._indexes: Dict[Tuple[int, ...], Dict[tuple, Set[tuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: Tuple[Hashable, ...]) -> bool:
+        return item in self._tuples
+
+    def add(self, item: Tuple[Hashable, ...]) -> bool:
+        if len(item) != self.arity:
+            raise ValueError(f"arity mismatch: expected {self.arity}, "
+                             f"got {len(item)}")
+        if item in self._tuples:
+            return False
+        self._tuples.add(item)
+        for mask, index in self._indexes.items():
+            key = tuple(item[i] for i in mask)
+            index.setdefault(key, set()).add(item)
+        return True
+
+    def match(self, pattern: Sequence[Optional[Hashable]]
+              ) -> Iterable[Tuple[Hashable, ...]]:
+        """Tuples matching ``pattern`` (``None`` = wildcard)."""
+        mask = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not mask:
+            return self._tuples
+        if len(mask) == self.arity:
+            item = tuple(pattern)
+            return [item] if item in self._tuples else []
+        index = self._indexes.get(mask)
+        if index is None:
+            index = {}
+            for item in self._tuples:
+                key = tuple(item[i] for i in mask)
+                index.setdefault(key, set()).add(item)
+            self._indexes[mask] = index
+        return index.get(tuple(pattern[i] for i in mask), set())
+
+
+class Program:
+    """An immutable set of Datalog rules (non-fact clauses).
+
+    Facts live in the engine's extensional database, not in the
+    program; this mirrors the paper's separation of data and
+    constraints.
+    """
+
+    __slots__ = ("clauses", "_by_predicate")
+
+    def __init__(self, clauses: Iterable[Clause]):
+        clause_tuple = tuple(clauses)
+        by_predicate: Dict[str, List[Clause]] = {}
+        for clause in clause_tuple:
+            if clause.is_fact():
+                raise ValueError(
+                    f"facts belong in the EDB, not the program: {clause!r}")
+            by_predicate.setdefault(clause.head.predicate, []).append(clause)
+        object.__setattr__(self, "clauses", clause_tuple)
+        object.__setattr__(self, "_by_predicate",
+                           {k: tuple(v) for k, v in by_predicate.items()})
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Program is immutable")
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"<Program with {len(self.clauses)} clauses>"
+
+    def defining(self, predicate: str) -> Tuple[Clause, ...]:
+        """The clauses whose head predicate is ``predicate``."""
+        return self._by_predicate.get(predicate, ())
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by some rule (intensional)."""
+        return frozenset(self._by_predicate)
+
+    def predicates(self) -> FrozenSet[str]:
+        """Every predicate mentioned anywhere in the program."""
+        result: Set[str] = set(self._by_predicate)
+        for clause in self.clauses:
+            for atom in clause.body:
+                result.add(atom.predicate)
+        return frozenset(result)

@@ -1,0 +1,14 @@
+"""Database facade: one store, pluggable reasoning strategies, and the
+workload-driven strategy advisor (the Section II-D open problem)."""
+
+from .adaptive import AdaptiveDatabase, StrategySwitch
+from .advisor import StrategyAdvice, WorkloadProfile, recommend_strategy
+from .federation import Endpoint, Federation
+from .database import QueryLog, RDFDatabase, Strategy, UnsupportedGraphError
+
+__all__ = [
+    "RDFDatabase", "Strategy", "UnsupportedGraphError", "QueryLog",
+    "Endpoint", "Federation",
+    "AdaptiveDatabase", "StrategySwitch",
+    "WorkloadProfile", "StrategyAdvice", "recommend_strategy",
+]

@@ -1,0 +1,391 @@
+"""The RDF database facade: one store, four reasoning regimes.
+
+Section II-C surveys how deployed systems wire reasoning into query
+processing; :class:`RDFDatabase` makes each regime a pluggable
+:class:`Strategy` over the same store, so they can be compared — and
+switched — on live data:
+
+* ``NONE`` — plain query evaluation, ignoring entailed triples (what
+  the paper notes many database prototypes do);
+* ``SATURATION`` — forward chaining + incremental maintenance, the
+  OWLIM / Oracle Semantic Graph regime;
+* ``REFORMULATION`` — rewrite each query against the schema, the [12]
+  regime, robust to updates by construction;
+* ``BACKWARD`` — run-time goal-directed reasoning through magic-set
+  Datalog, the Virtuoso / AllegroGraph RDFS++ regime.
+
+All reasoning strategies return identical answer sets (an invariant
+the test suite checks); they differ — by orders of magnitude, see
+Figure 3 — in where they spend the time.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..datalog.translate import answer_query as datalog_answer
+from ..rdf.graph import Graph
+from ..rdf.triples import Triple
+from ..reasoning.incremental import (CountingReasoner, DRedReasoner,
+                                     IncrementalReasoner)
+from ..reasoning.reformulation import reformulate
+from ..reasoning.rulesets import RDFS_DEFAULT, RHO_DF, RuleSet
+from ..reasoning.saturation import has_meta_schema, saturate
+from ..schema import Schema, is_schema_triple
+from ..sparql.ast import BGPQuery
+from ..sparql.bindings import ResultSet
+from ..sparql.evaluator import evaluate, evaluate_reformulation
+from ..sparql.parser import parse_query
+
+__all__ = ["Strategy", "RDFDatabase", "UnsupportedGraphError", "QueryLog"]
+
+
+class Strategy(enum.Enum):
+    """How query answers reflect entailed triples."""
+
+    NONE = "none"
+    SATURATION = "saturation"
+    REFORMULATION = "reformulation"
+    BACKWARD = "backward"
+
+
+class UnsupportedGraphError(RuntimeError):
+    """Raised when a strategy cannot honour its completeness contract
+    on the current graph (e.g. reformulation on a meta-schema graph)."""
+
+
+@dataclass
+class QueryLog:
+    """One answered query, for the statistics view."""
+
+    sparql: str
+    strategy: str
+    answers: int
+    seconds: float
+
+
+class RDFDatabase:
+    """An RDF store with a selectable reasoning strategy.
+
+    >>> from repro.db import RDFDatabase, Strategy
+    >>> db = RDFDatabase(strategy=Strategy.REFORMULATION)
+    >>> db.load_turtle('''
+    ...     @prefix ex: <http://example.org/> .
+    ...     ex:Woman rdfs:subClassOf ex:Person .
+    ...     ex:Anne a ex:Woman .
+    ... ''')
+    4
+    >>> rows = db.query("SELECT ?x WHERE { ?x a <http://example.org/Person> }")
+    >>> len(rows)
+    1
+    """
+
+    def __init__(self, graph: Optional[Graph] = None,
+                 strategy: Strategy = Strategy.SATURATION,
+                 ruleset: RuleSet = RDFS_DEFAULT,
+                 maintenance: str = "dred"):
+        if maintenance not in ("dred", "counting"):
+            raise ValueError("maintenance must be 'dred' or 'counting'")
+        self._explicit: Graph = graph.copy() if graph is not None else Graph()
+        self._strategy = strategy
+        self._ruleset = ruleset
+        self._maintenance = maintenance
+        self._reasoner: Optional[IncrementalReasoner] = None
+        self._closed: Optional[Graph] = None       # explicit + schema closure
+        self._schema: Optional[Schema] = None
+        self._log: List[QueryLog] = []
+        # reformulations depend only on the query and the schema, so
+        # they are cached until a schema change bumps the generation
+        self._reformulation_cache: Dict[BGPQuery, object] = {}
+        self._schema_generation = 0
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def strategy(self) -> Strategy:
+        return self._strategy
+
+    @property
+    def ruleset(self) -> RuleSet:
+        return self._ruleset
+
+    def switch_strategy(self, strategy: Strategy) -> None:
+        """Change the reasoning regime; derived state is rebuilt."""
+        if strategy != self._strategy:
+            self._strategy = strategy
+            self._reasoner = None
+            self._closed = None
+            self._schema = None
+            self._prepare()
+
+    def _prepare(self) -> None:
+        if self._strategy == Strategy.SATURATION:
+            factory = DRedReasoner if self._maintenance == "dred" \
+                else CountingReasoner
+            self._reasoner = factory(self._explicit, self._ruleset)
+        elif self._strategy == Strategy.REFORMULATION:
+            self._check_reformulation_supported()
+            self._rebuild_closed()
+
+    def _check_reformulation_supported(self) -> None:
+        if frozenset(self._ruleset.rules) != frozenset(RHO_DF.rules):
+            raise UnsupportedGraphError(
+                "the reformulation strategy is complete for the "
+                "rhodf/rdfs-default rule set only")
+        if has_meta_schema(self._explicit):
+            raise UnsupportedGraphError(
+                "the graph constrains the RDFS vocabulary itself; "
+                "reformulation is out of fragment — use SATURATION")
+
+    def _rebuild_closed(self) -> None:
+        self._schema = Schema.from_graph(self._explicit)
+        closed = self._explicit.copy()
+        closed.update(self._schema.closure_triples())
+        self._closed = closed
+        self._reformulation_cache.clear()
+        self._schema_generation += 1
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The explicit graph (the user's assertions)."""
+        return self._explicit
+
+    def __len__(self) -> int:
+        return len(self._explicit)
+
+    def insert(self, triples: Union[Triple, Iterable[Triple]]) -> int:
+        """Insert explicit triples; derived state follows the strategy."""
+        batch = [triples] if isinstance(triples, Triple) else list(triples)
+        added = self._explicit.update(batch)
+        if self._strategy == Strategy.SATURATION and self._reasoner is not None:
+            self._reasoner.insert(batch)
+        elif self._strategy == Strategy.REFORMULATION:
+            if any(is_schema_triple(t) for t in batch):
+                self._check_reformulation_supported()
+                self._rebuild_closed()
+            elif self._closed is not None:
+                self._closed.update(batch)
+        return added
+
+    def delete(self, triples: Union[Triple, Iterable[Triple]]) -> int:
+        """Delete explicit triples; derived state follows the strategy."""
+        batch = [triples] if isinstance(triples, Triple) else list(triples)
+        removed = self._explicit.remove_all(batch)
+        if self._strategy == Strategy.SATURATION and self._reasoner is not None:
+            self._reasoner.delete(batch)
+        elif self._strategy == Strategy.REFORMULATION:
+            # a deleted instance triple may still be entailed; rebuilding
+            # the closed graph from the explicit one is always correct
+            # and cheap (the closure is schema-sized)
+            self._rebuild_closed()
+        return removed
+
+    def apply(self, inserts: Iterable[Triple] = (),
+              deletes: Iterable[Triple] = ()) -> Tuple[int, int]:
+        """Apply one mixed update batch: deletions first, then
+        insertions (so replacing a triple in one batch behaves as
+        expected).  Returns ``(removed, added)``."""
+        removed = self.delete(list(deletes))
+        added = self.insert(list(inserts))
+        return removed, added
+
+    def update(self, text: str) -> Tuple[int, int]:
+        """Execute a SPARQL Update request (the ground
+        ``INSERT DATA`` / ``DELETE DATA`` subset); operations run in
+        order.  Returns total ``(removed, added)``."""
+        from ..sparql.update import parse_update
+
+        removed = added = 0
+        for operation in parse_update(text, self._explicit.namespaces):
+            if operation.kind == "insert":
+                added += self.insert(operation.triples)
+            else:
+                removed += self.delete(operation.triples)
+        return removed, added
+
+    def load_turtle(self, text: str) -> int:
+        """Parse Turtle and insert its triples; returns the count added."""
+        from ..rdf.turtle import parse_turtle
+
+        return self.insert(list(parse_turtle(text, self._explicit.namespaces)))
+
+    def load_ntriples(self, text: str) -> int:
+        """Parse N-Triples and insert; returns the count added."""
+        from ..rdf.ntriples import parse_ntriples
+
+        return self.insert(list(parse_ntriples(text)))
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+
+    def query(self, query: Union[str, BGPQuery, "UnionQuery"]) -> ResultSet:
+        """Answer a BGP or UNION query under the configured strategy.
+
+        Accepts SPARQL text or a pre-built query object.  For all
+        reasoning strategies the answer set is ``q(G∞)``; for
+        ``Strategy.NONE`` it is the incomplete ``q(G)``.
+        """
+        if isinstance(query, str):
+            query = parse_query(query, self._explicit.namespaces)
+        from ..sparql.union import UnionQuery
+
+        if isinstance(query, UnionQuery):
+            return self._query_union(query)
+        started = time.perf_counter()
+        if self._strategy == Strategy.NONE:
+            results = evaluate(self._explicit, query)
+        elif self._strategy == Strategy.SATURATION:
+            assert self._reasoner is not None
+            results = evaluate(self._reasoner.graph, query)
+        elif self._strategy == Strategy.REFORMULATION:
+            assert self._schema is not None and self._closed is not None
+            reformulated = self._reformulation_cache.get(query)
+            if reformulated is None:
+                reformulated = reformulate(query, self._schema)
+                self._reformulation_cache[query] = reformulated
+            results = evaluate_reformulation(self._closed, reformulated)
+        else:  # Strategy.BACKWARD
+            answers = datalog_answer(self._explicit, query, self._ruleset,
+                                     method="magic")
+            results = ResultSet(query.distinguished, distinct=True)
+            for row in answers:
+                results.add(row)
+        self._log.append(QueryLog(
+            sparql=query.to_sparql(), strategy=self._strategy.value,
+            answers=len(results), seconds=time.perf_counter() - started,
+        ))
+        return results
+
+    def _query_union(self, union) -> ResultSet:
+        """A union's answer set is the set-union of its branches'
+        answer sets, each answered under the configured strategy."""
+        started = time.perf_counter()
+        results = ResultSet(union.distinguished, distinct=True)
+        for branch in union.branches:
+            for row in self.query(branch):
+                results.add(row)
+                if union.limit is not None and len(results) >= union.limit:
+                    break
+            if union.limit is not None and len(results) >= union.limit:
+                break
+        # the per-branch calls each logged themselves; log the union too
+        self._log.append(QueryLog(
+            sparql=union.to_sparql(), strategy=self._strategy.value,
+            answers=len(results), seconds=time.perf_counter() - started,
+        ))
+        return results
+
+    def ask_query(self, query: Union[str, BGPQuery]) -> bool:
+        """Answer a boolean (ASK) query under the configured strategy:
+        True iff the BGP has at least one answer in ``G∞`` (or in ``G``
+        for ``Strategy.NONE``)."""
+        if isinstance(query, str):
+            query = parse_query(query, self._explicit.namespaces)
+        from ..sparql.union import UnionQuery
+
+        if isinstance(query, UnionQuery):
+            limited = UnionQuery(query.branches, query.distinguished,
+                                 query.distinct, limit=1)
+            return len(self.query(limited)) > 0
+        return len(self.query(query.with_modifiers(limit=1))) > 0
+
+    def ask(self, triple: Triple) -> bool:
+        """Does the database entail ``triple`` (``G ⊢RDF s p o``)?"""
+        if self._strategy == Strategy.NONE:
+            return triple in self._explicit
+        if self._strategy == Strategy.SATURATION:
+            assert self._reasoner is not None
+            return triple in self._reasoner.graph
+        return triple in saturate(self._explicit, self._ruleset).graph
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist the explicit graph and the database configuration.
+
+        Layout: ``<dir>/data.nt`` (sorted N-Triples — diffable) and
+        ``<dir>/meta.json`` (strategy, rule set, maintenance choice).
+        Only explicit triples are stored; derived state is recomputed
+        on :meth:`load`, which is always correct and usually cheaper
+        than shipping the saturation.
+        """
+        import json
+        import os
+
+        from ..rdf.ntriples import serialize_ntriples
+
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "data.nt"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(serialize_ntriples(self._explicit, sort=True))
+        meta = {
+            "format": "repro-database",
+            "version": 1,
+            "strategy": self._strategy.value,
+            "ruleset": self._ruleset.name,
+            "maintenance": self._maintenance,
+            "triples": len(self._explicit),
+        }
+        with open(os.path.join(directory, "meta.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2)
+
+    @classmethod
+    def load(cls, directory: str) -> "RDFDatabase":
+        """Reopen a database saved with :meth:`save`."""
+        import json
+        import os
+
+        from ..rdf.ntriples import graph_from_ntriples
+        from ..reasoning.rulesets import get_ruleset
+
+        with open(os.path.join(directory, "meta.json"),
+                  encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != "repro-database":
+            raise ValueError(f"{directory!r} is not a repro database")
+        with open(os.path.join(directory, "data.nt"),
+                  encoding="utf-8") as handle:
+            graph = graph_from_ntriples(handle.read())
+        return cls(graph, strategy=Strategy(meta["strategy"]),
+                   ruleset=get_ruleset(meta["ruleset"]),
+                   maintenance=meta.get("maintenance", "dred"))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Store and reasoning statistics, for dashboards and tests."""
+        info: Dict[str, object] = {
+            "strategy": self._strategy.value,
+            "ruleset": self._ruleset.name,
+            "explicit_triples": len(self._explicit),
+            "queries_answered": len(self._log),
+        }
+        if self._strategy == Strategy.SATURATION and self._reasoner is not None:
+            info["saturated_triples"] = len(self._reasoner.graph)
+            info["implicit_triples"] = (len(self._reasoner.graph)
+                                        - len(self._reasoner.explicit))
+            info["maintenance"] = self._maintenance
+        if self._strategy == Strategy.REFORMULATION and self._closed is not None:
+            info["closed_triples"] = len(self._closed)
+            info["cached_reformulations"] = len(self._reformulation_cache)
+            info["schema_generation"] = self._schema_generation
+        return info
+
+    def query_log(self) -> List[QueryLog]:
+        return list(self._log)

@@ -1,0 +1,15 @@
+"""Simulated distributed saturation: the Section II-D open problem of
+maintaining RDF closures "especially in a distributed setting", built
+as a BSP engine over hash-partitioned workers with message accounting
+(DESIGN.md substitution: real partitioned computation, simulated
+network)."""
+
+from .partition import PartitionedGraph, partition_graph, partition_of
+from .saturation import (DistributedSaturation, DistributedStats,
+                         distributed_saturate, has_instance_instance_join)
+
+__all__ = [
+    "partition_of", "partition_graph", "PartitionedGraph",
+    "DistributedSaturation", "DistributedStats", "distributed_saturate",
+    "has_instance_instance_join",
+]

@@ -1,0 +1,189 @@
+"""Simulated distributed saturation (BSP / MapReduce style).
+
+The engine runs the ρdf saturation as a sequence of *supersteps* over
+hash-partitioned workers (see :mod:`repro.distributed.partition`):
+
+1. each worker semi-naively derives the consequences of its current
+   delta against its local fragment;
+2. derived triples are routed: instance triples to the worker owning
+   their subject, schema triples broadcast to every worker (they are
+   replicated state);
+3. the barrier: every worker applies its inbox, which becomes the next
+   round's delta; the computation stops when all inboxes are empty.
+
+Why this is *exactly* computable without a network: under ρdf every
+rule joins at most one instance triple with schema triples, so with
+the schema replicated every join is local — the only communication is
+shipping conclusions to their owners (in ρdf, only rdfs3 changes the
+subject, so range-typing conclusions are the shipped traffic).  The
+engine verifies this property and refuses rule sets with
+instance-instance joins (e.g. ``owl-trans``), which would need
+repartitioning joins.
+
+The statistics — rounds, shipped triples, broadcast volume, fragment
+skew — are the quantities the paper's §II-D distributed-maintenance
+open problem is about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.triples import Triple
+from ..reasoning.rules import Rule
+from ..reasoning.rulesets import RDFS_DEFAULT, RuleSet
+from ..schema import SCHEMA_PROPERTIES, is_schema_triple
+from .partition import partition_graph, partition_of
+
+__all__ = ["DistributedStats", "DistributedSaturation",
+           "distributed_saturate", "has_instance_instance_join"]
+
+
+def has_instance_instance_join(rule: Rule) -> bool:
+    """Does the rule join two or more instance-level atoms?
+
+    An atom is schema-level when its property is one of the four RDFS
+    constraint properties; those atoms only read replicated state.
+    A rule with two instance atoms (like ``owl-trans``) cannot be
+    evaluated worker-locally under subject hashing.
+    """
+    instance_atoms = 0
+    for pattern in rule.body:
+        if pattern.p in SCHEMA_PROPERTIES:
+            continue
+        instance_atoms += 1
+    return instance_atoms > 1
+
+
+@dataclass
+class RoundStats:
+    """One superstep's accounting."""
+
+    round_number: int
+    derived: int = 0
+    shipped: int = 0          # instance triples sent to another worker
+    broadcast: int = 0        # schema triples replicated (counted once)
+    active_workers: int = 0
+
+
+@dataclass
+class DistributedStats:
+    """Accounting for a full distributed saturation run."""
+
+    workers: int
+    rounds: int = 0
+    derived: int = 0
+    shipped: int = 0
+    broadcast: int = 0
+    seconds: float = 0.0
+    skew: float = 1.0
+    per_round: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def messages(self) -> int:
+        """Point-to-point messages: shipped triples plus one message
+        per broadcast triple per remote worker."""
+        return self.shipped + self.broadcast * (self.workers - 1)
+
+    def summary(self) -> str:
+        return (f"distributed saturation: {self.workers} workers, "
+                f"{self.rounds} round(s), +{self.derived} triples, "
+                f"{self.shipped} shipped, {self.broadcast} broadcast "
+                f"({self.messages} messages), skew {self.skew:.2f}, "
+                f"{self.seconds * 1000:.1f} ms")
+
+
+class DistributedSaturation:
+    """The BSP saturation engine over a fixed worker count."""
+
+    def __init__(self, workers: int = 4, ruleset: RuleSet = RDFS_DEFAULT):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        offending = [rule.name for rule in ruleset
+                     if has_instance_instance_join(rule)]
+        if offending:
+            raise ValueError(
+                f"rules {', '.join(offending)} join multiple instance "
+                f"atoms; subject-hash partitioning cannot evaluate them "
+                f"locally (use the centralized engines)")
+        self.workers = workers
+        self.ruleset = ruleset
+
+    def run(self, graph: Graph) -> Tuple[Graph, DistributedStats]:
+        """Saturate ``graph``; returns the merged result and the stats."""
+        started = time.perf_counter()
+        partitioned = partition_graph(graph, self.workers)
+        fragments = partitioned.fragments
+        stats = DistributedStats(workers=self.workers)
+
+        deltas: List[List[Triple]] = [list(fragment) for fragment in fragments]
+        while any(deltas):
+            stats.rounds += 1
+            round_stats = RoundStats(round_number=stats.rounds)
+            round_stats.active_workers = sum(1 for d in deltas if d)
+            inboxes: List[Set[Triple]] = [set() for __ in range(self.workers)]
+            broadcast_this_round: Set[Triple] = set()
+
+            for worker, delta in enumerate(deltas):
+                if not delta:
+                    continue
+                fragment = fragments[worker]
+                sent: Set[Triple] = set()
+                for rule in self.ruleset:
+                    for conclusion in rule.fire_conclusions(fragment, delta):
+                        if conclusion in sent:
+                            continue
+                        sent.add(conclusion)
+                        if is_schema_triple(conclusion):
+                            # the sender's own replica is authoritative:
+                            # schema replicas are in sync at each barrier
+                            if conclusion not in fragment:
+                                broadcast_this_round.add(conclusion)
+                            continue
+                        owner = partition_of(conclusion, self.workers)
+                        if owner == worker:
+                            if conclusion not in fragment:
+                                inboxes[worker].add(conclusion)
+                        else:
+                            # a sender cannot see the owner's state:
+                            # ship optimistically, dedupe at the receiver
+                            inboxes[owner].add(conclusion)
+                            round_stats.shipped += 1
+
+            for conclusion in broadcast_this_round:
+                round_stats.broadcast += 1
+                for inbox in inboxes:
+                    inbox.add(conclusion)
+
+            # the barrier: apply inboxes; what is genuinely new becomes
+            # the next delta
+            next_deltas: List[List[Triple]] = []
+            for worker, inbox in enumerate(inboxes):
+                fresh = [t for t in inbox if fragments[worker].add(t)]
+                round_stats.derived += len(fresh)
+                next_deltas.append(fresh)
+            deltas = next_deltas
+            stats.per_round.append(round_stats)
+            stats.shipped += round_stats.shipped
+            stats.broadcast += round_stats.broadcast
+
+        stats.skew = partitioned.skew()
+        merged = partitioned.merged()
+        stats.derived = len(merged) - len(graph)
+        stats.seconds = time.perf_counter() - started
+        return merged, stats
+
+
+def distributed_saturate(graph: Graph, workers: int = 4,
+                         ruleset: RuleSet = RDFS_DEFAULT
+                         ) -> Tuple[Graph, DistributedStats]:
+    """Convenience wrapper: saturate ``graph`` on ``workers`` simulated
+    workers and return ``(G∞, stats)``.
+
+    The result equals the centralized saturation for every worker
+    count (an invariant the test suite randomizes over).
+    """
+    return DistributedSaturation(workers, ruleset).run(graph)

@@ -1,0 +1,35 @@
+"""RDF substrate: terms, triples, namespaces, storage and I/O.
+
+This package implements the data model of Section II-A of the paper:
+well-formed RDF triples over URIs, literals and blank nodes, stored in
+a dictionary-encoded, hash-indexed in-memory graph, with N-Triples and
+Turtle-subset I/O.
+"""
+
+from .dictionary import TermDictionary
+from .graph import Graph
+from .index import ALL_ORDERS, DEFAULT_ORDERS, TripleIndex
+from .isomorphism import (blank_node_bijection, canonical_signatures,
+                          is_lean, isomorphic)
+from .namespaces import (DEFAULT_PREFIXES, NamespaceManager, Namespace, OWL,
+                         RDF, RDFS, REPRO, XSD)
+from .ntriples import (NTriplesError, graph_from_ntriples, parse_ntriples,
+                       parse_ntriples_line, serialize_ntriples)
+from .terms import (BlankNode, Literal, PatternTerm, RDFTerm, Term, URI,
+                    Variable, fresh_blank, fresh_variable)
+from .triples import Substitution, Triple, TriplePattern
+from .turtle import TurtleError, graph_from_turtle, parse_turtle, serialize_turtle
+
+__all__ = [
+    "BlankNode", "Literal", "PatternTerm", "RDFTerm", "Term", "URI",
+    "Variable", "fresh_blank", "fresh_variable",
+    "Substitution", "Triple", "TriplePattern",
+    "Namespace", "NamespaceManager", "DEFAULT_PREFIXES",
+    "RDF", "RDFS", "XSD", "OWL", "REPRO",
+    "TermDictionary", "TripleIndex", "ALL_ORDERS", "DEFAULT_ORDERS",
+    "Graph",
+    "isomorphic", "blank_node_bijection", "canonical_signatures", "is_lean",
+    "NTriplesError", "parse_ntriples", "parse_ntriples_line",
+    "graph_from_ntriples", "serialize_ntriples",
+    "TurtleError", "parse_turtle", "graph_from_turtle", "serialize_turtle",
+]

@@ -1,0 +1,69 @@
+"""Dictionary encoding of RDF terms.
+
+Production RDF stores (RDF-3X, Hexastore, OWLIM — all cited in
+Section II-C) never index raw strings: every term is mapped once to a
+dense integer identifier and all triples, indexes and join processing
+operate on integers.  This module provides that mapping.
+
+Identifiers are dense, start at 0 and are never reused, so they can
+double as array offsets in statistics structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .terms import Term
+
+__all__ = ["TermDictionary"]
+
+
+class TermDictionary:
+    """A bijective mapping between :class:`Term` objects and dense ints."""
+
+    __slots__ = ("_term_to_id", "_id_to_term")
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the identifier for ``term``, allocating one if new."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        return term_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the identifier for ``term`` or ``None`` if absent.
+
+        Unlike :meth:`encode` this never allocates — pattern matching
+        uses it so that a query mentioning an unknown constant yields an
+        empty result instead of polluting the dictionary.
+        """
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term for an identifier previously allocated."""
+        try:
+            return self._id_to_term[term_id]
+        except IndexError:
+            raise KeyError(f"unknown term id: {term_id}") from None
+
+    def terms(self) -> Iterator[Term]:
+        """Iterate all interned terms in allocation order."""
+        return iter(self._id_to_term)
+
+    def copy(self) -> "TermDictionary":
+        clone = TermDictionary()
+        clone._term_to_id = dict(self._term_to_id)
+        clone._id_to_term = list(self._id_to_term)
+        return clone

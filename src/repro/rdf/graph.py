@@ -1,0 +1,262 @@
+"""The RDF graph: a mutable set of well-formed triples.
+
+An RDF graph is a set of triples ``s p o`` (Section II-A).  This class
+is the substrate every other layer builds on: the saturation engine
+reads and extends it, the reformulation engine reads its schema-level
+triples, and the SPARQL evaluator matches patterns against it.
+
+Internally the graph dictionary-encodes terms (see
+:mod:`repro.rdf.dictionary`) and maintains hash indexes over the
+encoded triples (see :mod:`repro.rdf.index`); the public API speaks
+:class:`~repro.rdf.terms.Term` and :class:`~repro.rdf.triples.Triple`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Set, Tuple
+
+from .dictionary import TermDictionary
+from .index import DEFAULT_ORDERS, TripleIndex
+from .namespaces import NamespaceManager
+from .terms import BlankNode, PatternTerm, RDFTerm, Term, URI, Variable
+from .triples import Substitution, Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A mutable in-memory RDF graph with indexed pattern matching.
+
+    >>> from repro.rdf import Graph, URI
+    >>> from repro.rdf.namespaces import RDF, REPRO as EX
+    >>> g = Graph()
+    >>> _ = g.add(Triple(EX.Tom, RDF.type, EX.Cat))
+    >>> len(g)
+    1
+    """
+
+    __slots__ = ("_dictionary", "_index", "namespaces", "_version")
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None,
+                 index_orders: Iterable[str] = DEFAULT_ORDERS,
+                 namespaces: Optional[NamespaceManager] = None):
+        self._dictionary = TermDictionary()
+        self._index = TripleIndex(index_orders)
+        self.namespaces = namespaces if namespaces is not None else NamespaceManager()
+        self._version = 0
+        if triples is not None:
+            self.update(triples)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[Triple]:
+        decode = self._dictionary.decode
+        for s, p, o in self._index:
+            yield Triple(decode(s), decode(p), decode(o))  # type: ignore[arg-type]
+
+    def __contains__(self, triple: Triple) -> bool:
+        encoded = self._encode_existing(triple)
+        return encoded is not None and encoded in self._index
+
+    def __eq__(self, other) -> bool:
+        """Set equality of triples (blank nodes compared by label)."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        return f"<Graph with {len(self)} triples>"
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; return True iff it was not already present."""
+        if not isinstance(triple, Triple):
+            raise TypeError(f"expected a Triple, got {triple!r}")
+        encode = self._dictionary.encode
+        inserted = self._index.add((encode(triple.s), encode(triple.p), encode(triple.o)))
+        if inserted:
+            self._version += 1
+        return inserted
+
+    def add_spo(self, s: RDFTerm, p: URI, o: RDFTerm) -> bool:
+        """Convenience: build and insert the triple ``s p o``."""
+        return self.add(Triple(s, p, o))
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return the number actually new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete a triple; return True iff it was present."""
+        encoded = self._encode_existing(triple)
+        if encoded is None:
+            return False
+        removed = self._index.discard(encoded)
+        if removed:
+            self._version += 1
+        return removed
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Delete many triples; return the number actually removed."""
+        return sum(1 for t in triples if self.remove(t))
+
+    def clear(self) -> None:
+        self._index.clear()
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def triples(self, s: Optional[PatternTerm] = None, p: Optional[PatternTerm] = None,
+                o: Optional[PatternTerm] = None) -> Iterator[Triple]:
+        """Iterate triples matching the (s, p, o) pattern.
+
+        ``None`` and :class:`Variable` both act as wildcards; constants
+        must match exactly.  A constant the graph has never seen yields
+        no results without touching the dictionary.
+        """
+        encoded = []
+        for term in (s, p, o):
+            if term is None or isinstance(term, Variable):
+                encoded.append(None)
+            else:
+                term_id = self._dictionary.lookup(term)
+                if term_id is None:
+                    return
+                encoded.append(term_id)
+        decode = self._dictionary.decode
+        for es, ep, eo in self._index.match(*encoded):
+            yield Triple(decode(es), decode(ep), decode(eo))  # type: ignore[arg-type]
+
+    def match(self, pattern: TriplePattern,
+              binding: Optional[Substitution] = None) -> Iterator[Substitution]:
+        """Iterate the substitutions under which ``pattern`` holds.
+
+        Repeated variables inside the pattern and pre-bound variables in
+        ``binding`` are honoured.  This is the scan primitive the BGP
+        evaluator is built on.
+        """
+        try:
+            concrete = pattern.substitute(binding) if binding else pattern
+        except TypeError:
+            # the binding placed e.g. a literal in subject position;
+            # such a pattern can match no well-formed triple
+            return
+        base: Substitution = dict(binding) if binding else {}
+        for triple in self.triples(concrete.s, concrete.p, concrete.o):
+            extended = concrete.matches(triple, None)
+            if extended is None:
+                continue
+            merged = dict(base)
+            merged.update(extended)
+            yield merged
+
+    def count(self, s: Optional[PatternTerm] = None, p: Optional[PatternTerm] = None,
+              o: Optional[PatternTerm] = None) -> int:
+        """Exact number of triples matching the pattern (for statistics)."""
+        encoded = []
+        for term in (s, p, o):
+            if term is None or isinstance(term, Variable):
+                encoded.append(None)
+            else:
+                term_id = self._dictionary.lookup(term)
+                if term_id is None:
+                    return 0
+                encoded.append(term_id)
+        return self._index.count(*encoded)
+
+    # ------------------------------------------------------------------
+    # term-level views
+    # ------------------------------------------------------------------
+
+    def subjects(self, p: Optional[URI] = None, o: Optional[RDFTerm] = None) -> Set[RDFTerm]:
+        return {t.s for t in self.triples(None, p, o)}
+
+    def predicates(self) -> Set[URI]:
+        return {t.p for t in self.triples()}
+
+    def objects(self, s: Optional[RDFTerm] = None, p: Optional[URI] = None) -> Set[RDFTerm]:
+        return {t.o for t in self.triples(s, p, None)}
+
+    def value(self, s: Optional[RDFTerm] = None, p: Optional[URI] = None,
+              o: Optional[RDFTerm] = None) -> Optional[RDFTerm]:
+        """The unique term completing the two given positions, if any."""
+        given = sum(term is not None for term in (s, p, o))
+        if given != 2:
+            raise ValueError("value() requires exactly two bound positions")
+        for triple in self.triples(s, p, o):
+            if s is None:
+                return triple.s
+            if p is None:
+                return triple.p
+            return triple.o
+        return None
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every effective mutation.
+
+        Layers that cache graph-derived structures (schema closure,
+        statistics) use it for invalidation.
+        """
+        return self._version
+
+    def copy(self) -> "Graph":
+        clone = Graph(index_orders=self._index.order_names,
+                      namespaces=self.namespaces.copy())
+        clone.update(self)
+        return clone
+
+    def terms(self) -> Iterator[Term]:
+        """All interned terms (including ones no longer in any triple)."""
+        return self._dictionary.terms()
+
+    def skolemize(self) -> "Graph":
+        """Return a copy with blank nodes replaced by fresh URIs.
+
+        Useful when merging graphs from independent endpoints, where
+        blank node labels must not collide (the multi-endpoint scenario
+        of Section I).
+        """
+        from .namespaces import REPRO
+
+        clone = Graph(index_orders=self._index.order_names,
+                      namespaces=self.namespaces.copy())
+
+        def skolem(term: RDFTerm) -> RDFTerm:
+            if isinstance(term, BlankNode):
+                return REPRO.term(f".well-known/genid/{term.label}")
+            return term
+
+        for triple in self:
+            clone.add(Triple(skolem(triple.s), triple.p, skolem(triple.o)))
+        return clone
+
+    def _encode_existing(self, triple: Triple) -> Optional[Tuple[int, int, int]]:
+        lookup = self._dictionary.lookup
+        s = lookup(triple.s)
+        if s is None:
+            return None
+        p = lookup(triple.p)
+        if p is None:
+            return None
+        o = lookup(triple.o)
+        if o is None:
+            return None
+        return (s, p, o)

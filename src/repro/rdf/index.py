@@ -1,0 +1,235 @@
+"""Triple indexes over dictionary-encoded triples.
+
+Stores triples of integer identifiers in one nested-hash index per
+*order* (a permutation of subject/property/object, as in Hexastore's
+sextuple indexing [24]).  With hash-based nesting, the three orders
+``spo``, ``pos`` and ``osp`` answer every one of the eight triple
+pattern shapes with a direct lookup; fewer orders force scan-and-filter
+fallbacks (benchmarked by the ABL-IDX ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+__all__ = ["TripleIndex", "IndexOrder", "ALL_ORDERS", "DEFAULT_ORDERS"]
+
+#: An index order: a permutation of the positions (0=s, 1=p, 2=o).
+IndexOrder = Tuple[int, int, int]
+
+_ORDER_BY_NAME: Dict[str, IndexOrder] = {
+    "spo": (0, 1, 2),
+    "sop": (0, 2, 1),
+    "pso": (1, 0, 2),
+    "pos": (1, 2, 0),
+    "osp": (2, 0, 1),
+    "ops": (2, 1, 0),
+}
+
+ALL_ORDERS: Tuple[str, ...] = ("spo", "sop", "pso", "pos", "osp", "ops")
+DEFAULT_ORDERS: Tuple[str, ...] = ("spo", "pos", "osp")
+
+EncodedTriple = Tuple[int, int, int]
+_Nested = Dict[int, Dict[int, Set[int]]]
+
+
+class TripleIndex:
+    """A set of encoded triples with one nested-hash index per order.
+
+    ``orders`` selects the index layout; the default three-order layout
+    answers every pattern shape without scanning.  All mutating methods
+    keep every order consistent.
+    """
+
+    __slots__ = ("_orders", "_indexes", "_size")
+
+    def __init__(self, orders: Iterable[str] = DEFAULT_ORDERS):
+        order_names = tuple(orders)
+        if not order_names:
+            raise ValueError("at least one index order is required")
+        for name in order_names:
+            if name not in _ORDER_BY_NAME:
+                raise ValueError(f"unknown index order: {name!r}")
+        self._orders: Tuple[Tuple[str, IndexOrder], ...] = tuple(
+            (name, _ORDER_BY_NAME[name]) for name in order_names
+        )
+        self._indexes: Tuple[_Nested, ...] = tuple({} for _ in self._orders)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: EncodedTriple) -> bool:
+        __, permutation = self._orders[0]
+        index = self._indexes[0]
+        first, second, third = (triple[permutation[i]] for i in range(3))
+        level = index.get(first)
+        if level is None:
+            return False
+        leaf = level.get(second)
+        return leaf is not None and third in leaf
+
+    def __iter__(self) -> Iterator[EncodedTriple]:
+        __, permutation = self._orders[0]
+        inverse = _invert(permutation)
+        for first, level in self._indexes[0].items():
+            for second, leaf in level.items():
+                for third in leaf:
+                    ordered = (first, second, third)
+                    yield (ordered[inverse[0]], ordered[inverse[1]], ordered[inverse[2]])
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: EncodedTriple) -> bool:
+        """Insert ``triple``; return True iff it was not already present."""
+        inserted = False
+        for (__, permutation), index in zip(self._orders, self._indexes):
+            first = triple[permutation[0]]
+            second = triple[permutation[1]]
+            third = triple[permutation[2]]
+            leaf = index.setdefault(first, {}).setdefault(second, set())
+            before = len(leaf)
+            leaf.add(third)
+            inserted = len(leaf) != before
+        if inserted:
+            self._size += 1
+        return inserted
+
+    def discard(self, triple: EncodedTriple) -> bool:
+        """Remove ``triple``; return True iff it was present."""
+        if triple not in self:
+            return False
+        for (__, permutation), index in zip(self._orders, self._indexes):
+            first = triple[permutation[0]]
+            second = triple[permutation[1]]
+            third = triple[permutation[2]]
+            level = index[first]
+            leaf = level[second]
+            leaf.discard(third)
+            if not leaf:
+                del level[second]
+                if not level:
+                    del index[first]
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        self._indexes = tuple({} for _ in self._orders)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+
+    def match(self, s: Optional[int], p: Optional[int],
+              o: Optional[int]) -> Iterator[EncodedTriple]:
+        """Iterate triples matching the pattern (``None`` = wildcard)."""
+        pattern = (s, p, o)
+        bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+
+        if len(bound) == 3:
+            if (s, p, o) in self:  # type: ignore[arg-type]
+                yield (s, p, o)  # type: ignore[misc]
+            return
+
+        order_index, prefix_len = self._best_order(bound)
+        __, permutation = self._orders[order_index]
+        index = self._indexes[order_index]
+        inverse = _invert(permutation)
+        residual = [i for i in bound if permutation.index(i) >= prefix_len]
+
+        def emit(first: int, second: int, third: int) -> EncodedTriple:
+            ordered = (first, second, third)
+            return (ordered[inverse[0]], ordered[inverse[1]], ordered[inverse[2]])
+
+        def level1() -> Iterable[Tuple[int, Dict[int, Set[int]]]]:
+            if prefix_len >= 1:
+                key = pattern[permutation[0]]
+                level = index.get(key)  # type: ignore[arg-type]
+                return [(key, level)] if level is not None else []  # type: ignore[list-item]
+            return index.items()
+
+        for first, level in level1():
+            if prefix_len >= 2:
+                key2 = pattern[permutation[1]]
+                leaf = level.get(key2)  # type: ignore[arg-type]
+                seconds: Iterable[Tuple[int, Set[int]]] = (
+                    [(key2, leaf)] if leaf is not None else []  # type: ignore[list-item]
+                )
+            else:
+                seconds = level.items()
+            for second, leaf in seconds:
+                for third in leaf:
+                    triple = emit(first, second, third)
+                    if residual and any(triple[i] != pattern[i] for i in residual):
+                        continue
+                    yield triple
+
+    def count(self, s: Optional[int] = None, p: Optional[int] = None,
+              o: Optional[int] = None) -> int:
+        """Exact number of triples matching the pattern.
+
+        Cheap (no materialization) when an index order has the bound
+        positions as a prefix; otherwise falls back to iteration.
+        """
+        pattern = (s, p, o)
+        bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+        if not bound:
+            return self._size
+        if len(bound) == 3:
+            return 1 if (s, p, o) in self else 0  # type: ignore[arg-type]
+
+        order_index, prefix_len = self._best_order(bound)
+        if prefix_len == len(bound):
+            __, permutation = self._orders[order_index]
+            index = self._indexes[order_index]
+            level = index.get(pattern[permutation[0]])  # type: ignore[arg-type]
+            if level is None:
+                return 0
+            if prefix_len == 1:
+                return sum(len(leaf) for leaf in level.values())
+            leaf = level.get(pattern[permutation[1]])  # type: ignore[arg-type]
+            return len(leaf) if leaf is not None else 0
+        return sum(1 for __ in self.match(s, p, o))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _best_order(self, bound: frozenset) -> Tuple[int, int]:
+        """Pick the order with the longest prefix of bound positions.
+
+        Returns ``(order_index, usable_prefix_length)``.
+        """
+        best = (0, 0)
+        for i, (__, permutation) in enumerate(self._orders):
+            prefix = 0
+            while prefix < 3 and permutation[prefix] in bound:
+                prefix += 1
+            prefix = min(prefix, len(bound))
+            if prefix > best[1]:
+                best = (i, prefix)
+        return best
+
+    @property
+    def order_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, __ in self._orders)
+
+    def copy(self) -> "TripleIndex":
+        clone = TripleIndex(self.order_names)
+        for triple in self:
+            clone.add(triple)
+        return clone
+
+
+def _invert(permutation: IndexOrder) -> IndexOrder:
+    inverse = [0, 0, 0]
+    for position, original in enumerate(permutation):
+        inverse[original] = position
+    return (inverse[0], inverse[1], inverse[2])

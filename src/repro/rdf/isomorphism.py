@@ -1,0 +1,245 @@
+"""RDF graph isomorphism up to blank node renaming.
+
+The saturation of an RDF graph "is unique up to blank node renaming"
+(Section II-A): two saturations of the same graph may differ in the
+labels of their blank nodes but never in structure.  This module makes
+that equivalence checkable: :func:`isomorphic` decides whether two
+graphs differ only by a bijective relabeling of blank nodes.
+
+The algorithm is the practical one used by RDF toolkits:
+
+1. ground (blank-free) triples must match exactly;
+2. blank nodes are partitioned by an iteratively refined *signature*
+   (a hash of each node's ground neighbourhood, then of its
+   neighbours' signatures — colour refinement);
+3. remaining ambiguity (automorphic candidates) falls back to
+   backtracking over signature-compatible bijections.
+
+Worst cases are exponential (graph isomorphism), but RDF data's blank
+nodes are overwhelmingly distinguishable after refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .graph import Graph
+from .terms import BlankNode, RDFTerm
+from .triples import Triple
+
+__all__ = ["isomorphic", "blank_node_bijection", "canonical_signatures",
+           "is_lean"]
+
+
+def _blank_nodes(graph: Graph) -> Set[BlankNode]:
+    result: Set[BlankNode] = set()
+    for triple in graph:
+        if isinstance(triple.s, BlankNode):
+            result.add(triple.s)
+        if isinstance(triple.o, BlankNode):
+            result.add(triple.o)
+    return result
+
+
+def _ground_part(graph: Graph) -> Set[Triple]:
+    return {t for t in graph
+            if not isinstance(t.s, BlankNode)
+            and not isinstance(t.o, BlankNode)}
+
+
+def canonical_signatures(graph: Graph,
+                         rounds: int = 4) -> Dict[BlankNode, int]:
+    """Colour-refinement signatures for the graph's blank nodes.
+
+    Nodes with different signatures can never correspond under an
+    isomorphism; equal signatures mean "possibly interchangeable".
+    """
+    nodes = _blank_nodes(graph)
+    signature: Dict[BlankNode, int] = {node: 0 for node in nodes}
+    for __ in range(rounds):
+        updated: Dict[BlankNode, int] = {}
+        for node in nodes:
+            parts: List[tuple] = []
+            for triple in graph.triples(node, None, None):
+                other = triple.o
+                if isinstance(other, BlankNode):
+                    parts.append(("out", triple.p.value, "?",
+                                  signature[other]))
+                else:
+                    parts.append(("out", triple.p.value, other.n3(), 0))
+            for triple in graph.triples(None, None, node):
+                other = triple.s
+                if isinstance(other, BlankNode):
+                    parts.append(("in", triple.p.value, "?",
+                                  signature[other]))
+                else:
+                    parts.append(("in", triple.p.value, other.n3(), 0))
+            updated[node] = hash(tuple(sorted(parts)))
+        if updated == signature:
+            break
+        signature = updated
+    return signature
+
+
+def blank_node_bijection(left: Graph, right: Graph
+                         ) -> Optional[Dict[BlankNode, BlankNode]]:
+    """A bijection between blank nodes turning ``left`` into ``right``,
+    or ``None`` when the graphs are not isomorphic."""
+    if len(left) != len(right):
+        return None
+    if _ground_part(left) != _ground_part(right):
+        return None
+    left_nodes = sorted(_blank_nodes(left))
+    right_nodes = _blank_nodes(right)
+    if len(left_nodes) != len(right_nodes):
+        return None
+    if not left_nodes:
+        return {}
+
+    left_signatures = canonical_signatures(left)
+    right_signatures = canonical_signatures(right)
+    right_by_signature: Dict[int, List[BlankNode]] = {}
+    for node in right_nodes:
+        right_by_signature.setdefault(right_signatures[node], []).append(node)
+    # quick reject: the signature multisets must coincide
+    left_counts: Dict[int, int] = {}
+    for node in left_nodes:
+        left_counts[left_signatures[node]] = \
+            left_counts.get(left_signatures[node], 0) + 1
+    if left_counts != {sig: len(nodes)
+                       for sig, nodes in right_by_signature.items()}:
+        return None
+
+    # order most-constrained first (fewest candidates)
+    left_nodes.sort(key=lambda n: len(right_by_signature[left_signatures[n]]))
+
+    right_triples = set(right)
+
+    def renamed(triple: Triple, mapping: Dict[BlankNode, BlankNode]
+                ) -> Optional[Triple]:
+        def walk(term: RDFTerm) -> Optional[RDFTerm]:
+            if isinstance(term, BlankNode):
+                return mapping.get(term)
+            return term
+
+        s = walk(triple.s)
+        o = walk(triple.o)
+        if s is None or o is None:
+            return None  # involves an unmapped node: check later
+        return Triple(s, triple.p, o)
+
+    def consistent(mapping: Dict[BlankNode, BlankNode],
+                   node: BlankNode) -> bool:
+        """Every left triple touching ``node`` whose nodes are all
+        mapped must exist in the right graph."""
+        for triple in list(left.triples(node, None, None)) + \
+                list(left.triples(None, None, node)):
+            image = renamed(triple, mapping)
+            if image is not None and image not in right_triples:
+                return False
+        return True
+
+    used: Set[BlankNode] = set()
+
+    def search(index: int,
+               mapping: Dict[BlankNode, BlankNode]
+               ) -> Optional[Dict[BlankNode, BlankNode]]:
+        if index == len(left_nodes):
+            return dict(mapping)
+        node = left_nodes[index]
+        for candidate in right_by_signature[left_signatures[node]]:
+            if candidate in used:
+                continue
+            mapping[node] = candidate
+            used.add(candidate)
+            if consistent(mapping, node):
+                result = search(index + 1, mapping)
+                if result is not None:
+                    return result
+            used.discard(candidate)
+            del mapping[node]
+        return None
+
+    return search(0, {})
+
+
+def is_lean(graph: Graph) -> bool:
+    """Is the graph *lean* — free of internal redundancy?
+
+    A graph is lean when no proper instance of itself is a subgraph,
+    i.e. no mapping of blank nodes to other terms reproduces a strict
+    subgraph (RDF Semantics).  A non-lean graph says nothing more than
+    its lean core: ``_:b p o . s p o .`` is non-lean because ``_:b``
+    maps onto ``s``.
+
+    Blank nodes are the paper's "form of incomplete information"; lean
+    graphs are the ones where that incompleteness is irredundant.
+    """
+    nodes = sorted(_blank_nodes(graph))
+    if not nodes:
+        return True
+    triples = set(graph)
+    candidates: List[RDFTerm] = sorted(
+        {t.s for t in graph} | {t.o for t in graph},
+        key=lambda term: term.sort_key())
+
+    def image(triple: Triple, mapping: Dict[BlankNode, RDFTerm]
+              ) -> Optional[Triple]:
+        def walk(term: RDFTerm) -> Optional[RDFTerm]:
+            if isinstance(term, BlankNode):
+                return mapping.get(term, term)
+            return term
+
+        s, o = walk(triple.s), walk(triple.o)
+        try:
+            return Triple(s, triple.p, o)  # type: ignore[arg-type]
+        except TypeError:
+            return None
+
+    def has_unmapped_blank(triple: Triple,
+                           mapping: Dict[BlankNode, RDFTerm]) -> bool:
+        """A triple whose other end is a not-yet-mapped blank cannot be
+        checked yet; its check is deferred to that node's turn."""
+        for term in (triple.s, triple.o):
+            if isinstance(term, BlankNode) and term not in mapping:
+                return True
+        return False
+
+    def search(index: int, mapping: Dict[BlankNode, RDFTerm],
+               proper: bool) -> bool:
+        """Is there a homomorphism into the graph that is proper (maps
+        at least one blank node to something else)?"""
+        if index == len(nodes):
+            return proper
+        node = nodes[index]
+        for candidate in candidates:
+            mapping[node] = candidate
+            ok = True
+            for triple in list(graph.triples(node, None, None)) + \
+                    list(graph.triples(None, None, node)):
+                if has_unmapped_blank(triple, mapping):
+                    continue
+                mapped = image(triple, mapping)
+                if mapped is None or mapped not in triples:
+                    ok = False
+                    break
+            if ok and search(index + 1, mapping,
+                             proper or candidate != node):
+                return True
+            del mapping[node]
+        return False
+
+    return not search(0, {}, False)
+
+
+def isomorphic(left: Graph, right: Graph) -> bool:
+    """Are the two graphs equal up to blank node renaming?
+
+    >>> from repro.rdf import Graph, Triple, BlankNode, URI
+    >>> p = URI("http://x/p")
+    >>> a = Graph([Triple(BlankNode("a"), p, URI("http://x/o"))])
+    >>> b = Graph([Triple(BlankNode("z"), p, URI("http://x/o"))])
+    >>> isomorphic(a, b)
+    True
+    """
+    return blank_node_bijection(left, right) is not None

@@ -1,0 +1,157 @@
+"""Namespace handling and the built-in RDF/RDFS/XSD/OWL vocabularies.
+
+The RDF standard provides a set of built-in classes and properties as
+part of the ``rdf:`` and ``rdfs:`` pre-defined namespaces (Section II-A
+of the paper); ``rdf:type`` and the four RDFS constraint properties
+(``rdfs:subClassOf``, ``rdfs:subPropertyOf``, ``rdfs:domain``,
+``rdfs:range``) are the ones the reasoning machinery dispatches on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .terms import URI
+
+__all__ = [
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "REPRO",
+    "DEFAULT_PREFIXES",
+]
+
+
+class Namespace:
+    """A URI prefix from which terms are minted by attribute access.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Person
+    URI('http://example.org/Person')
+    >>> EX["strange-name"]
+    URI('http://example.org/strange-name')
+    """
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+        self._cache: Dict[str, URI] = {}
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> URI:
+        uri = self._cache.get(name)
+        if uri is None:
+            uri = URI(self._base + name)
+            self._cache[name] = uri
+        return uri
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> URI:
+        return self.term(name)
+
+    def __contains__(self, uri: object) -> bool:
+        return isinstance(uri, URI) and uri.value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(self._base)
+
+
+#: The RDF built-in vocabulary.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+#: The RDF Schema vocabulary used for the paper's four constraints.
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+#: XML Schema datatypes, for typed literals.
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+#: The OWL vocabulary subset used by the RDFS-Plus rule set.
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+#: Namespace used by this library's own generators and examples.
+REPRO = Namespace("http://repro.example.org/")
+
+DEFAULT_PREFIXES: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "owl": OWL,
+    "repro": REPRO,
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry.
+
+    Used by the Turtle/SPARQL parsers to expand CURIEs (``rdf:type``)
+    and by the serializers to compact URIs back into CURIEs.
+    """
+
+    def __init__(self, bind_defaults: bool = True):
+        self._prefix_to_ns: Dict[str, Namespace] = {}
+        self._base_to_prefix: Dict[str, str] = {}
+        if bind_defaults:
+            for prefix, namespace in DEFAULT_PREFIXES.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: "Namespace | str") -> None:
+        """Associate ``prefix`` with ``namespace``, replacing any prior binding."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        previous = self._prefix_to_ns.get(prefix)
+        if previous is not None:
+            self._base_to_prefix.pop(previous.base, None)
+        self._prefix_to_ns[prefix] = namespace
+        self._base_to_prefix[namespace.base] = prefix
+
+    def namespace(self, prefix: str) -> Namespace:
+        try:
+            return self._prefix_to_ns[prefix]
+        except KeyError:
+            raise KeyError(f"unbound namespace prefix: {prefix!r}") from None
+
+    def expand(self, curie: str) -> URI:
+        """Expand a CURIE like ``rdf:type`` into a full URI."""
+        prefix, sep, local = curie.partition(":")
+        if not sep:
+            raise ValueError(f"not a CURIE (missing ':'): {curie!r}")
+        return self.namespace(prefix).term(local)
+
+    def compact(self, uri: URI) -> str:
+        """Compact a URI into a CURIE if a prefix matches, else N3 form."""
+        best_prefix = None
+        best_base = ""
+        for base, prefix in self._base_to_prefix.items():
+            if uri.value.startswith(base) and len(base) > len(best_base):
+                best_prefix, best_base = prefix, base
+        if best_prefix is None:
+            return uri.n3()
+        local = uri.value[len(best_base):]
+        if not local or any(ch in local for ch in "/#?"):
+            return uri.n3()
+        return f"{best_prefix}:{local}"
+
+    def __iter__(self) -> Iterator[Tuple[str, Namespace]]:
+        return iter(self._prefix_to_ns.items())
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def copy(self) -> "NamespaceManager":
+        clone = NamespaceManager(bind_defaults=False)
+        for prefix, namespace in self:
+            clone.bind(prefix, namespace)
+        return clone

@@ -1,0 +1,126 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented exchange syntax RDF endpoints commonly
+publish dumps in; each line carries one triple in fully-expanded form.
+The parser is strict about well-formedness (the paper assumes
+well-formed RDF triples) and reports the offending line on error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterable, Iterator, Union
+
+from .graph import Graph
+from .terms import BlankNode, Literal, RDFTerm, URI
+from .triples import Triple
+
+__all__ = ["parse_ntriples", "parse_ntriples_line", "serialize_ntriples",
+           "graph_from_ntriples", "NTriplesError"]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        self.line_number = line_number
+        self.line = line
+        if line_number:
+            message = f"line {line_number}: {message}: {line.strip()!r}"
+        super().__init__(message)
+
+
+_URI_RE = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BLANK_RE = r"_:([A-Za-z0-9][A-Za-z0-9._-]*)"
+_LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?'
+
+_TRIPLE_RE = re.compile(
+    rf"^\s*(?:{_URI_RE}|{_BLANK_RE})"      # subject: groups 1, 2
+    rf"\s+{_URI_RE}"                        # property: group 3
+    rf"\s+(?:{_URI_RE}|{_BLANK_RE}|{_LITERAL_RE})"  # object: groups 4-8
+    r"\s*\.\s*(?:#.*)?$"
+)
+
+_ESCAPES = {
+    "t": "\t", "n": "\n", "r": "\r", '"': '"', "\\": "\\", "'": "'",
+    "b": "\b", "f": "\f",
+}
+
+
+def _unescape(text: str) -> str:
+    """Decode N-Triples string escapes, including \\uXXXX / \\UXXXXXXXX."""
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise NTriplesError("dangling escape at end of string")
+        code = text[i + 1]
+        if code in _ESCAPES:
+            out.append(_ESCAPES[code])
+            i += 2
+        elif code == "u":
+            out.append(chr(int(text[i + 2:i + 6], 16)))
+            i += 6
+        elif code == "U":
+            out.append(chr(int(text[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            raise NTriplesError(f"unknown escape sequence: \\{code}")
+    return "".join(out)
+
+
+def parse_ntriples_line(line: str, line_number: int = 0) -> Triple:
+    """Parse a single non-blank, non-comment N-Triples line."""
+    match = _TRIPLE_RE.match(line)
+    if match is None:
+        raise NTriplesError("malformed triple", line_number, line)
+    (s_uri, s_blank, p_uri, o_uri, o_blank,
+     o_lex, o_datatype, o_lang) = match.groups()
+
+    subject: RDFTerm = URI(_unescape(s_uri)) if s_uri is not None else BlankNode(s_blank)
+    prop = URI(_unescape(p_uri))
+    if o_uri is not None:
+        obj: RDFTerm = URI(_unescape(o_uri))
+    elif o_blank is not None:
+        obj = BlankNode(o_blank)
+    else:
+        datatype = URI(_unescape(o_datatype)) if o_datatype else None
+        obj = Literal(_unescape(o_lex), datatype=datatype, language=o_lang)
+    return Triple(subject, prop, obj)
+
+
+def parse_ntriples(source: Union[str, IO[str]]) -> Iterator[Triple]:
+    """Parse an N-Triples document (a string or a text file object)."""
+    lines = source.splitlines() if isinstance(source, str) else source
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_ntriples_line(line, line_number)
+
+
+def graph_from_ntriples(source: Union[str, IO[str]]) -> Graph:
+    """Build a :class:`Graph` from an N-Triples document."""
+    graph = Graph()
+    graph.update(parse_ntriples(source))
+    return graph
+
+
+def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:
+    """Serialize triples to an N-Triples document.
+
+    With ``sort=True`` the output order is canonical, which makes dumps
+    diffable across runs.
+    """
+    items = list(triples)
+    if sort:
+        items.sort()
+    return "".join(t.n3() + "\n" for t in items)

@@ -1,0 +1,318 @@
+"""RDF term model: URIs, literals, blank nodes and query variables.
+
+The paper's data model (Section II-A) manipulates *well-formed* RDF
+triples built from uniform resource identifiers (URIs), typed or
+un-typed literals, and blank nodes.  Query triple patterns additionally
+allow variables in the subject, property and object positions.
+
+Terms are immutable value objects with precomputed hashes: the store,
+the saturation engine and the reformulation engine all hash terms on
+every operation, so hashing must be O(1) after construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = [
+    "Term",
+    "URI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "RDFTerm",
+    "PatternTerm",
+    "fresh_blank",
+    "fresh_variable",
+]
+
+
+class Term:
+    """Abstract base class for every RDF term and query variable.
+
+    Concrete subclasses are :class:`URI`, :class:`Literal`,
+    :class:`BlankNode` and :class:`Variable`.  All are immutable and
+    totally ordered (ordering is by *sort key*, used to canonicalize
+    BGPs and answer sets deterministically).
+    """
+
+    __slots__ = ("_hash",)
+
+    #: Small integer used as the major component of the sort key so
+    #: heterogeneous term collections order deterministically.
+    _sort_rank = 0
+
+    def sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def n3(self) -> str:
+        """Render the term in N-Triples/SPARQL surface syntax."""
+        raise NotImplementedError
+
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    def is_constant(self) -> bool:
+        return not isinstance(self, Variable)
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+class URI(Term):
+    """A uniform resource identifier.
+
+    URIs name resources, classes and properties alike; the RDF fragment
+    considered in the paper "blurs the distinction between constants and
+    classes/properties", so the same :class:`URI` value may appear in any
+    triple position.
+    """
+
+    __slots__ = ("value",)
+    _sort_rank = 1
+
+    def __init__(self, value: str):
+        if not value:
+            raise ValueError("URI value must be a non-empty string")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("URI", value)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("URI is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, URI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"URI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def sort_key(self) -> tuple:
+        return (self._sort_rank, self.value)
+
+    @property
+    def local_name(self) -> str:
+        """Heuristic local name: the part after the last '#' or '/'."""
+        value = self.value
+        for sep in ("#", "/"):
+            if sep in value:
+                return value.rsplit(sep, 1)[1]
+        return value
+
+
+class Literal(Term):
+    """A typed or un-typed (plain) RDF literal.
+
+    ``datatype`` is a :class:`URI` or ``None``; ``language`` is a BCP-47
+    tag or ``None``.  A literal cannot carry both a datatype and a
+    language tag (RDF 1.0 well-formedness, which the paper assumes).
+    """
+
+    __slots__ = ("lexical", "datatype", "language")
+    _sort_rank = 2
+
+    def __init__(self, lexical: str, datatype: "URI | None" = None,
+                 language: "str | None" = None):
+        if datatype is not None and language is not None:
+            raise ValueError("a literal cannot have both a datatype and a language tag")
+        if datatype is not None and not isinstance(datatype, URI):
+            raise TypeError("datatype must be a URI")
+        object.__setattr__(self, "lexical", str(lexical))
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language.lower() if language else None)
+        object.__setattr__(
+            self, "_hash", hash(("Literal", self.lexical, self.datatype, self.language))
+        )
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Literal is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.lexical == self.lexical
+            and other.datatype == self.datatype
+            and other.language == self.language
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.datatype is not None:
+            return f"Literal({self.lexical!r}, datatype={self.datatype!r})"
+        if self.language is not None:
+            return f"Literal({self.lexical!r}, language={self.language!r})"
+        return f"Literal({self.lexical!r})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.datatype is not None:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        return f'"{escaped}"'
+
+    def sort_key(self) -> tuple:
+        return (
+            self._sort_rank,
+            self.lexical,
+            self.datatype.value if self.datatype else "",
+            self.language or "",
+        )
+
+    def to_python(self) -> object:
+        """Best-effort conversion to a Python value based on the datatype."""
+        from .namespaces import XSD
+
+        if self.datatype in (XSD.integer, XSD.int, XSD.long):
+            return int(self.lexical)
+        if self.datatype in (XSD.decimal, XSD.double, XSD.float):
+            return float(self.lexical)
+        if self.datatype == XSD.boolean:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+
+class BlankNode(Term):
+    """A blank node: an unknown URI or literal (existential marker).
+
+    Blank node identity is purely local to a graph; two blank nodes with
+    the same label in the same graph are the same node.  Saturation is
+    unique *up to blank node renaming* (Section II-A), which the test
+    suite checks via canonical relabeling.
+    """
+
+    __slots__ = ("label",)
+    _sort_rank = 3
+
+    def __init__(self, label: str):
+        if not label:
+            raise ValueError("blank node label must be non-empty")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("BlankNode", label)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("BlankNode is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BlankNode) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def sort_key(self) -> tuple:
+        return (self._sort_rank, self.label)
+
+
+class Variable(Term):
+    """A query variable, as in SPARQL's ``?x``.
+
+    Variables only occur inside triple *patterns*; a well-formed RDF
+    graph never contains one.  Reformulation introduces fresh
+    non-distinguished variables while rewriting (Section II-B).
+    """
+
+    __slots__ = ("name",)
+    _sort_rank = 4
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        if name.startswith("?") or name.startswith("$"):
+            name = name[1:]
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def sort_key(self) -> tuple:
+        return (self._sort_rank, self.name)
+
+
+#: A term allowed in a well-formed RDF triple position.
+RDFTerm = Union[URI, Literal, BlankNode]
+
+#: A term allowed in a query triple pattern position.
+PatternTerm = Union[URI, Literal, BlankNode, Variable]
+
+
+_FRESH_BLANK_COUNTER = 0
+_FRESH_VARIABLE_COUNTER = 0
+
+
+def fresh_blank(prefix: str = "b") -> BlankNode:
+    """Return a blank node with a globally fresh label."""
+    global _FRESH_BLANK_COUNTER
+    _FRESH_BLANK_COUNTER += 1
+    return BlankNode(f"{prefix}{_FRESH_BLANK_COUNTER}")
+
+
+def fresh_variable(prefix: str = "v") -> Variable:
+    """Return a variable with a globally fresh name.
+
+    Used by the reformulation engine to introduce non-distinguished
+    variables that cannot capture the query's own variables.
+    """
+    global _FRESH_VARIABLE_COUNTER
+    _FRESH_VARIABLE_COUNTER += 1
+    return Variable(f"_{prefix}{_FRESH_VARIABLE_COUNTER}")

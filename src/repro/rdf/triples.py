@@ -1,0 +1,182 @@
+"""Triples and triple patterns.
+
+A triple ``s p o`` states that subject ``s`` has property ``p`` with
+value ``o`` (Section II-A).  Well-formedness follows the RDF standard:
+
+* subject: URI or blank node;
+* property: URI;
+* object: URI, blank node, or literal.
+
+A :class:`TriplePattern` generalizes a triple by allowing variables in
+any position (SPARQL BGPs; the paper's RDF fragment also allows blank
+nodes in queries, treated as non-distinguished variables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import BlankNode, Literal, PatternTerm, RDFTerm, Term, URI, Variable
+
+__all__ = ["Triple", "TriplePattern", "Substitution"]
+
+#: A substitution maps variables to pattern terms (or constants).
+Substitution = Dict[Variable, PatternTerm]
+
+
+class Triple:
+    """An immutable well-formed RDF triple ``s p o``."""
+
+    __slots__ = ("s", "p", "o", "_hash")
+
+    def __init__(self, s: RDFTerm, p: URI, o: RDFTerm):
+        if not isinstance(s, (URI, BlankNode)):
+            raise TypeError(f"triple subject must be a URI or blank node, got {s!r}")
+        if not isinstance(p, URI):
+            raise TypeError(f"triple property must be a URI, got {p!r}")
+        if not isinstance(o, (URI, BlankNode, Literal)):
+            raise TypeError(f"triple object must be a URI, blank node or literal, got {o!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+        object.__setattr__(self, "_hash", hash((s, p, o)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Triple is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.s == self.s
+            and other.p == self.p
+            and other.o == self.o
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[RDFTerm]:
+        return iter((self.s, self.p, self.o))
+
+    def __repr__(self) -> str:
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def __lt__(self, other: "Triple") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        return (self.s.sort_key(), self.p.sort_key(), self.o.sort_key())
+
+    def n3(self) -> str:
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()} ."
+
+    def as_tuple(self) -> Tuple[RDFTerm, URI, RDFTerm]:
+        return (self.s, self.p, self.o)
+
+    def to_pattern(self) -> "TriplePattern":
+        return TriplePattern(self.s, self.p, self.o)
+
+
+class TriplePattern:
+    """A triple where any position may hold a variable.
+
+    Patterns are the building block of BGP queries and of the
+    reformulation engine, which rewrites patterns into unions of
+    patterns w.r.t. the RDFS constraints.
+    """
+
+    __slots__ = ("s", "p", "o", "_hash")
+
+    def __init__(self, s: PatternTerm, p: PatternTerm, o: PatternTerm):
+        if not isinstance(s, Term) or isinstance(s, Literal):
+            raise TypeError(f"pattern subject must be URI/blank/variable, got {s!r}")
+        if not isinstance(p, (URI, Variable, BlankNode)):
+            raise TypeError(f"pattern property must be URI/blank/variable, got {p!r}")
+        if not isinstance(o, Term):
+            raise TypeError(f"pattern object must be a term, got {o!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+        object.__setattr__(self, "_hash", hash((s, p, o)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TriplePattern is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and other.s == self.s
+            and other.p == self.p
+            and other.o == self.o
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[PatternTerm]:
+        return iter((self.s, self.p, self.o))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def __lt__(self, other: "TriplePattern") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        return (self.s.sort_key(), self.p.sort_key(), self.o.sort_key())
+
+    def n3(self) -> str:
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()} ."
+
+    def variables(self) -> frozenset:
+        """The set of variables occurring in this pattern."""
+        return frozenset(t for t in self if isinstance(t, Variable))
+
+    def is_ground(self) -> bool:
+        """True when the pattern contains no variables (it is a triple)."""
+        return not any(isinstance(t, Variable) for t in self)
+
+    def to_triple(self) -> Triple:
+        """Convert a ground pattern back to a triple."""
+        if not self.is_ground():
+            raise ValueError(f"pattern is not ground: {self!r}")
+        return Triple(self.s, self.p, self.o)  # type: ignore[arg-type]
+
+    def substitute(self, binding: Substitution) -> "TriplePattern":
+        """Apply a variable binding, returning the instantiated pattern."""
+
+        def walk(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Variable):
+                return binding.get(term, term)
+            return term
+
+        return TriplePattern(walk(self.s), walk(self.p), walk(self.o))
+
+    def matches(self, triple: Triple,
+                binding: "Optional[Substitution]" = None) -> "Optional[Substitution]":
+        """Match this pattern against a concrete triple.
+
+        Returns the extended substitution on success, ``None`` on
+        failure.  The input ``binding`` is not mutated.
+        """
+        result: Substitution = dict(binding) if binding else {}
+        for pattern_term, triple_term in zip(self, triple):
+            if isinstance(pattern_term, Variable):
+                bound = result.get(pattern_term)
+                if bound is None:
+                    result[pattern_term] = triple_term
+                elif bound != triple_term:
+                    return None
+            elif pattern_term != triple_term:
+                return None
+        return result
+
+    def rename(self, mapping: "Dict[Variable, Variable]") -> "TriplePattern":
+        """Rename variables according to ``mapping`` (missing ones kept)."""
+
+        def walk(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Variable):
+                return mapping.get(term, term)
+            return term
+
+        return TriplePattern(walk(self.s), walk(self.p), walk(self.o))

@@ -1,0 +1,246 @@
+"""Turtle (subset) parser and serializer.
+
+Supports the Turtle features real-world RDFS ontologies and the
+examples in the paper actually use:
+
+* ``@prefix`` / SPARQL-style ``PREFIX`` declarations;
+* prefixed names (``rdf:type``), full URIs, blank node labels;
+* the ``a`` keyword for ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* plain, language-tagged (``@en``) and typed (``^^xsd:int``) literals,
+  plus bare integer / decimal / boolean abbreviations.
+
+Not supported (not needed by any workload here): collections ``( )``,
+anonymous blank-node property lists ``[ ]``, multiline literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from .graph import Graph
+from .namespaces import NamespaceManager, RDF, XSD
+from .ntriples import _unescape
+from .terms import BlankNode, Literal, RDFTerm, URI
+from .triples import Triple
+
+__all__ = ["parse_turtle", "graph_from_turtle", "serialize_turtle", "TurtleError"]
+
+
+class TurtleError(ValueError):
+    """Raised on malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>\#[^\n]*)
+    | (?P<uri><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^(?:<[^<>]*>|[A-Za-z][\w.-]*:[\w.-]*)|@[A-Za-z]+(?:-[A-Za-z0-9]+)*)?)
+    | (?P<blank>_:[A-Za-z0-9][A-Za-z0-9._-]*)
+    | (?P<prefix_decl>@prefix|@base|(?i:PREFIX|BASE)\b)
+    | (?P<number>[+-]?\d+\.\d+|[+-]?\d+)
+    | (?P<boolean>\btrue\b|\bfalse\b)
+    | (?P<pname>[A-Za-z][\w.-]*:[\w.-]*|:[\w.-]+|[A-Za-z][\w.-]*:)
+    | (?P<kw_a>\ba\b)
+    | (?P<punct>[.;,])
+    | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position:position + 30]
+            raise TurtleError(f"unexpected input at offset {position}: {snippet!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, namespaces: Optional[NamespaceManager]):
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.namespaces = namespaces if namespaces is not None else NamespaceManager()
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise TurtleError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise TurtleError(f"expected {value or kind}, got {got_value!r}")
+        return got_value
+
+    # -- productions ---------------------------------------------------
+
+    def statements(self) -> Iterator[Triple]:
+        while self.peek() is not None:
+            kind, value = self.peek()  # type: ignore[misc]
+            if kind == "prefix_decl":
+                self.directive(value)
+            else:
+                yield from self.triple_block()
+
+    def directive(self, keyword: str) -> None:
+        self.next()
+        lowered = keyword.lower().lstrip("@")
+        if lowered == "base":
+            self.expect("uri")  # recorded but unused: all test data is absolute
+            if keyword.startswith("@"):
+                self.expect("punct", ".")
+            return
+        prefix_token = self.expect("pname")
+        prefix = prefix_token.rstrip(":")
+        uri_token = self.expect("uri")
+        self.namespaces.bind(prefix, uri_token[1:-1])
+        if keyword.startswith("@"):
+            self.expect("punct", ".")
+
+    def triple_block(self) -> Iterator[Triple]:
+        subject = self.term(position="subject")
+        while True:
+            prop = self.term(position="property")
+            while True:
+                obj = self.term(position="object")
+                yield Triple(subject, prop, obj)  # type: ignore[arg-type]
+                kind, value = self.peek() or ("", "")
+                if kind == "punct" and value == ",":
+                    self.next()
+                    continue
+                break
+            kind, value = self.peek() or ("", "")
+            if kind == "punct" and value == ";":
+                self.next()
+                # tolerate trailing ';' before '.'
+                kind2, value2 = self.peek() or ("", "")
+                if kind2 == "punct" and value2 == ".":
+                    self.next()
+                    return
+                continue
+            self.expect("punct", ".")
+            return
+
+    def term(self, position: str) -> RDFTerm:
+        kind, value = self.next()
+        if kind == "uri":
+            return URI(_unescape(value[1:-1]))
+        if kind == "pname":
+            return self.namespaces.expand(value)
+        if kind == "kw_a":
+            if position != "property":
+                raise TurtleError("'a' keyword only allowed in property position")
+            return RDF.type
+        if kind == "blank":
+            if position == "property":
+                raise TurtleError("blank node not allowed in property position")
+            return BlankNode(value[2:])
+        if kind == "literal":
+            if position != "object":
+                raise TurtleError("literal only allowed in object position")
+            return self._literal(value)
+        if kind == "number":
+            if position != "object":
+                raise TurtleError("numeric literal only allowed in object position")
+            datatype = XSD.decimal if "." in value else XSD.integer
+            return Literal(value, datatype=datatype)
+        if kind == "boolean":
+            if position != "object":
+                raise TurtleError("boolean literal only allowed in object position")
+            return Literal(value, datatype=XSD.boolean)
+        raise TurtleError(f"unexpected token {value!r} in {position} position")
+
+    def _literal(self, token: str) -> Literal:
+        closing = _find_closing_quote(token)
+        lexical = _unescape(token[1:closing])
+        suffix = token[closing + 1:]
+        if suffix.startswith("^^"):
+            datatype_token = suffix[2:]
+            if datatype_token.startswith("<"):
+                return Literal(lexical, datatype=URI(datatype_token[1:-1]))
+            return Literal(lexical, datatype=self.namespaces.expand(datatype_token))
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+
+
+def _find_closing_quote(token: str) -> int:
+    index = 1
+    while index < len(token):
+        if token[index] == "\\":
+            index += 2
+            continue
+        if token[index] == '"':
+            return index
+        index += 1
+    raise TurtleError(f"unterminated literal: {token!r}")
+
+
+def parse_turtle(text: str,
+                 namespaces: Optional[NamespaceManager] = None) -> Iterator[Triple]:
+    """Parse a Turtle document, yielding its triples."""
+    yield from _Parser(text, namespaces).statements()
+
+
+def graph_from_turtle(text: str) -> Graph:
+    """Build a :class:`Graph` from Turtle text; prefixes are retained."""
+    graph = Graph()
+    parser = _Parser(text, graph.namespaces)
+    graph.update(parser.statements())
+    return graph
+
+
+def serialize_turtle(graph: Graph) -> str:
+    """Serialize a graph to Turtle, grouping by subject and compacting URIs."""
+    manager = graph.namespaces
+    lines: List[str] = []
+    for prefix, namespace in sorted(manager, key=lambda item: item[0]):
+        lines.append(f"@prefix {prefix}: <{namespace.base}> .")
+    if lines:
+        lines.append("")
+
+    def render(term: RDFTerm) -> str:
+        if isinstance(term, URI):
+            return manager.compact(term)
+        if isinstance(term, Literal) and term.datatype is not None:
+            compacted = manager.compact(term.datatype)
+            if not compacted.startswith("<"):
+                quoted = term.n3().rsplit("^^", 1)[0]
+                return f"{quoted}^^{compacted}"
+        return term.n3()
+
+    def render_property(term: URI) -> str:
+        if term == RDF.type:
+            return "a"
+        return manager.compact(term)
+
+    by_subject: dict = {}
+    for triple in graph:
+        by_subject.setdefault(triple.s, []).append(triple)
+    for subject in sorted(by_subject, key=lambda t: t.sort_key()):
+        group = sorted(by_subject[subject])
+        parts = []
+        for triple in group:
+            parts.append(f"{render_property(triple.p)} {render(triple.o)}")
+        joined = " ;\n    ".join(parts)
+        subject_str = subject.n3() if isinstance(subject, BlankNode) \
+            else manager.compact(subject)
+        lines.append(f"{subject_str} {joined} .")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,30 @@
+"""Reasoning core: entailment rules, saturation, maintenance and
+query reformulation — the two technique families of Section II-B.
+"""
+
+from .explain import (ProofNode, all_justifications, explain,
+                      minimal_support)
+from .incremental import (CountingReasoner, CyclicSchemaError, DRedReasoner,
+                          IncrementalReasoner, MaintenanceResult,
+                          one_step_derivations)
+from .reformulation import (FactorizedVariant, Reformulation,
+                            atom_alternatives, reformulate,
+                            reformulate_fixpoint)
+from .rules import Derivation, Rule, instantiate_head
+from .rulesets import (FIGURE2_RULES, RDFS_DEFAULT, RDFS_FULL, RDFS_PLUS,
+                       RHO_DF, RULESETS, RuleSet, get_ruleset)
+from .saturation import (SaturationResult, entails, has_meta_schema,
+                         is_saturated, saturate, saturation_of)
+
+__all__ = [
+    "Rule", "Derivation", "instantiate_head",
+    "ProofNode", "explain", "all_justifications", "minimal_support",
+    "RuleSet", "RHO_DF", "RDFS_DEFAULT", "RDFS_FULL", "RDFS_PLUS",
+    "FIGURE2_RULES", "RULESETS", "get_ruleset",
+    "SaturationResult", "saturate", "saturation_of", "entails",
+    "is_saturated", "has_meta_schema",
+    "IncrementalReasoner", "DRedReasoner", "CountingReasoner",
+    "MaintenanceResult", "CyclicSchemaError", "one_step_derivations",
+    "Reformulation", "FactorizedVariant", "reformulate",
+    "reformulate_fixpoint", "atom_alternatives",
+]

@@ -1,0 +1,158 @@
+"""Explanations: why is a triple entailed?
+
+Section II-C notes that OWLIM computes "the relevant justifications
+w.r.t. an update" to maintain its materialization; justifications are
+also what users ask for when an unexpected answer appears ("why is Tom
+a mammal?").  This module derives them on demand:
+
+* :func:`explain` — one full proof tree from explicit triples to the
+  goal, built by backward chaining over the rule set;
+* :func:`all_justifications` — every *immediate* derivation of the
+  goal (the direct supports);
+* :func:`minimal_support` — a minimal set of explicit triples that
+  suffices to entail the goal (useful for debugging data: deleting any
+  one of them, absent other supports, retracts the conclusion).
+
+Proof search runs over the saturated graph, so each backward step only
+ever needs one rule application — termination is structural, with a
+visited-set guarding cyclic schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.triples import Triple
+from .incremental import one_step_derivations
+from .rules import Derivation
+from .rulesets import RDFS_DEFAULT, RuleSet
+from .saturation import saturate
+
+__all__ = ["ProofNode", "explain", "all_justifications", "minimal_support",
+           "is_explicit_in"]
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """A node of a proof tree.
+
+    Leaves (``rule_name is None``) are explicit triples; inner nodes
+    carry the rule that derived ``triple`` from the children's triples.
+    """
+
+    triple: Triple
+    rule_name: Optional[str] = None
+    premises: Tuple["ProofNode", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rule_name is None
+
+    def depth(self) -> int:
+        """Leaf depth 0; otherwise 1 + max child depth."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.premises)
+
+    def leaves(self) -> FrozenSet[Triple]:
+        """The explicit triples this proof rests on."""
+        if self.is_leaf:
+            return frozenset((self.triple,))
+        result: Set[Triple] = set()
+        for child in self.premises:
+            result |= child.leaves()
+        return frozenset(result)
+
+    def size(self) -> int:
+        """Number of rule applications in the tree."""
+        if self.is_leaf:
+            return 0
+        return 1 + sum(child.size() for child in self.premises)
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the tree, one derivation step per line."""
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}{self.triple.n3().rstrip(' .')}   [explicit]"
+        lines = [f"{pad}{self.triple.n3().rstrip(' .')}   [{self.rule_name}]"]
+        for child in self.premises:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def is_explicit_in(graph: Graph, triple: Triple) -> bool:
+    """Membership test, named for readability at call sites."""
+    return triple in graph
+
+
+def explain(graph: Graph, triple: Triple,
+            ruleset: RuleSet = RDFS_DEFAULT,
+            saturated: Optional[Graph] = None) -> Optional[ProofNode]:
+    """One proof tree for ``triple`` from ``graph``'s explicit triples.
+
+    Returns ``None`` when the triple is not entailed.  ``saturated``
+    may pass a pre-computed ``G∞`` to avoid re-saturating per call.
+    """
+    if triple in graph:
+        return ProofNode(triple)
+    closure = saturated if saturated is not None else saturate(graph, ruleset).graph
+    if triple not in closure:
+        return None
+    return _prove(graph, closure, triple, ruleset, frozenset())
+
+
+def _prove(graph: Graph, closure: Graph, goal: Triple, ruleset: RuleSet,
+           in_progress: FrozenSet[Triple]) -> Optional[ProofNode]:
+    if goal in graph:
+        return ProofNode(goal)
+    if goal in in_progress:
+        return None  # cyclic support cannot ground out here
+    blocked = in_progress | {goal}
+    for derivation in one_step_derivations(closure, goal, ruleset):
+        children: List[ProofNode] = []
+        for premise in derivation.premises:
+            child = _prove(graph, closure, premise, ruleset, blocked)
+            if child is None:
+                break
+            children.append(child)
+        else:
+            return ProofNode(goal, derivation.rule_name, tuple(children))
+    return None
+
+
+def all_justifications(graph: Graph, triple: Triple,
+                       ruleset: RuleSet = RDFS_DEFAULT,
+                       saturated: Optional[Graph] = None
+                       ) -> List[Derivation]:
+    """Every immediate derivation of ``triple`` over the saturation.
+
+    These are exactly the justification records the counting reasoner
+    maintains incrementally; here they are recomputed on demand.
+    """
+    closure = saturated if saturated is not None else saturate(graph, ruleset).graph
+    if triple not in closure:
+        return []
+    return list(one_step_derivations(closure, triple, ruleset))
+
+
+def minimal_support(graph: Graph, triple: Triple,
+                    ruleset: RuleSet = RDFS_DEFAULT) -> Optional[FrozenSet[Triple]]:
+    """A minimal explicit-triple set entailing ``triple``.
+
+    Starts from one proof's leaves and greedily drops triples that are
+    not needed (the remaining set still entails the goal).  Minimal,
+    not minimum: finding a smallest support is NP-hard in general.
+    """
+    proof = explain(graph, triple, ruleset)
+    if proof is None:
+        return None
+    support = set(proof.leaves())
+    for candidate in sorted(support):
+        trimmed = support - {candidate}
+        reduced = Graph()
+        reduced.update(trimmed)
+        if triple in saturate(reduced, ruleset, in_place=True).graph:
+            support = trimmed
+    return frozenset(support)

@@ -1,0 +1,222 @@
+"""Declarative entailment rules (the paper's Figure 2 and friends).
+
+An entailment rule derives one new triple from a conjunction of
+existing ones — immediate entailment ``⊢iRDF`` is a single application
+of such a rule, and ``G ⊢RDF s p o`` holds iff a sequence of immediate
+entailments leads from ``G`` to ``s p o`` (Section II-A).
+
+Rules are *safe* range-restricted Horn clauses over triple patterns:
+every head variable occurs in the body, so no rule invents fresh
+blank nodes.  This is the fragment all of the paper's reformulation
+algorithms target, and it keeps saturation finite.
+
+The same :class:`Rule` objects drive the forward-chaining saturation
+engine, the counting/DRed maintenance algorithms and the translation
+to Datalog.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triples import Substitution, Triple, TriplePattern
+
+__all__ = ["Rule", "Derivation", "instantiate_head"]
+
+
+class Rule:
+    """A safe Horn rule ``body1 ∧ … ∧ bodyN ⊢ head`` over triple patterns.
+
+    >>> from repro.rdf.namespaces import RDF, RDFS
+    >>> from repro.rdf.terms import Variable as V
+    >>> rdfs9 = Rule(
+    ...     "rdfs9",
+    ...     body=[TriplePattern(V("c1"), RDFS.subClassOf, V("c2")),
+    ...           TriplePattern(V("s"), RDF.type, V("c1"))],
+    ...     head=TriplePattern(V("s"), RDF.type, V("c2")),
+    ... )
+    """
+
+    __slots__ = ("name", "body", "head", "description", "_hash")
+
+    def __init__(self, name: str, body: Sequence[TriplePattern],
+                 head: TriplePattern, description: str = ""):
+        if not body:
+            raise ValueError("rule body must contain at least one pattern")
+        body_tuple = tuple(body)
+        body_variables: set = set()
+        for pattern in body_tuple:
+            body_variables |= pattern.variables()
+        unsafe = head.variables() - body_variables
+        if unsafe:
+            names = ", ".join(sorted(str(v) for v in unsafe))
+            raise ValueError(f"rule {name!r} is unsafe: head variables {names} "
+                             f"do not occur in the body")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "body", body_tuple)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "_hash", hash((name, body_tuple, head)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Rule is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Rule) and other.name == self.name
+                and other.body == self.body and other.head == self.head)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = " AND ".join(p.n3().rstrip(" .") for p in self.body)
+        return f"<Rule {self.name}: {body} => {self.head.n3().rstrip(' .')}>"
+
+    def variables(self) -> FrozenSet[Variable]:
+        result: set = set(self.head.variables())
+        for pattern in self.body:
+            result |= pattern.variables()
+        return frozenset(result)
+
+    def arity(self) -> int:
+        """Number of body atoms."""
+        return len(self.body)
+
+    # ------------------------------------------------------------------
+    # evaluation helpers used by the saturation engines
+    # ------------------------------------------------------------------
+
+    def match_body(self, graph, binding: Optional[Substitution] = None,
+                   skip: int = -1) -> Iterator[Substitution]:
+        """All substitutions making every body atom (except ``skip``)
+        hold in ``graph``, extending ``binding``.
+
+        Atoms are evaluated left to right with the current binding
+        pushed into each subsequent atom (index-nested-loop join).
+        """
+        remaining = [p for i, p in enumerate(self.body) if i != skip]
+
+        def recurse(index: int, current: Substitution) -> Iterator[Substitution]:
+            if index == len(remaining):
+                yield current
+                return
+            for extended in graph.match(remaining[index], current):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, dict(binding) if binding else {})
+
+    def fire(self, graph, delta: Optional[Sequence[Triple]] = None
+             ) -> Iterator["Derivation"]:
+        """Yield the derivations of one immediate-entailment round.
+
+        With ``delta`` given, performs the semi-naive restriction: each
+        produced derivation uses at least one delta triple, by matching
+        every body atom in turn against the delta and joining the rest
+        against the full graph.  Duplicate derivations (same rule, same
+        ground body) are suppressed within the call.
+        """
+        seen: set = set()
+        if delta is None:
+            for binding in self.match_body(graph):
+                derivation = self._derive(binding)
+                if derivation is not None and derivation not in seen:
+                    seen.add(derivation)
+                    yield derivation
+            return
+        for pivot, pattern in enumerate(self.body):
+            for triple in delta:
+                binding = pattern.matches(triple)
+                if binding is None:
+                    continue
+                for full_binding in self.match_body(graph, binding, skip=pivot):
+                    derivation = self._derive(full_binding)
+                    if derivation is not None and derivation not in seen:
+                        seen.add(derivation)
+                        yield derivation
+
+    def fire_conclusions(self, graph, delta: Optional[Sequence[Triple]] = None
+                         ) -> Iterator[Triple]:
+        """Like :meth:`fire` but yields bare conclusions.
+
+        Skips justification materialization and intra-call dedup — the
+        saturation engine's ``graph.add`` already ignores duplicates —
+        which makes this the hot-path variant.
+        """
+        if delta is None:
+            for binding in self.match_body(graph):
+                conclusion = instantiate_head(self.head, binding)
+                if conclusion is not None:
+                    yield conclusion
+            return
+        for pivot, pattern in enumerate(self.body):
+            for triple in delta:
+                binding = pattern.matches(triple)
+                if binding is None:
+                    continue
+                for full_binding in self.match_body(graph, binding, skip=pivot):
+                    conclusion = instantiate_head(self.head, full_binding)
+                    if conclusion is not None:
+                        yield conclusion
+
+    def _derive(self, binding: Substitution) -> Optional["Derivation"]:
+        conclusion = instantiate_head(self.head, binding)
+        if conclusion is None:
+            return None
+        premises = tuple(pattern.substitute(binding).to_triple()
+                         for pattern in self.body)
+        return Derivation(self.name, premises, conclusion)
+
+
+def instantiate_head(head: TriplePattern, binding: Substitution) -> Optional[Triple]:
+    """Ground ``head`` under ``binding``; None if not well-formed.
+
+    RDF entailment only ever produces well-formed triples; a binding
+    that would, e.g., place a literal in subject position (possible
+    when a rule variable ranges over objects) yields nothing.
+    """
+    try:
+        grounded = head.substitute(binding)
+    except TypeError:
+        # the binding would place e.g. a literal in subject position
+        return None
+    if not grounded.is_ground():
+        return None
+    try:
+        return grounded.to_triple()
+    except TypeError:
+        return None
+
+
+class Derivation:
+    """One immediate entailment step: ``premises ⊢_rule conclusion``.
+
+    Used as the justification record by the counting-based truth
+    maintenance and DRed algorithms.
+    """
+
+    __slots__ = ("rule_name", "premises", "conclusion", "_hash")
+
+    def __init__(self, rule_name: str, premises: Tuple[Triple, ...],
+                 conclusion: Triple):
+        object.__setattr__(self, "rule_name", rule_name)
+        object.__setattr__(self, "premises", premises)
+        object.__setattr__(self, "conclusion", conclusion)
+        object.__setattr__(self, "_hash", hash((rule_name, premises, conclusion)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Derivation is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Derivation)
+                and other.rule_name == self.rule_name
+                and other.premises == self.premises
+                and other.conclusion == self.conclusion)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        premises = ", ".join(p.n3().rstrip(" .") for p in self.premises)
+        return (f"<Derivation {self.rule_name}: {premises} "
+                f"|- {self.conclusion.n3().rstrip(' .')}>")

@@ -1,0 +1,349 @@
+"""Standard entailment rule sets.
+
+The paper stresses that both techniques are parameterized by "the
+subset of features from the RDF standard which is supported": the
+expressive power of the rule set determines saturation cost, saturation
+size and reformulation size alike.  Four rule sets are provided:
+
+* :data:`RHO_DF` — the ρdf core: the four instance rules of the paper's
+  Figure 2 (rdfs2, rdfs3, rdfs7, rdfs9) plus schema-level transitivity
+  (rdfs5, rdfs11).  This is the fragment of [12] from which Figure 3's
+  thresholds are computed, and the fragment the reformulation engine is
+  complete for.
+* :data:`RDFS_DEFAULT` — alias of :data:`RHO_DF` (the sensible default).
+* :data:`RDFS_FULL` — adds the remaining standard RDFS rules (rdf1,
+  rdfs4a/4b, rdfs6, rdfs8, rdfs10, rdfs12, rdfs13), which type every
+  resource and property; they inflate the saturation dramatically.
+* :data:`RDFS_PLUS` — ρdf plus the OWL subset that AllegroGraph's
+  RDFS++ and Virtuoso support (Section II-C): inverse, symmetric and
+  transitive properties, class/property equivalence and ``owl:sameAs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from ..rdf.namespaces import OWL, RDF, RDFS
+from ..rdf.terms import Variable as V
+from ..rdf.triples import TriplePattern as TP
+from .rules import Rule
+
+__all__ = ["RuleSet", "RHO_DF", "RDFS_DEFAULT", "RDFS_FULL", "RDFS_PLUS",
+           "FIGURE2_RULES", "RULESETS", "get_ruleset"]
+
+
+class RuleSet:
+    """An immutable named collection of entailment rules."""
+
+    __slots__ = ("name", "rules", "description", "_by_name")
+
+    def __init__(self, name: str, rules: Iterable[Rule], description: str = ""):
+        rule_tuple = tuple(rules)
+        names = [rule.name for rule in rule_tuple]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in rule set {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "rules", rule_tuple)
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "_by_name", {rule.name: rule for rule in rule_tuple})
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("RuleSet is immutable")
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __contains__(self, rule: object) -> bool:
+        if isinstance(rule, Rule):
+            return rule in self.rules
+        return rule in self._by_name
+
+    def __getitem__(self, name: str) -> Rule:
+        return self._by_name[name]
+
+    def __repr__(self) -> str:
+        return f"<RuleSet {self.name}: {len(self.rules)} rules>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RuleSet) and other.rules == self.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+    def extend(self, name: str, rules: Iterable[Rule], description: str = "") -> "RuleSet":
+        """A new rule set with ``rules`` appended."""
+        return RuleSet(name, self.rules + tuple(rules), description)
+
+    def rule_names(self) -> Tuple[str, ...]:
+        return tuple(rule.name for rule in self.rules)
+
+
+# ----------------------------------------------------------------------
+# The instance entailment rules of the paper's Figure 2
+# ----------------------------------------------------------------------
+
+_RDFS2 = Rule(
+    "rdfs2",
+    body=[TP(V("p"), RDFS.domain, V("c")), TP(V("s"), V("p"), V("o"))],
+    head=TP(V("s"), RDF.type, V("c")),
+    description="domain typing: p rdfs:domain c AND s p o |- s rdf:type c",
+)
+
+_RDFS3 = Rule(
+    "rdfs3",
+    body=[TP(V("p"), RDFS.range, V("c")), TP(V("s"), V("p"), V("o"))],
+    head=TP(V("o"), RDF.type, V("c")),
+    description="range typing: p rdfs:range c AND s p o |- o rdf:type c",
+)
+
+_RDFS7 = Rule(
+    "rdfs7",
+    body=[TP(V("p1"), RDFS.subPropertyOf, V("p2")), TP(V("s"), V("p1"), V("o"))],
+    head=TP(V("s"), V("p2"), V("o")),
+    description="subproperty: p1 rdfs:subPropertyOf p2 AND s p1 o |- s p2 o",
+)
+
+_RDFS9 = Rule(
+    "rdfs9",
+    body=[TP(V("c1"), RDFS.subClassOf, V("c2")), TP(V("s"), RDF.type, V("c1"))],
+    head=TP(V("s"), RDF.type, V("c2")),
+    description="subclass: c1 rdfs:subClassOf c2 AND s rdf:type c1 |- s rdf:type c2",
+)
+
+#: Exactly the four immediate entailment rules shown in Figure 2.
+FIGURE2_RULES: Tuple[Rule, ...] = (_RDFS9, _RDFS7, _RDFS2, _RDFS3)
+
+# ----------------------------------------------------------------------
+# Schema-level transitivity (needed for a complete ρdf closure)
+# ----------------------------------------------------------------------
+
+_RDFS5 = Rule(
+    "rdfs5",
+    body=[TP(V("p1"), RDFS.subPropertyOf, V("p2")),
+          TP(V("p2"), RDFS.subPropertyOf, V("p3"))],
+    head=TP(V("p1"), RDFS.subPropertyOf, V("p3")),
+    description="subproperty transitivity",
+)
+
+_RDFS11 = Rule(
+    "rdfs11",
+    body=[TP(V("c1"), RDFS.subClassOf, V("c2")),
+          TP(V("c2"), RDFS.subClassOf, V("c3"))],
+    head=TP(V("c1"), RDFS.subClassOf, V("c3")),
+    description="subclass transitivity",
+)
+
+RHO_DF = RuleSet(
+    "rhodf",
+    (_RDFS5, _RDFS11) + FIGURE2_RULES,
+    description="ρdf core: Figure 2 instance rules + schema transitivity; "
+                "the fragment of [12] used for Figure 3's thresholds",
+)
+
+#: The library default.
+RDFS_DEFAULT = RuleSet("rdfs-default", RHO_DF.rules, RHO_DF.description)
+
+# ----------------------------------------------------------------------
+# Remaining standard RDFS rules
+# ----------------------------------------------------------------------
+
+_RDF1 = Rule(
+    "rdf1",
+    body=[TP(V("s"), V("p"), V("o"))],
+    head=TP(V("p"), RDF.type, RDF.Property),
+    description="every used property is an rdf:Property",
+)
+
+_RDFS4A = Rule(
+    "rdfs4a",
+    body=[TP(V("s"), V("p"), V("o"))],
+    head=TP(V("s"), RDF.type, RDFS.Resource),
+    description="every subject is an rdfs:Resource",
+)
+
+_RDFS4B = Rule(
+    "rdfs4b",
+    body=[TP(V("s"), V("p"), V("o"))],
+    head=TP(V("o"), RDF.type, RDFS.Resource),
+    description="every non-literal object is an rdfs:Resource",
+)
+
+_RDFS6 = Rule(
+    "rdfs6",
+    body=[TP(V("p"), RDF.type, RDF.Property)],
+    head=TP(V("p"), RDFS.subPropertyOf, V("p")),
+    description="property reflexivity",
+)
+
+_RDFS8 = Rule(
+    "rdfs8",
+    body=[TP(V("c"), RDF.type, RDFS.Class)],
+    head=TP(V("c"), RDFS.subClassOf, RDFS.Resource),
+    description="every class is a subclass of rdfs:Resource",
+)
+
+_RDFS10 = Rule(
+    "rdfs10",
+    body=[TP(V("c"), RDF.type, RDFS.Class)],
+    head=TP(V("c"), RDFS.subClassOf, V("c")),
+    description="class reflexivity",
+)
+
+_RDFS12 = Rule(
+    "rdfs12",
+    body=[TP(V("p"), RDF.type, RDFS.ContainerMembershipProperty)],
+    head=TP(V("p"), RDFS.subPropertyOf, RDFS.member),
+    description="container membership properties are sub-properties of rdfs:member",
+)
+
+_RDFS13 = Rule(
+    "rdfs13",
+    body=[TP(V("d"), RDF.type, RDFS.Datatype)],
+    head=TP(V("d"), RDFS.subClassOf, RDFS.Literal),
+    description="every datatype is a subclass of rdfs:Literal",
+)
+
+RDFS_FULL = RHO_DF.extend(
+    "rdfs-full",
+    (_RDF1, _RDFS4A, _RDFS4B, _RDFS6, _RDFS8, _RDFS10, _RDFS12, _RDFS13),
+    description="full standard RDFS rule set (minus the blank-node-"
+                "generating literal rules, outside the safe fragment)",
+)
+
+# ----------------------------------------------------------------------
+# RDFS-Plus: the OWL subset of AllegroGraph RDFS++ / Virtuoso (II-C)
+# ----------------------------------------------------------------------
+
+_OWL_INV1 = Rule(
+    "owl-inv1",
+    body=[TP(V("p"), OWL.inverseOf, V("q")), TP(V("s"), V("p"), V("o"))],
+    head=TP(V("o"), V("q"), V("s")),
+    description="inverse property, forward direction",
+)
+
+_OWL_INV2 = Rule(
+    "owl-inv2",
+    body=[TP(V("p"), OWL.inverseOf, V("q")), TP(V("s"), V("q"), V("o"))],
+    head=TP(V("o"), V("p"), V("s")),
+    description="inverse property, backward direction",
+)
+
+_OWL_SYM = Rule(
+    "owl-sym",
+    body=[TP(V("p"), RDF.type, OWL.SymmetricProperty), TP(V("s"), V("p"), V("o"))],
+    head=TP(V("o"), V("p"), V("s")),
+    description="symmetric property",
+)
+
+_OWL_TRANS = Rule(
+    "owl-trans",
+    body=[TP(V("p"), RDF.type, OWL.TransitiveProperty),
+          TP(V("x"), V("p"), V("y")), TP(V("y"), V("p"), V("z"))],
+    head=TP(V("x"), V("p"), V("z")),
+    description="transitive property",
+)
+
+_OWL_EQC1 = Rule(
+    "owl-eqc1",
+    body=[TP(V("c1"), OWL.equivalentClass, V("c2"))],
+    head=TP(V("c1"), RDFS.subClassOf, V("c2")),
+    description="equivalent classes are mutual subclasses (1)",
+)
+
+_OWL_EQC2 = Rule(
+    "owl-eqc2",
+    body=[TP(V("c1"), OWL.equivalentClass, V("c2"))],
+    head=TP(V("c2"), RDFS.subClassOf, V("c1")),
+    description="equivalent classes are mutual subclasses (2)",
+)
+
+_OWL_EQP1 = Rule(
+    "owl-eqp1",
+    body=[TP(V("p1"), OWL.equivalentProperty, V("p2"))],
+    head=TP(V("p1"), RDFS.subPropertyOf, V("p2")),
+    description="equivalent properties are mutual subproperties (1)",
+)
+
+_OWL_EQP2 = Rule(
+    "owl-eqp2",
+    body=[TP(V("p1"), OWL.equivalentProperty, V("p2"))],
+    head=TP(V("p2"), RDFS.subPropertyOf, V("p1")),
+    description="equivalent properties are mutual subproperties (2)",
+)
+
+_OWL_SAME_SYM = Rule(
+    "owl-same-sym",
+    body=[TP(V("x"), OWL.sameAs, V("y"))],
+    head=TP(V("y"), OWL.sameAs, V("x")),
+    description="sameAs symmetry",
+)
+
+_OWL_SAME_TRANS = Rule(
+    "owl-same-trans",
+    body=[TP(V("x"), OWL.sameAs, V("y")), TP(V("y"), OWL.sameAs, V("z"))],
+    head=TP(V("x"), OWL.sameAs, V("z")),
+    description="sameAs transitivity",
+)
+
+_OWL_SAME_S = Rule(
+    "owl-same-s",
+    body=[TP(V("x"), OWL.sameAs, V("y")), TP(V("x"), V("p"), V("o"))],
+    head=TP(V("y"), V("p"), V("o")),
+    description="sameAs substitution in subject position",
+)
+
+_OWL_SAME_O = Rule(
+    "owl-same-o",
+    body=[TP(V("x"), OWL.sameAs, V("y")), TP(V("s"), V("p"), V("x"))],
+    head=TP(V("s"), V("p"), V("y")),
+    description="sameAs substitution in object position",
+)
+
+_OWL_FP = Rule(
+    "owl-fp",
+    body=[TP(V("p"), RDF.type, OWL.FunctionalProperty),
+          TP(V("x"), V("p"), V("y")), TP(V("x"), V("p"), V("z"))],
+    head=TP(V("y"), OWL.sameAs, V("z")),
+    description="functional property: two values of one subject are the "
+                "same individual",
+)
+
+_OWL_IFP = Rule(
+    "owl-ifp",
+    body=[TP(V("p"), RDF.type, OWL.InverseFunctionalProperty),
+          TP(V("y"), V("p"), V("x")), TP(V("z"), V("p"), V("x"))],
+    head=TP(V("y"), OWL.sameAs, V("z")),
+    description="inverse-functional property: two subjects sharing a "
+                "value are the same individual",
+)
+
+RDFS_PLUS = RHO_DF.extend(
+    "rdfs-plus",
+    (_OWL_INV1, _OWL_INV2, _OWL_SYM, _OWL_TRANS,
+     _OWL_EQC1, _OWL_EQC2, _OWL_EQP1, _OWL_EQP2,
+     _OWL_SAME_SYM, _OWL_SAME_TRANS, _OWL_SAME_S, _OWL_SAME_O,
+     _OWL_FP, _OWL_IFP),
+    description="ρdf + the OWL subset of AllegroGraph RDFS++ / Virtuoso "
+                "(inverse/symmetric/transitive properties, equivalence, sameAs)",
+)
+
+#: Registry of the built-in rule sets, by name.
+RULESETS: Dict[str, RuleSet] = {
+    rs.name: rs for rs in (RHO_DF, RDFS_DEFAULT, RDFS_FULL, RDFS_PLUS)
+}
+
+
+def get_ruleset(name: str) -> RuleSet:
+    """Look up a built-in rule set by name.
+
+    >>> get_ruleset("rhodf").name
+    'rhodf'
+    """
+    try:
+        return RULESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(RULESETS))
+        raise KeyError(f"unknown rule set {name!r}; known: {known}") from None

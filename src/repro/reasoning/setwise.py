@@ -1,0 +1,217 @@
+"""Set-at-a-time in-memory saturation.
+
+Section II-D notes that "as memory sizes grow larger, in-memory RDFS
+reasoning is also attracting interest" [28].  In-memory engines change
+the evaluation style: instead of deriving triple-at-a-time like the
+semi-naive engine, they operate on whole *extensions* at once —
+the extension of every class (a set of encoded subjects) and of every
+property (a set of encoded pairs) — and push those sets through the
+schema DAG with set unions:
+
+* rdfs7: a property's pair-set is unioned into each superproperty's,
+  walking the subproperty DAG bottom-up (one union per edge);
+* rdfs2/rdfs3: each property's subject (object) projection is unioned
+  into its declared domains' (ranges') class extensions;
+* rdfs9: class extensions are unioned bottom-up along the subclass DAG.
+
+On hierarchies this does one set-union per schema edge instead of one
+index probe per instance triple, which is the wholesale/batch trade-off
+the ABL-SETWISE ablation measures.
+
+Like the schema-aware engine this is a ρdf fast path: the rule set is
+fixed and meta-schema graphs are rejected (callers fall back to the
+generic engine — :func:`repro.reasoning.saturation.saturate` handles
+the dispatch when asked for ``engine="set-at-a-time"``).
+
+Cyclic hierarchies are handled by condensing strongly connected
+components first: members of a cycle share one extension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF
+from ..rdf.terms import Literal, Term, URI
+from ..rdf.triples import Triple
+from ..schema import SCHEMA_PROPERTIES, Schema
+
+__all__ = ["setwise_closure"]
+
+
+def _condensed_topological_order(
+        nodes: Iterable[Term],
+        direct_supers: Dict[Term, FrozenSet[Term]]
+) -> Tuple[List[FrozenSet[Term]], Dict[Term, int]]:
+    """Condense the 'is-sub-of' graph into SCCs and order them so that
+    every component precedes the components it points *to* (its supers).
+
+    Returns the component list plus a node -> component-index map.
+    """
+    index_of: Dict[Term, int] = {}
+    low_of: Dict[Term, int] = {}
+    on_stack: Set[Term] = set()
+    stack: List[Term] = []
+    counter = [0]
+    components: List[FrozenSet[Term]] = []
+    component_of: Dict[Term, int] = {}
+
+    def strongconnect(root: Term) -> None:
+        work: List[Tuple[Term, List[Term]]] = [
+            (root, list(direct_supers.get(root, ())))]
+        index_of[root] = low_of[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            if successors:
+                successor = successors.pop()
+                if successor not in index_of:
+                    index_of[successor] = low_of[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor,
+                                 list(direct_supers.get(successor, ()))))
+                elif successor in on_stack:
+                    low_of[node] = min(low_of[node], index_of[successor])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low_of[parent] = min(low_of[parent], low_of[node])
+                if low_of[node] == index_of[node]:
+                    component: Set[Term] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    for member in component:
+                        component_of[member] = len(components)
+                    components.append(frozenset(component))
+
+    for node in nodes:
+        if node not in index_of:
+            strongconnect(node)
+    # Tarjan emits components in reverse topological order of the
+    # condensation (a component is emitted after everything it reaches);
+    # here edges point sub -> super, so emitted order = supers first.
+    # We want subs first (push extensions upward), i.e. reverse it.
+    order = list(reversed(range(len(components))))
+    reordered = [components[i] for i in order]
+    remap = {old: new for new, old in enumerate(order)}
+    component_of = {node: remap[i] for node, i in component_of.items()}
+    return reordered, component_of
+
+
+def setwise_closure(graph: Graph) -> Set[Triple]:
+    """All ρdf-entailed triples of ``graph`` (including the ones
+    already explicit), computed set-at-a-time.
+
+    The caller unions the result into the graph; this function does not
+    mutate its input.
+    """
+    schema = Schema.from_graph(graph)
+
+    # --- gather extensions ------------------------------------------------
+    class_members: Dict[Term, Set[Term]] = {}   # class -> subjects
+    property_pairs: Dict[Term, Set[Tuple[Term, Term]]] = {}
+
+    for triple in graph:
+        if triple.p == RDF.type:
+            class_members.setdefault(triple.o, set()).add(triple.s)
+        elif triple.p not in SCHEMA_PROPERTIES:
+            property_pairs.setdefault(triple.p, set()).add((triple.s, triple.o))
+
+    derived: Set[Triple] = set()
+
+    # --- schema closure (rdfs5 / rdfs11), including cycle reflexivity ----
+    for cls in schema.classes():
+        for superclass in schema.superclasses(cls):
+            derived.add(Triple(cls, _RDFS_SUBCLASS, superclass))  # type: ignore[arg-type]
+    for prop in schema.properties():
+        for superproperty in schema.superproperties(prop):
+            derived.add(Triple(prop, _RDFS_SUBPROPERTY, superproperty))  # type: ignore[arg-type]
+    for triple in schema.triples():
+        derived.add(triple)
+
+    # --- rdfs7: push pair-sets up the subproperty condensation ------------
+    prop_nodes = set(schema.properties()) | set(property_pairs)
+    prop_supers = {p: schema._sub_property.get(p, set())  # noqa: SLF001
+                   for p in prop_nodes}
+    prop_components, prop_component_of = _condensed_topological_order(
+        prop_nodes, {p: frozenset(s) for p, s in prop_supers.items()})
+
+    component_pairs: List[Set[Tuple[Term, Term]]] = [set() for __ in prop_components]
+    for prop, pairs in property_pairs.items():
+        component_pairs[prop_component_of[prop]] |= pairs
+    # push along condensation edges, subs first
+    for index, component in enumerate(prop_components):
+        pairs = component_pairs[index]
+        if not pairs:
+            continue
+        for member in component:
+            for superproperty in prop_supers.get(member, ()):
+                target = prop_component_of[superproperty]
+                if target != index:
+                    component_pairs[target] |= pairs
+
+    effective_pairs: Dict[Term, Set[Tuple[Term, Term]]] = {}
+    for index, component in enumerate(prop_components):
+        for member in component:
+            effective_pairs[member] = component_pairs[index]
+    for prop, pairs in effective_pairs.items():
+        if isinstance(prop, URI):
+            for s, o in pairs:
+                derived.add(Triple(s, prop, o))
+
+    # --- rdfs2 / rdfs3: project pair-sets into class extensions -----------
+    for prop in prop_nodes:
+        pairs = effective_pairs.get(prop, set())
+        if not pairs:
+            continue
+        for cls in schema.domains(prop):
+            class_members.setdefault(cls, set()).update(s for s, __ in pairs)
+        for cls in schema.ranges(prop):
+            class_members.setdefault(cls, set()).update(
+                o for __, o in pairs if not isinstance(o, Literal))
+
+    # --- rdfs9: push member-sets up the subclass condensation -------------
+    class_nodes = set(schema.classes()) | set(class_members)
+    class_supers = {c: schema._sub_class.get(c, set())  # noqa: SLF001
+                    for c in class_nodes}
+    class_components, class_component_of = _condensed_topological_order(
+        class_nodes, {c: frozenset(s) for c, s in class_supers.items()})
+
+    component_members: List[Set[Term]] = [set() for __ in class_components]
+    for cls, members in class_members.items():
+        component_members[class_component_of[cls]] |= members
+    for index, component in enumerate(class_components):
+        members = component_members[index]
+        if not members:
+            continue
+        for member_class in component:
+            for superclass in class_supers.get(member_class, ()):
+                target = class_component_of[superclass]
+                if target != index:
+                    component_members[target] |= members
+
+    for index, component in enumerate(class_components):
+        members = component_members[index]
+        for cls in component:
+            for subject in members:
+                if not isinstance(subject, Literal):
+                    derived.add(Triple(subject, RDF.type, cls))  # type: ignore[arg-type]
+
+    return derived
+
+
+# late-bound to avoid a circular import at module load
+from ..rdf.namespaces import RDFS as _RDFS_NS  # noqa: E402
+
+_RDFS_SUBCLASS = _RDFS_NS.subClassOf
+_RDFS_SUBPROPERTY = _RDFS_NS.subPropertyOf

@@ -1,0 +1,16 @@
+"""RDFS schema layer: the constraints of the paper's Figure 1.
+
+Provides the :class:`Schema` view of a graph's schema-level triples,
+with cached transitive closures and the inverse maps both reasoning
+directions (saturation and reformulation) rely on, plus diagnostics.
+"""
+
+from .schema import SCHEMA_PROPERTIES, Schema, is_schema_triple
+from .validation import (SchemaReport, hierarchy_depth,
+                         strongly_connected_components, validate_schema)
+
+__all__ = [
+    "Schema", "SCHEMA_PROPERTIES", "is_schema_triple",
+    "SchemaReport", "validate_schema", "hierarchy_depth",
+    "strongly_connected_components",
+]

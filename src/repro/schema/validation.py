@@ -1,0 +1,164 @@
+"""Schema diagnostics.
+
+RDFS constraints never make a graph inconsistent (the open-world
+interpretation of Figure 1 only ever *adds* tuples), so "validation"
+here means diagnostics that matter for the performance trade-off the
+paper studies, not rejection:
+
+* subclass / subproperty cycles — legal, but they make every member of
+  the cycle equivalent, which inflates both saturation output and
+  reformulation size;
+* terms used both as a class and as a property — legal in the RDF
+  fragment that "blurs the distinction between constants and
+  classes/properties" (Section II-B), worth surfacing;
+* hierarchy metrics (depth, fan-out) — the knobs that drive
+  reformulation blow-up, reported so workloads can be characterized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..rdf.terms import Term
+from .schema import Schema
+
+__all__ = ["SchemaReport", "validate_schema", "hierarchy_depth",
+           "strongly_connected_components"]
+
+
+@dataclass
+class SchemaReport:
+    """Diagnostics for a schema; see :func:`validate_schema`."""
+
+    class_cycles: List[FrozenSet[Term]] = field(default_factory=list)
+    property_cycles: List[FrozenSet[Term]] = field(default_factory=list)
+    dual_use_terms: FrozenSet[Term] = frozenset()
+    class_count: int = 0
+    property_count: int = 0
+    class_depth: int = 0
+    property_depth: int = 0
+    max_subclass_fanout: int = 0
+    max_subproperty_fanout: int = 0
+
+    @property
+    def has_cycles(self) -> bool:
+        return bool(self.class_cycles or self.property_cycles)
+
+    def summary(self) -> str:
+        lines = [
+            f"classes: {self.class_count} (hierarchy depth {self.class_depth}, "
+            f"max subclass fan-out {self.max_subclass_fanout})",
+            f"properties: {self.property_count} (hierarchy depth {self.property_depth}, "
+            f"max subproperty fan-out {self.max_subproperty_fanout})",
+        ]
+        if self.class_cycles:
+            lines.append(f"subclass cycles: {len(self.class_cycles)}")
+        if self.property_cycles:
+            lines.append(f"subproperty cycles: {len(self.property_cycles)}")
+        if self.dual_use_terms:
+            lines.append(f"terms used as both class and property: {len(self.dual_use_terms)}")
+        return "\n".join(lines)
+
+
+def strongly_connected_components(adjacency: Dict[Term, Set[Term]]) -> List[FrozenSet[Term]]:
+    """Tarjan's algorithm; returns only the non-trivial SCCs (cycles)."""
+    index_of: Dict[Term, int] = {}
+    low_of: Dict[Term, int] = {}
+    on_stack: Set[Term] = set()
+    stack: List[Term] = []
+    counter = [0]
+    cycles: List[FrozenSet[Term]] = []
+
+    nodes = set(adjacency)
+    for targets in adjacency.values():
+        nodes |= targets
+
+    def strongconnect(root: Term) -> None:
+        # Iterative Tarjan to avoid recursion limits on deep hierarchies.
+        work: List[Tuple[Term, List[Term]]] = [(root, list(adjacency.get(root, ())))]
+        index_of[root] = low_of[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            if successors:
+                successor = successors.pop()
+                if successor not in index_of:
+                    index_of[successor] = low_of[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, list(adjacency.get(successor, ()))))
+                elif successor in on_stack:
+                    low_of[node] = min(low_of[node], index_of[successor])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low_of[parent] = min(low_of[parent], low_of[node])
+                if low_of[node] == index_of[node]:
+                    component: Set[Term] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    is_self_loop = (len(component) == 1
+                                    and node in adjacency.get(node, ()))
+                    if len(component) > 1 or is_self_loop:
+                        cycles.append(frozenset(component))
+
+    for node in nodes:
+        if node not in index_of:
+            strongconnect(node)
+    return cycles
+
+
+def hierarchy_depth(adjacency: Dict[Term, Set[Term]]) -> int:
+    """Longest path length in a (possibly cyclic) 'is-sub-of' DAG.
+
+    Cycles contribute their size once (members are mutually equivalent).
+    """
+    memo: Dict[Term, int] = {}
+    visiting: Set[Term] = set()
+
+    def depth(node: Term) -> int:
+        if node in memo:
+            return memo[node]
+        if node in visiting:
+            return 0  # cycle: cut it off; equivalence adds no depth
+        visiting.add(node)
+        best = 0
+        for parent in adjacency.get(node, ()):
+            best = max(best, 1 + depth(parent))
+        visiting.discard(node)
+        memo[node] = best
+        return best
+
+    nodes = set(adjacency)
+    for targets in adjacency.values():
+        nodes |= targets
+    return max((depth(node) for node in nodes), default=0)
+
+
+def validate_schema(schema: Schema) -> SchemaReport:
+    """Compute the full diagnostic report for ``schema``."""
+    sub_class = schema._sub_class  # noqa: SLF001 - same package, read-only
+    sub_property = schema._sub_property  # noqa: SLF001
+
+    classes = schema.classes()
+    properties = schema.properties()
+    return SchemaReport(
+        class_cycles=strongly_connected_components(sub_class),
+        property_cycles=strongly_connected_components(sub_property),
+        dual_use_terms=classes & properties,
+        class_count=len(classes),
+        property_count=len(properties),
+        class_depth=hierarchy_depth(sub_class),
+        property_depth=hierarchy_depth(sub_property),
+        max_subclass_fanout=max((len(v) for v in schema._super_class.values()), default=0),  # noqa: SLF001
+        max_subproperty_fanout=max((len(v) for v in schema._super_property.values()), default=0),  # noqa: SLF001
+    )

@@ -1,0 +1,30 @@
+"""SPARQL BGP dialect: AST, parser, optimizer and evaluation.
+
+Implements the query side of the paper: basic graph pattern
+(conjunctive) queries, evaluated over a graph's explicit triples —
+the reasoning techniques (saturation / reformulation) decide *which*
+graph or *which* query gets evaluated.
+"""
+
+from .ast import BGPQuery, canonical_form
+from .bindings import ResultSet
+from .containment import find_homomorphism, is_contained_in, minimize_ucq
+from .evaluator import (evaluate, evaluate_ask, evaluate_bgp_bindings,
+                        evaluate_factorized, evaluate_reformulation,
+                        evaluate_ucq)
+from .optimizer import (PlanStep, estimate_cardinality, explain_plan,
+                        order_patterns)
+from .parser import SPARQLSyntaxError, parse_query
+from .union import UnionQuery
+from .update import UpdateOperation, parse_update
+
+__all__ = [
+    "BGPQuery", "canonical_form",
+    "ResultSet",
+    "evaluate", "evaluate_ask", "evaluate_bgp_bindings", "evaluate_ucq",
+    "find_homomorphism", "is_contained_in", "minimize_ucq",
+    "evaluate_factorized", "evaluate_reformulation",
+    "estimate_cardinality", "order_patterns", "explain_plan", "PlanStep",
+    "parse_query", "SPARQLSyntaxError", "UnionQuery",
+    "parse_update", "UpdateOperation",
+]

@@ -1,0 +1,117 @@
+"""Query results: ordered rows of term bindings.
+
+The paper defines the (complete) answer set of ``q`` against ``G`` as
+the *set* ``q(G∞)`` — set semantics over the distinguished variables.
+:class:`ResultSet` preserves arrival order for display but offers the
+set view used whenever answer sets are compared (e.g. the
+``qref(G) = q(G∞)`` correctness checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Term, Variable
+
+__all__ = ["ResultSet"]
+
+Row = Tuple[Term, ...]
+
+
+class ResultSet:
+    """The bindings of a query's distinguished variables."""
+
+    __slots__ = ("variables", "_rows", "_row_set", "distinct")
+
+    def __init__(self, variables: Sequence[Variable], distinct: bool = False):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self._rows: List[Row] = []
+        self._row_set: Set[Row] = set()
+        self.distinct = distinct
+
+    def add(self, row: Row) -> bool:
+        """Append a row; under ``distinct``, duplicates are dropped.
+
+        Returns True iff the row was appended.
+        """
+        if len(row) != len(self.variables):
+            raise ValueError(f"row arity {len(row)} != query arity {len(self.variables)}")
+        if self.distinct and row in self._row_set:
+            return False
+        self._rows.append(row)
+        self._row_set.add(row)
+        return True
+
+    def add_binding(self, binding: Dict[Variable, Term]) -> bool:
+        """Append the row obtained by projecting ``binding``."""
+        return self.add(tuple(binding[v] for v in self.variables))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._row_set
+
+    def __eq__(self, other) -> bool:
+        """Set-semantics equality (the paper's answer-set equality)."""
+        if isinstance(other, ResultSet):
+            return (self.variables == other.variables
+                    and self._row_set == other._row_set)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"<ResultSet {len(self._rows)} row(s) over "
+                f"({', '.join(str(v) for v in self.variables)})>")
+
+    def to_set(self) -> FrozenSet[Row]:
+        """The answer *set* (distinct rows)."""
+        return frozenset(self._row_set)
+
+    def rows(self) -> List[Row]:
+        return list(self._rows)
+
+    def bindings(self) -> Iterator[Dict[Variable, Term]]:
+        """Iterate rows as variable -> term dictionaries."""
+        for row in self._rows:
+            yield dict(zip(self.variables, row))
+
+    def project(self, variables: Sequence[Variable]) -> "ResultSet":
+        """A new result set keeping only ``variables`` (in that order)."""
+        positions = []
+        for variable in variables:
+            try:
+                positions.append(self.variables.index(variable))
+            except ValueError:
+                raise KeyError(f"variable {variable} not in result set") from None
+        projected = ResultSet(variables, distinct=self.distinct)
+        for row in self._rows:
+            projected.add(tuple(row[i] for i in positions))
+        return projected
+
+    def pretty(self, max_rows: Optional[int] = 20) -> str:
+        """A small fixed-width table for console output."""
+        header = [str(v) for v in self.variables]
+        shown = self._rows if max_rows is None else self._rows[:max_rows]
+        body = [[_short(term) for term in row] for row in shown]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [" | ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        hidden = len(self._rows) - len(shown)
+        if hidden > 0:
+            lines.append(f"... {hidden} more row(s)")
+        return "\n".join(lines)
+
+
+def _short(term: Term) -> str:
+    text = term.n3()
+    if len(text) > 40:
+        text = "..." + text[-37:]
+    return text

@@ -1,0 +1,132 @@
+"""Conjunctive-query containment and UCQ minimization.
+
+The reformulations of Section II-B are unions of conjunctive queries,
+and unions produced by exhaustive rewriting routinely contain
+redundant conjuncts — e.g. ``?x rdf:type Person`` subsumes
+``?x rdf:type Woman ∧ ?x rdf:type Person``.  Evaluating redundant
+conjuncts is pure waste, so production rewriters minimize the union.
+
+The classical tool is the homomorphism theorem (Chandra & Merlin):
+``q2 ⊆ q1`` iff there is a homomorphism from ``q1`` into ``q2`` that
+is the identity on the distinguished variables.  Containment is
+NP-complete in query size, which is fine: reformulation conjuncts have
+a handful of atoms.
+
+:func:`minimize_ucq` drops every conjunct contained in another — the
+evaluated union shrinks while the answer set provably stays the same
+(a property the test suite randomizes over).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..rdf.terms import PatternTerm, Variable
+from ..rdf.triples import TriplePattern
+from .ast import BGPQuery
+
+__all__ = ["find_homomorphism", "is_contained_in", "minimize_ucq"]
+
+Mapping = Dict[Variable, PatternTerm]
+
+
+def _map_term(term: PatternTerm, target: PatternTerm, frozen: frozenset,
+              mapping: Mapping) -> Optional[Mapping]:
+    """Extend ``mapping`` so that ``term`` maps to ``target``."""
+    if isinstance(term, Variable):
+        if term in frozen:
+            return mapping if target == term else None
+        bound = mapping.get(term)
+        if bound is None:
+            extended = dict(mapping)
+            extended[term] = target
+            return extended
+        return mapping if bound == target else None
+    return mapping if term == target else None
+
+
+def _map_atom(atom: TriplePattern, target: TriplePattern, frozen: frozenset,
+              mapping: Mapping) -> Optional[Mapping]:
+    current: Optional[Mapping] = mapping
+    for term, target_term in zip(atom, target):
+        if current is None:
+            return None
+        current = _map_term(term, target_term, frozen, current)
+    return current
+
+
+def find_homomorphism(source: BGPQuery,
+                      target: BGPQuery) -> Optional[Mapping]:
+    """A homomorphism from ``source``'s atoms into ``target``'s atoms,
+    identity on the distinguished variables; ``None`` if none exists.
+
+    Backtracking over atom assignments, most-constrained atom first.
+    """
+    if tuple(source.distinguished) != tuple(target.distinguished):
+        return None
+    frozen = frozenset(source.distinguished)
+
+    # order source atoms by how constrained they are (more constants /
+    # frozen variables first) to fail fast
+    def constrainedness(atom: TriplePattern) -> int:
+        score = 0
+        for term in atom:
+            if not isinstance(term, Variable) or term in frozen:
+                score += 1
+        return -score
+
+    atoms = sorted(source.patterns, key=constrainedness)
+    targets = list(target.patterns)
+
+    def search(index: int, mapping: Mapping) -> Optional[Mapping]:
+        if index == len(atoms):
+            return mapping
+        for candidate in targets:
+            extended = _map_atom(atoms[index], candidate, frozen, mapping)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, {})
+
+
+def is_contained_in(sub: BGPQuery, sup: BGPQuery) -> bool:
+    """``sub ⊆ sup``: every answer of ``sub`` is an answer of ``sup``
+    on every graph (Chandra–Merlin: homomorphism from sup into sub).
+
+    Conjuncts carrying *presets* (reformulation-bound constants) are
+    comparable only when the presets agree — differing presets produce
+    different answer columns.
+    """
+    if sub.preset != sup.preset:
+        return False
+    return find_homomorphism(sup, sub) is not None
+
+
+def minimize_ucq(conjuncts: Sequence[BGPQuery]) -> List[BGPQuery]:
+    """Remove every conjunct contained in another one.
+
+    Keeps the first of two equivalent conjuncts (mutual containment),
+    so the result is deterministic for a deterministic input order.
+    The union's answer set is unchanged on every graph.
+    """
+    kept: List[BGPQuery] = []
+    items = list(conjuncts)
+    for i, candidate in enumerate(items):
+        redundant = False
+        for j, other in enumerate(items):
+            if i == j:
+                continue
+            if not is_contained_in(candidate, other):
+                continue
+            # candidate ⊆ other: drop it — unless they are mutually
+            # contained (equivalent) and candidate comes first
+            if is_contained_in(other, candidate) and i < j:
+                continue
+            redundant = True
+            break
+        if not redundant:
+            kept.append(candidate)
+    return kept

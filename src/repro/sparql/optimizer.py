@@ -1,0 +1,118 @@
+"""Join ordering for BGP evaluation.
+
+BGPs are evaluated as a left-deep chain of index nested-loop joins
+over the graph's triple indexes; the order of the atoms dominates
+cost.  The optimizer is the classic greedy, selectivity-driven one
+used by RDF engines such as RDF-3X [23]: repeatedly pick the cheapest
+next atom given which variables the atoms chosen so far have bound.
+
+Cardinalities for constant positions are *exact* (the index maintains
+counts); a variable position already bound by earlier atoms is
+credited a fixed selectivity factor, since its actual binding is
+unknown at planning time.  The ABL-JOIN ablation benchmarks this
+optimizer against the naive textual order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+
+__all__ = ["estimate_cardinality", "order_patterns", "explain_plan",
+           "PlanStep", "BOUND_VARIABLE_SELECTIVITY"]
+
+#: Credit applied per variable position that earlier joins have bound.
+BOUND_VARIABLE_SELECTIVITY = 0.1
+
+
+def estimate_cardinality(graph: Graph, pattern: TriplePattern,
+                         bound: FrozenSet[Variable] = frozenset()) -> float:
+    """Estimated number of rows produced by scanning ``pattern``.
+
+    Exact for the constant positions; each position holding an
+    already-bound variable scales the estimate by
+    :data:`BOUND_VARIABLE_SELECTIVITY`.
+    """
+    constants = [None if isinstance(term, Variable) else term
+                 for term in pattern]
+    base = float(graph.count(*constants))
+    for term in pattern:
+        if isinstance(term, Variable) and term in bound:
+            base *= BOUND_VARIABLE_SELECTIVITY
+    return base
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of an explained join plan."""
+
+    position: int                 # 1-based step number
+    pattern: TriplePattern
+    estimate: float               # estimated rows at planning time
+    bound_before: FrozenSet[Variable]
+
+    def describe(self) -> str:
+        bound = ", ".join(sorted(str(v) for v in self.bound_before)) or "-"
+        return (f"{self.position}. scan {self.pattern.n3().rstrip(' .')} "
+                f"(est. {self.estimate:.1f} rows; bound: {bound})")
+
+
+def explain_plan(graph: Graph, query) -> List[PlanStep]:
+    """The join plan the evaluator would run for ``query``, with the
+    optimizer's estimates — an EXPLAIN for BGPs.
+
+    >>> # steps = explain_plan(graph, parse_query("SELECT ..."))
+    >>> # print("\\n".join(s.describe() for s in steps))
+    """
+    patterns = list(query.patterns)
+    order = order_patterns(graph, patterns)
+    steps: List[PlanStep] = []
+    bound: Set[Variable] = set()
+    for position, index in enumerate(order, start=1):
+        pattern = patterns[index]
+        steps.append(PlanStep(
+            position=position,
+            pattern=pattern,
+            estimate=estimate_cardinality(graph, pattern, frozenset(bound)),
+            bound_before=frozenset(bound),
+        ))
+        bound |= pattern.variables()
+    return steps
+
+
+def order_patterns(graph: Graph, patterns: Sequence[TriplePattern],
+                   pre_bound: Iterable[Variable] = ()) -> List[int]:
+    """Greedy join order; returns atom *indices* in evaluation order.
+
+    Ties prefer atoms connected to the already-bound variables (to
+    avoid Cartesian products) and then the original order, keeping
+    plans deterministic.
+    """
+    remaining = list(range(len(patterns)))
+    bound: Set[Variable] = set(pre_bound)
+    order: List[int] = []
+    while remaining:
+        best_index = None
+        best_key: Tuple[float, int, int] = (float("inf"), 2, 0)
+        for index in remaining:
+            pattern = patterns[index]
+            variables = pattern.variables()
+            connected = 0 if (not order) or (variables & bound) or not variables else 1
+            estimate = estimate_cardinality(graph, pattern, frozenset(bound))
+            key = (estimate, connected, index)
+            # `connected` dominating `estimate` would also be defensible;
+            # RDF-3X-style planners weigh cardinality first, which a
+            # Cartesian-product penalty approximates here:
+            if connected:
+                key = (estimate * 1e6, connected, index)
+            if key < best_key:
+                best_key, best_index = key, index
+        assert best_index is not None
+        order.append(best_index)
+        bound |= patterns[best_index].variables()
+        remaining.remove(best_index)
+    return order

@@ -1,0 +1,325 @@
+"""Parser for the SPARQL BGP (conjunctive) query dialect.
+
+Supported grammar — the dialect of Section II-A:
+
+.. code-block:: text
+
+    query    := prefix* select
+    prefix   := 'PREFIX' PNAME ':' IRIREF
+    select   := 'SELECT' 'DISTINCT'? ('*' | var+) 'WHERE' '{' triples '}'
+                ('LIMIT' INT)?
+    triples  := block (('.' | ';' | ',') ...)   -- Turtle-style shortcuts
+
+Terms: IRIs (``<...>``), prefixed names (``foaf:knows``), the ``a``
+keyword, variables (``?x`` / ``$x``), literals (plain, ``@lang``,
+``^^datatype``, bare numbers/booleans) and blank nodes (``_:b``),
+which — per the SPARQL semantics of BGPs — act as non-distinguished
+variables and are parsed as such.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.namespaces import NamespaceManager, RDF, XSD
+from ..rdf.ntriples import _unescape
+from ..rdf.terms import Literal, PatternTerm, URI, Variable
+from ..rdf.triples import TriplePattern
+from .ast import BGPQuery
+
+__all__ = ["parse_query", "SPARQLSyntaxError"]
+
+
+class SPARQLSyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>\#[^\n]*)
+    | (?P<uri><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^(?:<[^<>]*>|[A-Za-z][\w.-]*:[\w.-]*)|@[A-Za-z]+(?:-[A-Za-z0-9]+)*)?)
+    | (?P<var>[?$][A-Za-z_][\w]*)
+    | (?P<blank>_:[A-Za-z0-9][A-Za-z0-9._-]*)
+    | (?P<number>[+-]?\d+\.\d+|[+-]?\d+)
+    | (?P<keyword>(?i:PREFIX|SELECT|DISTINCT|WHERE|LIMIT|ASK|UNION)\b)
+    | (?P<boolean>\btrue\b|\bfalse\b)
+    | (?P<pname>[A-Za-z][\w.-]*:[\w.-]*|:[\w.-]+|[A-Za-z][\w.-]*:)
+    | (?P<kw_a>\ba\b)
+    | (?P<star>\*)
+    | (?P<punct>[{}.;,])
+    | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position:position + 30]
+            raise SPARQLSyntaxError(
+                f"unexpected input at offset {position}: {snippet!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, namespaces: Optional[NamespaceManager]):
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.namespaces = (namespaces.copy() if namespaces is not None
+                           else NamespaceManager())
+        self._blank_vars: Dict[str, Variable] = {}
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SPARQLSyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        kind, value = self.next()
+        if kind != "keyword" or value.upper() != keyword:
+            raise SPARQLSyntaxError(f"expected {keyword}, got {value!r}")
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return (token is not None and token[0] == "keyword"
+                and token[1].upper() == keyword)
+
+    def expect_punct(self, value: str) -> None:
+        kind, got = self.next()
+        if kind != "punct" or got != value:
+            raise SPARQLSyntaxError(f"expected {value!r}, got {got!r}")
+
+    # -- grammar --------------------------------------------------------
+
+    def query(self) -> BGPQuery:
+        while self.at_keyword("PREFIX"):
+            self.next()
+            kind, prefix_token = self.next()
+            if kind != "pname":
+                raise SPARQLSyntaxError(
+                    f"expected a prefix name after PREFIX, got {prefix_token!r}")
+            kind, uri_token = self.next()
+            if kind != "uri":
+                raise SPARQLSyntaxError(
+                    f"expected an IRI after PREFIX {prefix_token}, got {uri_token!r}")
+            self.namespaces.bind(prefix_token.rstrip(":"), uri_token[1:-1])
+
+        if self.at_keyword("ASK"):
+            # ASK { ... }: a boolean query — all variables existential,
+            # one witness binding suffices.  WHERE is optional per the
+            # SPARQL grammar.
+            self.next()
+            if self.at_keyword("WHERE"):
+                self.next()
+            self.expect_punct("{")
+            patterns = self.triples_block()
+            self.expect_punct("}")
+            trailing = self.peek()
+            if trailing is not None:
+                raise SPARQLSyntaxError(
+                    f"unexpected trailing input: {trailing[1]!r}")
+            if not patterns:
+                raise SPARQLSyntaxError("empty ASK block")
+            try:
+                return BGPQuery(patterns, limit=1)
+            except ValueError as error:
+                raise SPARQLSyntaxError(str(error)) from None
+
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.next()
+            distinct = True
+
+        projection: Optional[List[Variable]] = None
+        token = self.peek()
+        if token is not None and token[0] == "star":
+            self.next()
+        else:
+            projection = []
+            while True:
+                token = self.peek()
+                if token is None or token[0] != "var":
+                    break
+                self.next()
+                projection.append(Variable(token[1]))
+            if not projection:
+                raise SPARQLSyntaxError("SELECT needs '*' or at least one variable")
+
+        self.expect_keyword("WHERE")
+        self.expect_punct("{")
+
+        # `{ BGP } UNION { BGP } ...` -> a union query; plain triples
+        # -> an ordinary BGP
+        union_groups: Optional[List[List[TriplePattern]]] = None
+        token = self.peek()
+        if token is not None and token == ("punct", "{"):
+            union_groups = [self.braced_block()]
+            while self.at_keyword("UNION"):
+                self.next()
+                union_groups.append(self.braced_block())
+            self.expect_punct("}")
+            patterns = []
+        else:
+            patterns = self.triples_block()
+            self.expect_punct("}")
+
+        limit: Optional[int] = None
+        if self.at_keyword("LIMIT"):
+            self.next()
+            kind, value = self.next()
+            if kind != "number" or "." in value:
+                raise SPARQLSyntaxError(f"expected an integer after LIMIT, got {value!r}")
+            limit = int(value)
+
+        trailing = self.peek()
+        if trailing is not None:
+            raise SPARQLSyntaxError(f"unexpected trailing input: {trailing[1]!r}")
+
+        if union_groups is not None:
+            from .union import UnionQuery
+
+            if any(not group for group in union_groups):
+                raise SPARQLSyntaxError("empty group in UNION")
+            try:
+                branches = [BGPQuery(group) for group in union_groups]
+                return UnionQuery(branches, projection, distinct=distinct,
+                                  limit=limit)
+            except ValueError as error:
+                raise SPARQLSyntaxError(str(error)) from None
+
+        if not patterns:
+            raise SPARQLSyntaxError("empty WHERE clause")
+        try:
+            return BGPQuery(patterns, projection, distinct=distinct, limit=limit)
+        except ValueError as error:
+            raise SPARQLSyntaxError(str(error)) from None
+
+    def braced_block(self) -> List[TriplePattern]:
+        self.expect_punct("{")
+        patterns = self.triples_block()
+        self.expect_punct("}")
+        return patterns
+
+    def triples_block(self) -> List[TriplePattern]:
+        patterns: List[TriplePattern] = []
+        while True:
+            token = self.peek()
+            if token is None or (token[0] == "punct" and token[1] == "}"):
+                return patterns
+            subject = self.term(position="subject")
+            while True:
+                prop = self.term(position="property")
+                while True:
+                    obj = self.term(position="object")
+                    patterns.append(TriplePattern(subject, prop, obj))
+                    token = self.peek()
+                    if token is not None and token == ("punct", ","):
+                        self.next()
+                        continue
+                    break
+                token = self.peek()
+                if token is not None and token == ("punct", ";"):
+                    self.next()
+                    after = self.peek()
+                    if after is not None and after[0] == "punct" and after[1] in ".}":
+                        break
+                    continue
+                break
+            token = self.peek()
+            if token is not None and token == ("punct", "."):
+                self.next()
+
+    def term(self, position: str) -> PatternTerm:
+        kind, value = self.next()
+        if kind == "var":
+            return Variable(value)
+        if kind == "uri":
+            return URI(_unescape(value[1:-1]))
+        if kind == "pname":
+            try:
+                return self.namespaces.expand(value)
+            except KeyError as error:
+                raise SPARQLSyntaxError(str(error)) from None
+        if kind == "kw_a":
+            if position != "property":
+                raise SPARQLSyntaxError("'a' keyword only allowed as a property")
+            return RDF.type
+        if kind == "blank":
+            label = value[2:]
+            variable = self._blank_vars.get(label)
+            if variable is None:
+                variable = Variable(f"_bnode_{label}")
+                self._blank_vars[label] = variable
+            return variable
+        if kind == "literal":
+            if position != "object":
+                raise SPARQLSyntaxError("literal only allowed in object position")
+            return self._literal(value)
+        if kind == "number":
+            if position != "object":
+                raise SPARQLSyntaxError("numeric literal only allowed in object position")
+            datatype = XSD.decimal if "." in value else XSD.integer
+            return Literal(value, datatype=datatype)
+        if kind == "boolean":
+            if position != "object":
+                raise SPARQLSyntaxError("boolean literal only allowed in object position")
+            return Literal(value, datatype=XSD.boolean)
+        raise SPARQLSyntaxError(f"unexpected token {value!r} in {position} position")
+
+    def _literal(self, token: str) -> Literal:
+        index = 1
+        while index < len(token):
+            if token[index] == "\\":
+                index += 2
+                continue
+            if token[index] == '"':
+                break
+            index += 1
+        lexical = _unescape(token[1:index])
+        suffix = token[index + 1:]
+        if suffix.startswith("^^"):
+            datatype_token = suffix[2:]
+            if datatype_token.startswith("<"):
+                return Literal(lexical, datatype=URI(datatype_token[1:-1]))
+            try:
+                return Literal(lexical, datatype=self.namespaces.expand(datatype_token))
+            except KeyError as error:
+                raise SPARQLSyntaxError(str(error)) from None
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+
+
+def parse_query(text: str, namespaces: Optional[NamespaceManager] = None):
+    """Parse SPARQL text into a :class:`BGPQuery` — or a
+    :class:`~repro.sparql.union.UnionQuery` when the WHERE clause is a
+    ``{ … } UNION { … }`` of groups.
+
+    ``namespaces`` provides extra prefix bindings (e.g. a graph's);
+    the standard prefixes (rdf, rdfs, xsd, owl) are always available.
+
+    >>> q = parse_query("SELECT ?x WHERE { ?x a <http://example.org/Person> }")
+    >>> q.arity()
+    1
+    """
+    return _Parser(text, namespaces).query()

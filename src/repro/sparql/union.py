@@ -1,0 +1,118 @@
+"""Union queries: SELECT over ``{ … } UNION { … }`` groups.
+
+Reformulation turns a BGP into a *union* of BGPs, so the union is the
+natural closure of the paper's dialect: this module makes it a
+first-class query form users can pose directly (and that the engine
+can answer under every strategy).
+
+A :class:`UnionQuery` is a non-empty sequence of branch BGPs sharing
+one projection; its answer set is the set-union of the branches'
+answer sets.  Every projected variable must be bound by every branch
+(the engine's results are total rows — SPARQL's unbound columns are
+out of scope, like the rest of non-BGP SPARQL).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..rdf.terms import Variable
+from .ast import BGPQuery
+from .bindings import ResultSet
+
+__all__ = ["UnionQuery"]
+
+
+class UnionQuery:
+    """An immutable union of conjunctive queries with one projection."""
+
+    __slots__ = ("branches", "distinguished", "distinct", "limit", "_hash")
+
+    def __init__(self, branches: Sequence[BGPQuery],
+                 distinguished: Optional[Sequence[Variable]] = None,
+                 distinct: bool = True,
+                 limit: Optional[int] = None):
+        branch_tuple = tuple(branches)
+        if not branch_tuple:
+            raise ValueError("a union query needs at least one branch")
+        if distinguished is None:
+            # default projection: variables every branch binds, in the
+            # first branch's first-appearance order
+            common = set(branch_tuple[0].variables())
+            for branch in branch_tuple[1:]:
+                common &= branch.variables()
+            ordered: List[Variable] = []
+            for pattern in branch_tuple[0].patterns:
+                for term in pattern:
+                    if isinstance(term, Variable) and term in common \
+                            and term not in ordered:
+                        ordered.append(term)
+            distinguished_tuple = tuple(ordered)
+            if not distinguished_tuple:
+                raise ValueError("the branches share no variable; give an "
+                                 "explicit projection")
+        else:
+            distinguished_tuple = tuple(distinguished)
+            for index, branch in enumerate(branch_tuple):
+                bound = branch.variables() | set(branch.preset)
+                missing = set(distinguished_tuple) - bound
+                if missing:
+                    names = ", ".join(sorted(str(v) for v in missing))
+                    raise ValueError(
+                        f"branch {index + 1} does not bind {names}")
+        # re-project each branch onto the shared head
+        projected = tuple(
+            BGPQuery(branch.patterns, distinguished_tuple, branch.preset,
+                     distinct=False, limit=None)
+            for branch in branch_tuple
+        )
+        object.__setattr__(self, "branches", projected)
+        object.__setattr__(self, "distinguished", distinguished_tuple)
+        object.__setattr__(self, "distinct", distinct)
+        object.__setattr__(self, "limit", limit)
+        object.__setattr__(self, "_hash",
+                           hash((projected, distinguished_tuple, distinct,
+                                 limit)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("UnionQuery is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, UnionQuery)
+                and other.branches == self.branches
+                and other.distinguished == self.distinguished
+                and other.distinct == self.distinct
+                and other.limit == self.limit)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<UnionQuery {len(self.branches)} branch(es)>"
+
+    def arity(self) -> int:
+        return len(self.distinguished)
+
+    def to_sparql(self) -> str:
+        head = " ".join(str(v) for v in self.distinguished)
+        distinct = "DISTINCT " if self.distinct else ""
+        groups = " UNION ".join(
+            "{ " + " ".join(p.n3() for p in branch.patterns) + " }"
+            for branch in self.branches
+        )
+        text = f"SELECT {distinct}{head} WHERE {{ {groups} }}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+    def evaluate(self, graph, optimize: bool = True) -> ResultSet:
+        """Set-union of the branches' answers over ``graph``."""
+        from .evaluator import evaluate
+
+        results = ResultSet(self.distinguished, distinct=True)
+        for branch in self.branches:
+            for row in evaluate(graph, branch, optimize):
+                results.add(row)
+                if self.limit is not None and len(results) >= self.limit:
+                    return results
+        return results

@@ -1,0 +1,128 @@
+"""SPARQL Update (ground subset): ``INSERT DATA`` / ``DELETE DATA``.
+
+The paper's performance story revolves around updates — Figure 3 has
+four update-kind thresholds — so the facade deserves an update
+*language*, not just a Python API.  The supported subset is the ground
+one (``INSERT DATA`` and ``DELETE DATA`` with concrete triples, no
+WHERE templates), which is exactly the update model of [12]: explicit
+triples arrive and leave; the reasoning layer deals with consequences.
+
+Multiple operations may appear in one request, separated by ``;``,
+and execute in order:
+
+.. code-block:: sparql
+
+    PREFIX ex: <http://example.org/>
+    DELETE DATA { ex:tom a ex:Kitten } ;
+    INSERT DATA { ex:tom a ex:Cat . ex:Cat rdfs:subClassOf ex:Mammal }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..rdf.namespaces import NamespaceManager
+from ..rdf.terms import Variable
+from ..rdf.triples import Triple
+from .parser import SPARQLSyntaxError, _Parser
+
+__all__ = ["UpdateOperation", "parse_update"]
+
+_KEYWORD_RE = re.compile(r"(?i:\b(INSERT|DELETE)\s+DATA\b)")
+
+
+@dataclass(frozen=True)
+class UpdateOperation:
+    """One ground update: ``kind`` is ``"insert"`` or ``"delete"``."""
+
+    kind: str
+    triples: Tuple[Triple, ...]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+class _UpdateParser(_Parser):
+    """Reuses the query tokenizer/term machinery for update requests."""
+
+    def parse(self) -> List[UpdateOperation]:
+        operations: List[UpdateOperation] = []
+        while self.at_keyword("PREFIX"):
+            self.next()
+            kind, prefix_token = self.next()
+            if kind != "pname":
+                raise SPARQLSyntaxError(
+                    f"expected a prefix name after PREFIX, got {prefix_token!r}")
+            kind, uri_token = self.next()
+            if kind != "uri":
+                raise SPARQLSyntaxError(
+                    f"expected an IRI after PREFIX, got {uri_token!r}")
+            self.namespaces.bind(prefix_token.rstrip(":"), uri_token[1:-1])
+
+        while self.peek() is not None:
+            operations.append(self.operation())
+            token = self.peek()
+            if token == ("punct", ";"):
+                self.next()
+        if not operations:
+            raise SPARQLSyntaxError("empty update request")
+        return operations
+
+    def operation(self) -> UpdateOperation:
+        kind_token = self.next()
+        if kind_token[0] != "update_kw":
+            raise SPARQLSyntaxError(
+                f"expected INSERT DATA or DELETE DATA, got {kind_token[1]!r}")
+        kind = "insert" if kind_token[1].upper().startswith("INSERT") \
+            else "delete"
+        self.expect_punct("{")
+        patterns = self.triples_block()
+        self.expect_punct("}")
+        if not patterns:
+            raise SPARQLSyntaxError(f"empty {kind.upper()} DATA block")
+        triples: List[Triple] = []
+        for pattern in patterns:
+            if not pattern.is_ground() or any(
+                    isinstance(term, Variable) for term in pattern):
+                raise SPARQLSyntaxError(
+                    f"{kind.upper()} DATA requires ground triples, got "
+                    f"{pattern.n3()}")
+            triples.append(pattern.to_triple())
+        return UpdateOperation(kind, tuple(triples))
+
+
+def _tokenize_update(text: str):
+    """Pre-pass: collapse 'INSERT DATA'/'DELETE DATA' into one token so
+    the shared tokenizer needs no new keyword states."""
+    pieces = []
+    position = 0
+    for match in _KEYWORD_RE.finditer(text):
+        pieces.append(("text", text[position:match.start()]))
+        pieces.append(("kw", match.group(0)))
+        position = match.end()
+    pieces.append(("text", text[position:]))
+    return pieces
+
+
+def parse_update(text: str,
+                 namespaces: Optional[NamespaceManager] = None
+                 ) -> List[UpdateOperation]:
+    """Parse an update request into its ordered operations."""
+    parser = _UpdateParser.__new__(_UpdateParser)
+    # tokenize around the two-word keywords, then stitch token streams
+    tokens = []
+    from .parser import _tokenize
+
+    for kind, piece in _tokenize_update(text):
+        if kind == "kw":
+            tokens.append(("update_kw", piece))
+        elif piece.strip():
+            tokens.extend(_tokenize(piece))
+    parser.tokens = tokens
+    parser.position = 0
+    parser.namespaces = (namespaces.copy() if namespaces is not None
+                         else NamespaceManager())
+    parser._blank_vars = {}
+    return parser.parse()

@@ -1,0 +1,21 @@
+"""Workload generators: LUBM-style data, queries Q1–Q10, random graphs
+and the four update kinds of Figure 3."""
+
+from .lubm import (LUBMConfig, UNIV, generate_lubm, lubm_schema,
+                   lubm_schema_graph)
+from .queries import WORKLOAD_QUERIES, query_ids, workload_query
+from .social import SOCIAL, SocialConfig, generate_social, social_schema
+from .random_graph import (RANDOM, RandomGraphConfig, random_graph,
+                           random_instance_triple, random_query)
+from .updates import (UpdateBatch, instance_deletions, instance_insertions,
+                      schema_deletions, schema_insertions)
+
+__all__ = [
+    "LUBMConfig", "UNIV", "generate_lubm", "lubm_schema", "lubm_schema_graph",
+    "WORKLOAD_QUERIES", "workload_query", "query_ids",
+    "RandomGraphConfig", "RANDOM", "random_graph", "random_query",
+    "SOCIAL", "SocialConfig", "generate_social", "social_schema",
+    "random_instance_triple",
+    "UpdateBatch", "instance_insertions", "instance_deletions",
+    "schema_insertions", "schema_deletions",
+]

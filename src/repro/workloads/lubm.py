@@ -1,0 +1,296 @@
+"""A deterministic LUBM-style university workload generator.
+
+The experiments behind the paper's Figure 3 (from [12]) ran on
+LUBM-derived and DBpedia datasets.  Neither is shipped here, so this
+module generates a structurally faithful substitute: the classic
+university domain with
+
+* a class hierarchy 4–5 levels deep (FullProfessor ⊑ Professor ⊑
+  Faculty ⊑ Employee ⊑ Person, …),
+* a property hierarchy (headOf ⊑ worksFor ⊑ memberOf;
+  doctoralDegreeFrom ⊑ degreeFrom, …) with domains and ranges,
+* instance data that — like the original LUBM — asserts only the
+  *most specific* class and property for each resource, so that almost
+  every query answer depends on reasoning.
+
+Generation is seeded and deterministic: the same
+:class:`LUBMConfig` always produces the identical graph, making
+benchmark runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF, RDFS, XSD
+from ..rdf.terms import Literal, URI
+from ..rdf.triples import Triple
+
+__all__ = ["UNIV", "LUBMConfig", "lubm_schema", "generate_lubm",
+           "lubm_schema_graph"]
+
+#: Namespace of the university vocabulary and generated individuals.
+UNIV = Namespace("http://repro.example.org/univ#")
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+
+_SUBCLASS_EDGES: Tuple[Tuple[str, str], ...] = (
+    # people
+    ("Employee", "Person"),
+    ("Faculty", "Employee"),
+    ("Professor", "Faculty"),
+    ("FullProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("AssistantProfessor", "Professor"),
+    ("VisitingProfessor", "Professor"),
+    ("Chair", "Professor"),
+    ("Dean", "Professor"),
+    ("Lecturer", "Faculty"),
+    ("PostDoc", "Faculty"),
+    ("AdministrativeStaff", "Employee"),
+    ("ClericalStaff", "AdministrativeStaff"),
+    ("SystemsStaff", "AdministrativeStaff"),
+    ("Student", "Person"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    ("ResearchAssistant", "Student"),
+    ("TeachingAssistant", "Person"),
+    # organizations
+    ("University", "Organization"),
+    ("Department", "Organization"),
+    ("ResearchGroup", "Organization"),
+    ("Institute", "Organization"),
+    ("College", "Organization"),
+    # work
+    ("Course", "Work"),
+    ("GraduateCourse", "Course"),
+    ("Research", "Work"),
+    # publications
+    ("Article", "Publication"),
+    ("ConferencePaper", "Article"),
+    ("JournalArticle", "Article"),
+    ("TechnicalReport", "Article"),
+    ("Book", "Publication"),
+    ("Software", "Publication"),
+)
+
+_SUBPROPERTY_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("worksFor", "memberOf"),
+    ("headOf", "worksFor"),
+    ("undergraduateDegreeFrom", "degreeFrom"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("doctoralDegreeFrom", "degreeFrom"),
+    ("teachingAssistantOf", "assistsWith"),
+)
+
+_DOMAINS: Tuple[Tuple[str, str], ...] = (
+    ("memberOf", "Person"),
+    ("degreeFrom", "Person"),
+    ("advisor", "Person"),
+    ("teacherOf", "Faculty"),
+    ("takesCourse", "Student"),
+    ("assistsWith", "Person"),
+    ("publicationAuthor", "Publication"),
+    ("subOrganizationOf", "Organization"),
+    ("researchInterest", "Person"),
+    ("name", "Person"),
+    ("emailAddress", "Person"),
+    ("age", "Person"),
+)
+
+_RANGES: Tuple[Tuple[str, str], ...] = (
+    ("memberOf", "Organization"),
+    ("degreeFrom", "University"),
+    ("advisor", "Professor"),
+    ("teacherOf", "Course"),
+    ("takesCourse", "Course"),
+    ("assistsWith", "Course"),
+    ("publicationAuthor", "Person"),
+    ("subOrganizationOf", "Organization"),
+)
+
+
+def lubm_schema() -> List[Triple]:
+    """The RDFS schema triples of the university vocabulary."""
+    triples: List[Triple] = []
+    for sub, sup in _SUBCLASS_EDGES:
+        triples.append(Triple(UNIV.term(sub), RDFS.subClassOf, UNIV.term(sup)))
+    for sub, sup in _SUBPROPERTY_EDGES:
+        triples.append(Triple(UNIV.term(sub), RDFS.subPropertyOf, UNIV.term(sup)))
+    for prop, cls in _DOMAINS:
+        triples.append(Triple(UNIV.term(prop), RDFS.domain, UNIV.term(cls)))
+    for prop, cls in _RANGES:
+        triples.append(Triple(UNIV.term(prop), RDFS.range, UNIV.term(cls)))
+    return triples
+
+
+def lubm_schema_graph() -> Graph:
+    """The schema alone, as a graph."""
+    graph = Graph()
+    graph.namespaces.bind("univ", UNIV)
+    graph.update(lubm_schema())
+    return graph
+
+
+# ----------------------------------------------------------------------
+# instance generation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LUBMConfig:
+    """Size knobs for the generator.
+
+    With the defaults, one university yields roughly 6–7 thousand
+    triples; scale via ``universities`` and ``departments``.
+    """
+
+    universities: int = 1
+    departments: int = 3          # per university
+    full_professors: int = 7      # per department, and so on:
+    associate_professors: int = 6
+    assistant_professors: int = 5
+    lecturers: int = 4
+    undergraduate_students: int = 60
+    graduate_students: int = 18
+    courses: int = 20
+    graduate_courses: int = 8
+    research_groups: int = 4
+    publications_per_faculty: int = 3
+    courses_per_student: int = 2
+    seed: int = 20150413          # ICDE 2015's opening day
+
+    def scaled(self, factor: float) -> "LUBMConfig":
+        """A config with per-department population scaled by ``factor``."""
+        def scale(n: int) -> int:
+            return max(1, round(n * factor))
+
+        return LUBMConfig(
+            universities=self.universities,
+            departments=self.departments,
+            full_professors=scale(self.full_professors),
+            associate_professors=scale(self.associate_professors),
+            assistant_professors=scale(self.assistant_professors),
+            lecturers=scale(self.lecturers),
+            undergraduate_students=scale(self.undergraduate_students),
+            graduate_students=scale(self.graduate_students),
+            courses=scale(self.courses),
+            graduate_courses=scale(self.graduate_courses),
+            research_groups=scale(self.research_groups),
+            publications_per_faculty=self.publications_per_faculty,
+            courses_per_student=self.courses_per_student,
+            seed=self.seed,
+        )
+
+
+def generate_lubm(config: LUBMConfig = LUBMConfig(),
+                  include_schema: bool = True) -> Graph:
+    """Generate a university graph according to ``config``.
+
+    Mirrors the original LUBM's reliance on reasoning: individuals are
+    typed with their most specific class only, and organizational
+    membership is asserted through the most specific property
+    (``headOf`` for chairs, ``worksFor`` for other staff), leaving
+    ``memberOf`` and the superclasses implicit.
+    """
+    rng = Random(config.seed)
+    graph = Graph()
+    graph.namespaces.bind("univ", UNIV)
+    if include_schema:
+        graph.update(lubm_schema())
+
+    for u in range(config.universities):
+        university = UNIV.term(f"University{u}")
+        graph.add(Triple(university, RDF.type, UNIV.University))
+        for d in range(config.departments):
+            _generate_department(graph, rng, config, university, u, d)
+    return graph
+
+
+def _generate_department(graph: Graph, rng: Random, config: LUBMConfig,
+                         university: URI, u: int, d: int) -> None:
+    prefix = f"u{u}d{d}"
+    department = UNIV.term(f"Department{prefix}")
+    graph.add(Triple(department, RDF.type, UNIV.Department))
+    graph.add(Triple(department, UNIV.subOrganizationOf, university))
+
+    faculty: List[URI] = []
+    groups = [UNIV.term(f"ResearchGroup{prefix}g{i}")
+              for i in range(config.research_groups)]
+    for group in groups:
+        graph.add(Triple(group, RDF.type, UNIV.ResearchGroup))
+        graph.add(Triple(group, UNIV.subOrganizationOf, department))
+
+    ranks = (
+        ("FullProfessor", config.full_professors),
+        ("AssociateProfessor", config.associate_professors),
+        ("AssistantProfessor", config.assistant_professors),
+        ("Lecturer", config.lecturers),
+    )
+    for rank, count in ranks:
+        for i in range(count):
+            person = UNIV.term(f"{rank}{prefix}n{i}")
+            graph.add(Triple(person, RDF.type, UNIV.term(rank)))
+            graph.add(Triple(person, UNIV.worksFor, department))
+            graph.add(Triple(person, UNIV.name,
+                             Literal(f"{rank} {prefix}-{i}")))
+            graph.add(Triple(person, UNIV.doctoralDegreeFrom, university))
+            faculty.append(person)
+
+    # the department chair heads the department (headOf only — worksFor
+    # and memberOf are left to reasoning)
+    chair = UNIV.term(f"Chair{prefix}")
+    graph.add(Triple(chair, RDF.type, UNIV.Chair))
+    graph.add(Triple(chair, UNIV.headOf, department))
+    faculty.append(chair)
+
+    courses = [UNIV.term(f"Course{prefix}c{i}") for i in range(config.courses)]
+    for course in courses:
+        graph.add(Triple(course, RDF.type, UNIV.Course))
+    graduate_courses = [UNIV.term(f"GraduateCourse{prefix}c{i}")
+                        for i in range(config.graduate_courses)]
+    for course in graduate_courses:
+        graph.add(Triple(course, RDF.type, UNIV.GraduateCourse))
+    all_courses = courses + graduate_courses
+
+    for person in faculty:
+        for course in rng.sample(all_courses,
+                                 min(2, len(all_courses))):
+            graph.add(Triple(person, UNIV.teacherOf, course))
+        for i in range(config.publications_per_faculty):
+            publication = UNIV.term(f"Publication{prefix}_{person.local_name}_{i}")
+            kind = rng.choice(("ConferencePaper", "JournalArticle",
+                               "TechnicalReport", "Book"))
+            graph.add(Triple(publication, RDF.type, UNIV.term(kind)))
+            graph.add(Triple(publication, UNIV.publicationAuthor, person))
+
+    for i in range(config.undergraduate_students):
+        student = UNIV.term(f"UndergraduateStudent{prefix}s{i}")
+        graph.add(Triple(student, RDF.type, UNIV.UndergraduateStudent))
+        # memberOf asserted directly for students (most specific known)
+        graph.add(Triple(student, UNIV.memberOf, department))
+        for course in rng.sample(courses,
+                                 min(config.courses_per_student, len(courses))):
+            graph.add(Triple(student, UNIV.takesCourse, course))
+        if rng.random() < 0.2:
+            graph.add(Triple(student, UNIV.age,
+                             Literal(str(rng.randint(17, 24)),
+                                     datatype=XSD.integer)))
+
+    for i in range(config.graduate_students):
+        student = UNIV.term(f"GraduateStudent{prefix}s{i}")
+        graph.add(Triple(student, RDF.type, UNIV.GraduateStudent))
+        graph.add(Triple(student, UNIV.memberOf, department))
+        graph.add(Triple(student, UNIV.undergraduateDegreeFrom, university))
+        graph.add(Triple(student, UNIV.advisor, rng.choice(faculty)))
+        for course in rng.sample(graduate_courses,
+                                 min(config.courses_per_student,
+                                     len(graduate_courses))):
+            graph.add(Triple(student, UNIV.takesCourse, course))
+        if rng.random() < 0.3:
+            assisted = rng.choice(all_courses)
+            graph.add(Triple(student, UNIV.teachingAssistantOf, assisted))

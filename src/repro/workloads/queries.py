@@ -1,0 +1,91 @@
+"""The benchmark query workload Q1–Q10 over the university vocabulary.
+
+Mirrors the design of the workload behind the paper's Figure 3: the
+queries deliberately span several orders of magnitude of
+*reformulation size* — from a leaf class with a UCQ of 1 (Q5) to the
+root of the Person hierarchy whose rewriting unions dozens of
+conjuncts (Q1) — because that spread is exactly what makes the
+saturation/reformulation thresholds spread over orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..rdf.namespaces import RDF
+from ..rdf.terms import Variable as V
+from ..rdf.triples import TriplePattern as TP
+from ..sparql.ast import BGPQuery
+from .lubm import UNIV
+
+__all__ = ["WORKLOAD_QUERIES", "workload_query", "query_ids"]
+
+
+def _q(*patterns: TP, select: Tuple[V, ...] = ()) -> BGPQuery:
+    return BGPQuery(patterns, select or None, distinct=True)
+
+
+X, Y, Z, U, P = V("x"), V("y"), V("z"), V("u"), V("p")
+
+#: Ordered mapping query-id -> (description, query).
+WORKLOAD_QUERIES: Dict[str, Tuple[str, BGPQuery]] = {
+    "Q1": (
+        "all persons — root of the deepest class hierarchy; the widest "
+        "reformulation (every subclass + every domain/range reaching Person)",
+        _q(TP(X, RDF.type, UNIV.Person)),
+    ),
+    "Q2": (
+        "all students — mid-hierarchy class",
+        _q(TP(X, RDF.type, UNIV.Student)),
+    ),
+    "Q3": (
+        "professors and the courses they teach — class + join",
+        _q(TP(X, RDF.type, UNIV.Professor), TP(X, UNIV.teacherOf, Y)),
+    ),
+    "Q4": (
+        "organization membership — subproperty closure of memberOf",
+        _q(TP(X, UNIV.memberOf, Y)),
+    ),
+    "Q5": (
+        "full professors — leaf class, reformulation of size 1",
+        _q(TP(X, RDF.type, UNIV.FullProfessor)),
+    ),
+    "Q6": (
+        "degrees — subproperty fan of degreeFrom",
+        _q(TP(X, UNIV.degreeFrom, U)),
+    ),
+    "Q7": (
+        "advised persons and their professor advisors — join with a "
+        "reformulated class atom",
+        _q(TP(X, UNIV.advisor, Y), TP(Y, RDF.type, UNIV.Professor)),
+    ),
+    "Q8": (
+        "all organizations — class hierarchy + range typing",
+        _q(TP(X, RDF.type, UNIV.Organization)),
+    ),
+    "Q9": (
+        "students of a department of the university they got their "
+        "undergraduate degree from (LUBM Q2 shape — triangle join)",
+        _q(TP(X, UNIV.memberOf, Y),
+           TP(Y, UNIV.subOrganizationOf, U),
+           TP(X, UNIV.undergraduateDegreeFrom, U)),
+    ),
+    "Q10": (
+        "faculty and their employers — two reformulated atoms joined",
+        _q(TP(X, RDF.type, UNIV.Faculty), TP(X, UNIV.worksFor, Y)),
+    ),
+}
+
+
+def query_ids() -> List[str]:
+    """The workload's query identifiers, in order."""
+    return list(WORKLOAD_QUERIES)
+
+
+def workload_query(query_id: str) -> BGPQuery:
+    """Look up a workload query by id (``"Q1"`` … ``"Q10"``)."""
+    try:
+        return WORKLOAD_QUERIES[query_id][1]
+    except KeyError:
+        raise KeyError(f"unknown workload query {query_id!r}; "
+                       f"known: {', '.join(WORKLOAD_QUERIES)}") from None

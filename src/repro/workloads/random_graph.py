@@ -1,0 +1,131 @@
+"""Seeded random RDF graph / schema / query generators.
+
+Used by the property-based tests (with hypothesis driving the
+parameters) and by the ablation benchmarks to explore regimes the
+structured LUBM workload does not reach: arbitrary hierarchy shapes,
+optional cycles, extreme fan-outs, and queries with variables in class
+and property positions.
+
+Meta-schema graphs (constraints *about* the RDFS vocabulary) are never
+generated: both the schema-aware saturation fast path and the
+reformulation engine document them as out of fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF, RDFS
+from ..rdf.terms import URI, Variable
+from ..rdf.triples import Triple, TriplePattern
+from ..sparql.ast import BGPQuery
+
+__all__ = ["RandomGraphConfig", "random_graph", "random_query",
+           "random_instance_triple", "RANDOM"]
+
+#: Namespace for randomly generated vocabularies.
+RANDOM = Namespace("http://repro.example.org/random#")
+
+
+@dataclass(frozen=True)
+class RandomGraphConfig:
+    """Shape parameters for :func:`random_graph`."""
+
+    classes: int = 8
+    properties: int = 5
+    individuals: int = 12
+    schema_triples: int = 10
+    instance_triples: int = 30
+    allow_cycles: bool = False
+    seed: int = 0
+
+
+def _vocabulary(config: RandomGraphConfig):
+    classes = [RANDOM.term(f"C{i}") for i in range(config.classes)]
+    properties = [RANDOM.term(f"p{i}") for i in range(config.properties)]
+    individuals = [RANDOM.term(f"i{i}") for i in range(config.individuals)]
+    return classes, properties, individuals
+
+
+def _random_schema_triple(rng: Random, classes: Sequence[URI],
+                          properties: Sequence[URI],
+                          allow_cycles: bool) -> Triple:
+    kind = rng.random()
+    if kind < 0.4 and len(classes) >= 2:
+        a, b = rng.sample(range(len(classes)), 2)
+        if not allow_cycles and a > b:
+            a, b = b, a  # edges only point "up": acyclic by construction
+        return Triple(classes[a], RDFS.subClassOf, classes[b])
+    if kind < 0.6 and len(properties) >= 2:
+        a, b = rng.sample(range(len(properties)), 2)
+        if not allow_cycles and a > b:
+            a, b = b, a
+        return Triple(properties[a], RDFS.subPropertyOf, properties[b])
+    if kind < 0.8:
+        return Triple(rng.choice(properties), RDFS.domain, rng.choice(classes))
+    return Triple(rng.choice(properties), RDFS.range, rng.choice(classes))
+
+
+def random_instance_triple(rng: Random, classes: Sequence[URI],
+                           properties: Sequence[URI],
+                           individuals: Sequence[URI]) -> Triple:
+    """One random instance-level triple (a typing or a property edge)."""
+    if rng.random() < 0.45:
+        return Triple(rng.choice(individuals), RDF.type, rng.choice(classes))
+    return Triple(rng.choice(individuals), rng.choice(properties),
+                  rng.choice(individuals))
+
+
+def random_graph(config: RandomGraphConfig = RandomGraphConfig()) -> Graph:
+    """A random graph with the requested schema/instance mix."""
+    rng = Random(config.seed)
+    classes, properties, individuals = _vocabulary(config)
+    graph = Graph()
+    graph.namespaces.bind("rnd", RANDOM)
+    for __ in range(config.schema_triples):
+        graph.add(_random_schema_triple(rng, classes, properties,
+                                        config.allow_cycles))
+    for __ in range(config.instance_triples):
+        graph.add(random_instance_triple(rng, classes, properties, individuals))
+    return graph
+
+
+def random_query(config: RandomGraphConfig, seed: int,
+                 max_atoms: int = 3,
+                 allow_variable_predicates: bool = True) -> BGPQuery:
+    """A random BGP query over the same vocabulary as ``config``.
+
+    Atom shapes cover the reformulation engine's whole input space:
+    constant-class typing atoms, variable-class typing atoms, constant
+    and (optionally) variable properties, constant or variable
+    subjects/objects.
+    """
+    rng = Random(seed)
+    classes, properties, individuals = _vocabulary(config)
+    variables = [Variable("x"), Variable("y"), Variable("z")]
+
+    def subject():
+        return rng.choice(variables + individuals[:3])
+
+    def object_():
+        return rng.choice(variables + individuals[:3])
+
+    patterns: List[TriplePattern] = []
+    for __ in range(rng.randint(1, max_atoms)):
+        shape = rng.random()
+        if shape < 0.35:
+            patterns.append(TriplePattern(subject(), RDF.type,
+                                          rng.choice(classes)))
+        elif shape < 0.45:
+            patterns.append(TriplePattern(subject(), RDF.type,
+                                          rng.choice(variables)))
+        elif shape < 0.85 or not allow_variable_predicates:
+            patterns.append(TriplePattern(subject(), rng.choice(properties),
+                                          object_()))
+        else:
+            patterns.append(TriplePattern(subject(), rng.choice(variables),
+                                          object_()))
+    return BGPQuery(patterns, distinct=True)

@@ -1,0 +1,124 @@
+"""A DBpedia-like "social encyclopedia" workload generator.
+
+The EDBT'13 experiments behind Figure 3 used LUBM *and* DBpedia, and
+the two stress reasoning differently:
+
+* LUBM (see :mod:`repro.workloads.lubm`): a *deep* class hierarchy,
+  reasoning dominated by rdfs9 chains;
+* DBpedia: a *wide, shallow* schema — hundreds of sibling classes
+  under a handful of roots, many datatype-ish properties with domains,
+  and a hub-shaped (power-law) link structure.
+
+This module generates the second shape, seeded and deterministic:
+``width`` sibling entity classes under 4 roots, properties whose
+domains/ranges point at the roots, and a Zipf-ish popularity skew on
+link targets (hubs), mirroring encyclopedic link graphs.
+
+Benchmarks use it to show that the saturation/reformulation trade-off
+shifts with schema *shape*, not just size: shallow hierarchies mean
+small subclass reformulations but large domain/range fans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF, RDFS, XSD
+from ..rdf.terms import Literal, URI
+from ..rdf.triples import Triple
+
+__all__ = ["SOCIAL", "SocialConfig", "generate_social", "social_schema"]
+
+#: Namespace of the encyclopedia vocabulary and entities.
+SOCIAL = Namespace("http://repro.example.org/social#")
+
+_ROOTS = ("Agent", "Place", "Work", "Event")
+
+
+@dataclass(frozen=True)
+class SocialConfig:
+    """Size knobs; defaults give ~4k triples."""
+
+    width: int = 40            # entity classes per root
+    entities: int = 600
+    links: int = 1500          # entity-to-entity edges
+    attributes: int = 800      # literal-valued edges
+    link_properties: int = 12
+    attribute_properties: int = 8
+    hub_skew: float = 3.0      # >1: more skew towards popular targets
+    seed: int = 4242
+
+
+def social_schema(config: SocialConfig = SocialConfig()) -> List[Triple]:
+    """The wide, shallow schema: width x 4 sibling classes, properties
+    with root-level domains/ranges, a thin subproperty layer."""
+    triples: List[Triple] = []
+    for root in _ROOTS:
+        root_uri = SOCIAL.term(root)
+        triples.append(Triple(root_uri, RDFS.subClassOf, SOCIAL.Entity))
+        for i in range(config.width):
+            triples.append(Triple(SOCIAL.term(f"{root}_{i}"),
+                                  RDFS.subClassOf, root_uri))
+    for i in range(config.link_properties):
+        prop = SOCIAL.term(f"link{i}")
+        domain_root = _ROOTS[i % len(_ROOTS)]
+        range_root = _ROOTS[(i + 1) % len(_ROOTS)]
+        triples.append(Triple(prop, RDFS.domain, SOCIAL.term(domain_root)))
+        triples.append(Triple(prop, RDFS.range, SOCIAL.term(range_root)))
+        if i % 3 == 0:
+            # a thin subproperty layer: every third link specializes
+            # the generic relatedTo
+            triples.append(Triple(prop, RDFS.subPropertyOf, SOCIAL.relatedTo))
+    for i in range(config.attribute_properties):
+        prop = SOCIAL.term(f"attr{i}")
+        triples.append(Triple(prop, RDFS.domain,
+                              SOCIAL.term(_ROOTS[i % len(_ROOTS)])))
+    return triples
+
+
+def generate_social(config: SocialConfig = SocialConfig(),
+                    include_schema: bool = True) -> Graph:
+    """Generate the encyclopedia graph.
+
+    Entities are typed with one leaf class each; link targets follow a
+    power-law-ish skew (early entities are hubs); attribute values are
+    typed literals.  Deterministic for a fixed config.
+    """
+    rng = Random(config.seed)
+    graph = Graph()
+    graph.namespaces.bind("soc", SOCIAL)
+    if include_schema:
+        graph.update(social_schema(config))
+
+    entities = [SOCIAL.term(f"e{i}") for i in range(config.entities)]
+    leaf_classes = [SOCIAL.term(f"{root}_{i}")
+                    for root in _ROOTS for i in range(config.width)]
+    for entity in entities:
+        graph.add(Triple(entity, RDF.type, rng.choice(leaf_classes)))
+
+    def skewed_target() -> URI:
+        # inverse-power sampling: index ~ U^skew scaled to the range,
+        # so low indices (hubs) are picked disproportionately often
+        position = rng.random() ** config.hub_skew
+        return entities[int(position * (len(entities) - 1))]
+
+    link_properties = [SOCIAL.term(f"link{i}")
+                       for i in range(config.link_properties)]
+    for __ in range(config.links):
+        graph.add(Triple(rng.choice(entities), rng.choice(link_properties),
+                         skewed_target()))
+
+    attribute_properties = [SOCIAL.term(f"attr{i}")
+                            for i in range(config.attribute_properties)]
+    for __ in range(config.attributes):
+        entity = rng.choice(entities)
+        prop = rng.choice(attribute_properties)
+        if rng.random() < 0.5:
+            value = Literal(str(rng.randint(1, 2026)), datatype=XSD.integer)
+        else:
+            value = Literal(f"label-{rng.randint(0, 9999)}")
+        graph.add(Triple(entity, prop, value))
+    return graph

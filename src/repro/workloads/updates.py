@@ -1,0 +1,125 @@
+"""Update workloads: the four update kinds of Figure 3.
+
+Figure 3 reports, next to the saturation threshold, thresholds for an
+*instance insertion*, *instance deletion*, *schema insertion* and
+*schema deletion*.  This module generates those update batches against
+a given graph, deterministically (seeded), so the maintenance
+benchmarks replay identical update streams across algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF, RDFS
+from ..rdf.terms import URI
+from ..rdf.triples import Triple
+from ..schema import Schema, is_schema_triple
+
+__all__ = ["UpdateBatch", "instance_insertions", "instance_deletions",
+           "schema_insertions", "schema_deletions"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A named batch of triples to insert or delete."""
+
+    kind: str                 # "instance-insert" | "instance-delete" | ...
+    triples: tuple
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+def _instance_triples(graph: Graph) -> List[Triple]:
+    return [t for t in graph if not is_schema_triple(t)]
+
+
+def _schema_triples(graph: Graph) -> List[Triple]:
+    return [t for t in graph if is_schema_triple(t)]
+
+
+def instance_insertions(graph: Graph, count: int, seed: int = 0) -> UpdateBatch:
+    """Fresh instance triples shaped like the graph's existing data.
+
+    New individuals are attached through existing properties and typed
+    with existing classes, so the insertions exercise the same rules as
+    the original data did.
+    """
+    rng = Random(seed)
+    schema = Schema.from_graph(graph)
+    classes = sorted((c for c in schema.classes() if isinstance(c, URI)),
+                     key=lambda t: t.value)
+    properties = sorted((p for p in schema.properties() if isinstance(p, URI)),
+                        key=lambda t: t.value)
+    existing = _instance_triples(graph)
+    subjects = sorted({t.s for t in existing if isinstance(t.s, URI)},
+                      key=lambda t: t.value)
+    triples: List[Triple] = []
+    for i in range(count):
+        fresh = URI(f"http://repro.example.org/new#n{seed}_{i}")
+        choice = rng.random()
+        if choice < 0.4 and classes:
+            triples.append(Triple(fresh, RDF.type, rng.choice(classes)))
+        elif choice < 0.8 and properties and subjects:
+            triples.append(Triple(fresh, rng.choice(properties),
+                                  rng.choice(subjects)))
+        elif subjects and properties:
+            triples.append(Triple(rng.choice(subjects),
+                                  rng.choice(properties), fresh))
+        elif classes:
+            triples.append(Triple(fresh, RDF.type, rng.choice(classes)))
+    return UpdateBatch("instance-insert", tuple(triples))
+
+
+def instance_deletions(graph: Graph, count: int, seed: int = 0) -> UpdateBatch:
+    """A sample of the graph's existing explicit instance triples."""
+    rng = Random(seed)
+    pool = sorted(_instance_triples(graph))
+    sample = rng.sample(pool, min(count, len(pool)))
+    return UpdateBatch("instance-delete", tuple(sample))
+
+
+def schema_insertions(graph: Graph, count: int, seed: int = 0) -> UpdateBatch:
+    """New constraints over the existing vocabulary (acyclic by
+    construction: new subclass/subproperty edges follow the URI order,
+    matching the acyclicity of well-designed ontologies)."""
+    rng = Random(seed)
+    schema = Schema.from_graph(graph)
+    classes = sorted((c for c in schema.classes() if isinstance(c, URI)),
+                     key=lambda t: t.value)
+    properties = sorted((p for p in schema.properties() if isinstance(p, URI)),
+                        key=lambda t: t.value)
+    triples: List[Triple] = []
+    attempts = 0
+    while len(triples) < count and attempts < count * 20:
+        attempts += 1
+        choice = rng.random()
+        if choice < 0.4 and len(classes) >= 2:
+            a, b = sorted(rng.sample(range(len(classes)), 2))
+            candidate = Triple(classes[a], RDFS.subClassOf, classes[b])
+        elif choice < 0.6 and len(properties) >= 2:
+            a, b = sorted(rng.sample(range(len(properties)), 2))
+            candidate = Triple(properties[a], RDFS.subPropertyOf, properties[b])
+        elif choice < 0.8 and properties and classes:
+            candidate = Triple(rng.choice(properties), RDFS.domain,
+                               rng.choice(classes))
+        elif properties and classes:
+            candidate = Triple(rng.choice(properties), RDFS.range,
+                               rng.choice(classes))
+        else:
+            break
+        if candidate not in graph and candidate not in triples:
+            triples.append(candidate)
+    return UpdateBatch("schema-insert", tuple(triples))
+
+
+def schema_deletions(graph: Graph, count: int, seed: int = 0) -> UpdateBatch:
+    """A sample of the graph's existing explicit schema triples."""
+    rng = Random(seed)
+    pool = sorted(_schema_triples(graph))
+    sample = rng.sample(pool, min(count, len(pool)))
+    return UpdateBatch("schema-delete", tuple(sample))

@@ -1,0 +1,83 @@
+"""Shared fixtures: the paper's running example, a small LUBM graph,
+and randomized-workload helpers used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rdf import Graph, Triple
+from repro.rdf.namespaces import Namespace, RDF, RDFS
+from repro.workloads import LUBMConfig, generate_lubm
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def ex():
+    """The example.org namespace used throughout the tests."""
+    return EX
+
+
+@pytest.fixture
+def paper_graph():
+    """The running example of Sections I and II-A:
+
+    "Tom is a cat", "any cat is a mammal", plus the hasFriend/Person
+    domain-typing example — small enough to reason about by hand.
+    """
+    graph = Graph()
+    graph.namespaces.bind("ex", EX)
+    graph.add(Triple(EX.Tom, RDF.type, EX.Cat))
+    graph.add(Triple(EX.Cat, RDFS.subClassOf, EX.Mammal))
+    graph.add(Triple(EX.hasFriend, RDFS.domain, EX.Person))
+    graph.add(Triple(EX.hasFriend, RDFS.range, EX.Person))
+    graph.add(Triple(EX.Anne, EX.hasFriend, EX.Marie))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def lubm_small():
+    """A small but structurally complete university graph (~700 triples)."""
+    return generate_lubm(LUBMConfig(departments=1))
+
+
+@pytest.fixture(scope="session")
+def lubm_medium():
+    """The default-size university graph (~2k triples)."""
+    return generate_lubm(LUBMConfig())
+
+
+def random_rdfs_graph(seed: int, size: int = 30, allow_cycles: bool = True,
+                      n_classes: int = 8, n_props: int = 5,
+                      n_inds: int = 10) -> Graph:
+    """A random mixed schema/instance graph (module-level helper so
+    both plain tests and hypothesis tests can build graphs from a seed)."""
+    rng = random.Random(seed)
+    classes = [EX.term(f"C{i}") for i in range(n_classes)]
+    props = [EX.term(f"p{i}") for i in range(n_props)]
+    inds = [EX.term(f"i{i}") for i in range(n_inds)]
+    graph = Graph()
+    for __ in range(size):
+        kind = rng.random()
+        if kind < 0.15:
+            a, b = rng.sample(range(len(classes)), 2)
+            if not allow_cycles and a > b:
+                a, b = b, a
+            graph.add(Triple(classes[a], RDFS.subClassOf, classes[b]))
+        elif kind < 0.25:
+            a, b = rng.sample(range(len(props)), 2)
+            if not allow_cycles and a > b:
+                a, b = b, a
+            graph.add(Triple(props[a], RDFS.subPropertyOf, props[b]))
+        elif kind < 0.33:
+            graph.add(Triple(rng.choice(props), RDFS.domain, rng.choice(classes)))
+        elif kind < 0.40:
+            graph.add(Triple(rng.choice(props), RDFS.range, rng.choice(classes)))
+        elif kind < 0.65:
+            graph.add(Triple(rng.choice(inds), RDF.type, rng.choice(classes)))
+        else:
+            graph.add(Triple(rng.choice(inds), rng.choice(props),
+                             rng.choice(inds)))
+    return graph

@@ -1,0 +1,172 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+TURTLE = """
+@prefix ex: <http://example.org/> .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:hasFriend rdfs:domain ex:Person .
+ex:Tom a ex:Cat .
+ex:Anne ex:hasFriend ex:Marie .
+"""
+
+MAMMALS = "SELECT ?x WHERE { ?x a <http://example.org/Mammal> }"
+
+
+@pytest.fixture
+def turtle_file(tmp_path):
+    path = tmp_path / "data.ttl"
+    path.write_text(TURTLE)
+    return str(path)
+
+
+@pytest.fixture
+def ntriples_file(tmp_path):
+    path = tmp_path / "data.nt"
+    path.write_text(
+        "<http://example.org/Tom> "
+        "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+        "<http://example.org/Cat> .\n")
+    return str(path)
+
+
+class TestInfo:
+    def test_reports_sizes(self, turtle_file, capsys):
+        assert main(["info", turtle_file]) == 0
+        out = capsys.readouterr().out
+        assert "triples: 4" in out
+        assert "2 schema" in out
+
+    def test_ntriples_input(self, ntriples_file, capsys):
+        assert main(["info", ntriples_file]) == 0
+        assert "triples: 1" in capsys.readouterr().out
+
+    def test_unknown_extension_fails(self, tmp_path):
+        path = tmp_path / "data.xyz"
+        path.write_text("")
+        with pytest.raises(SystemExit):
+            main(["info", str(path)])
+
+
+class TestSaturate:
+    def test_prints_summary(self, turtle_file, capsys):
+        assert main(["saturate", turtle_file]) == 0
+        out = capsys.readouterr().out
+        assert "saturation" in out
+        assert "derivations" in out
+
+    def test_writes_output(self, turtle_file, tmp_path, capsys):
+        out_path = tmp_path / "out.nt"
+        assert main(["saturate", turtle_file, "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "Mammal" in text
+        assert "Person" in text  # Anne rdf:type Person materialized
+
+    def test_ruleset_option(self, turtle_file, capsys):
+        assert main(["saturate", turtle_file, "--ruleset", "rdfs-full"]) == 0
+        assert "seminaive" in capsys.readouterr().out
+
+
+class TestQuery:
+    @pytest.mark.parametrize("strategy",
+                             ["none", "saturation", "reformulation",
+                              "backward"])
+    def test_strategies(self, turtle_file, capsys, strategy):
+        assert main(["query", turtle_file, "-q", MAMMALS,
+                     "--strategy", strategy]) == 0
+        out = capsys.readouterr().out
+        if strategy == "none":
+            assert "(0 row(s)" in out
+        else:
+            assert "Tom" in out
+            assert "(1 row(s)" in out
+
+    def test_prefixed_query(self, turtle_file, capsys):
+        assert main(["query", turtle_file, "-q",
+                     "PREFIX ex: <http://example.org/> "
+                     "SELECT ?x WHERE { ?x a ex:Person }"]) == 0
+        assert "Anne" in capsys.readouterr().out
+
+
+class TestAsk:
+    def test_yes(self, turtle_file, capsys):
+        code = main(["ask", turtle_file, "-q",
+                     "ASK { <http://example.org/Tom> a "
+                     "<http://example.org/Mammal> }"])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_no_exit_code(self, turtle_file, capsys):
+        code = main(["ask", turtle_file, "-q",
+                     "ASK { <http://example.org/Tom> a "
+                     "<http://example.org/Person> }"])
+        assert code == 1
+        assert "no" in capsys.readouterr().out
+
+
+class TestReformulate:
+    def test_prints_union(self, turtle_file, capsys):
+        assert main(["reformulate", turtle_file, "-q", MAMMALS]) == 0
+        out = capsys.readouterr().out
+        assert "UCQ size 2" in out
+        assert "Cat" in out
+
+    def test_minimize_flag(self, turtle_file, capsys):
+        assert main(["reformulate", turtle_file, "-q", MAMMALS,
+                     "--minimize"]) == 0
+        assert "after minimization" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_proof_tree(self, turtle_file, capsys):
+        code = main([
+            "explain", turtle_file,
+            "-s", "http://example.org/Tom",
+            "-p", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            "-o", "http://example.org/Mammal",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[rdfs9]" in out
+        assert "[explicit]" in out
+
+    def test_not_entailed(self, turtle_file, capsys):
+        code = main([
+            "explain", turtle_file,
+            "-s", "http://example.org/Tom",
+            "-p", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            "-o", "http://example.org/Person",
+        ])
+        assert code == 1
+        assert "not entailed" in capsys.readouterr().out
+
+
+class TestGenerateAndThresholds:
+    def test_generate_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "uni.ttl"
+        assert main(["generate", "--departments", "1",
+                     "-o", str(out_path)]) == 0
+        assert "written" in capsys.readouterr().out
+        assert out_path.exists()
+        # generated file round-trips through the info command
+        assert main(["info", str(out_path)]) == 0
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--departments", "1"]) == 0
+        assert "@prefix" in capsys.readouterr().out
+
+    def test_thresholds_custom_queries(self, turtle_file, capsys):
+        assert main(["thresholds", turtle_file, "--repeat", "1",
+                     "--update-size", "1", "-q", MAMMALS]) == 0
+        out = capsys.readouterr().out
+        assert "q1" in out
+        assert "spread" in out
+
+    def test_thresholds_csv(self, turtle_file, capsys):
+        assert main(["thresholds", turtle_file, "--repeat", "1",
+                     "--update-size", "1", "-q", MAMMALS, "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query,")
+        assert "threshold_saturation" in out

@@ -1,0 +1,166 @@
+"""Tests for CQ containment and UCQ minimization."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import TriplePattern as TP
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Variable as V
+from repro.reasoning import reformulate, saturate
+from repro.schema import Schema
+from repro.sparql import (BGPQuery, evaluate, evaluate_ucq,
+                          find_homomorphism, is_contained_in, minimize_ucq)
+from repro.workloads import (RandomGraphConfig, random_graph, random_query,
+                             workload_query)
+
+from conftest import EX
+
+X, Y, Z = V("x"), V("y"), V("z")
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        q = BGPQuery([TP(X, EX.p, Y)])
+        assert find_homomorphism(q, q) == {}
+
+    def test_existential_to_constant(self):
+        # q1: ?x p ?y   (y existential)    q2: ?x p a
+        q1 = BGPQuery([TP(X, EX.p, Y)], [X])
+        q2 = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        mapping = find_homomorphism(q1, q2)
+        assert mapping == {Y: EX.a}
+
+    def test_constant_cannot_map_to_other_constant(self):
+        q1 = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        q2 = BGPQuery([TP(X, EX.p, EX.b)], [X])
+        assert find_homomorphism(q1, q2) is None
+
+    def test_distinguished_variables_frozen(self):
+        q1 = BGPQuery([TP(X, EX.p, Y)], [X, Y])
+        q2 = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        # different heads: no comparison possible
+        assert find_homomorphism(q1, q2) is None
+
+    def test_collapsing_two_atoms_onto_one(self):
+        # q1 has a redundant self-join; q2 is its core
+        q1 = BGPQuery([TP(X, EX.p, Y), TP(X, EX.p, Z)], [X])
+        q2 = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert find_homomorphism(q1, q2) is not None
+
+    def test_path_does_not_map_into_single_edge(self):
+        # q1: x p y, y p z (a path of length 2, head x)
+        q1 = BGPQuery([TP(X, EX.p, Y), TP(Y, EX.p, Z)], [X])
+        # q2: x p a — no 2-path image unless a p something exists
+        q2 = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        assert find_homomorphism(q1, q2) is None
+
+    def test_variable_predicate_maps(self):
+        p_var = V("p")
+        q1 = BGPQuery([TP(X, p_var, Y)], [X])
+        q2 = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        assert find_homomorphism(q1, q2) is not None
+
+
+class TestContainment:
+    def test_specialization_contained_in_generalization(self):
+        general = BGPQuery([TP(X, EX.p, Y)], [X])
+        special = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        assert is_contained_in(special, general)
+        assert not is_contained_in(general, special)
+
+    def test_extra_atom_is_more_constrained(self):
+        loose = BGPQuery([TP(X, RDF.type, EX.C)], [X])
+        tight = BGPQuery([TP(X, RDF.type, EX.C), TP(X, EX.p, Y)], [X])
+        assert is_contained_in(tight, loose)
+        assert not is_contained_in(loose, tight)
+
+    def test_equivalent_queries_mutually_contained(self):
+        q1 = BGPQuery([TP(X, EX.p, Y), TP(X, EX.p, Z)], [X])
+        q2 = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+    def test_different_presets_incomparable(self):
+        q1 = BGPQuery([TP(X, EX.p, Y)], [X, Z], preset={Z: EX.a})
+        q2 = BGPQuery([TP(X, EX.p, Y)], [X, Z], preset={Z: EX.b})
+        assert not is_contained_in(q1, q2)
+
+    def test_containment_is_sound_on_data(self):
+        """If sub ⊆ sup syntactically, then on any concrete graph the
+        answers are contained."""
+        from repro.rdf import Graph, Triple
+        sub = BGPQuery([TP(X, EX.p, EX.a), TP(X, RDF.type, EX.C)], [X])
+        sup = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert is_contained_in(sub, sup)
+        g = Graph()
+        g.add(Triple(EX.i1, EX.p, EX.a))
+        g.add(Triple(EX.i1, RDF.type, EX.C))
+        g.add(Triple(EX.i2, EX.p, EX.b))
+        assert evaluate(g, sub).to_set() <= evaluate(g, sup).to_set()
+
+
+class TestMinimizeUCQ:
+    def test_drops_contained_conjunct(self):
+        general = BGPQuery([TP(X, EX.p, Y)], [X])
+        special = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        assert minimize_ucq([general, special]) == [general]
+        assert minimize_ucq([special, general]) == [general]
+
+    def test_keeps_incomparable_conjuncts(self):
+        q1 = BGPQuery([TP(X, RDF.type, EX.C1)], [X])
+        q2 = BGPQuery([TP(X, RDF.type, EX.C2)], [X])
+        assert minimize_ucq([q1, q2]) == [q1, q2]
+
+    def test_equivalent_conjuncts_keep_first(self):
+        q1 = BGPQuery([TP(X, EX.p, Y), TP(X, EX.p, Z)], [X])
+        q2 = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert minimize_ucq([q1, q2]) == [q1]
+
+    def test_empty_input(self):
+        assert minimize_ucq([]) == []
+
+    def test_reformulation_minimization_preserves_answers(self, lubm_small):
+        """to_minimized_ucq() must answer exactly like to_ucq()."""
+        schema = Schema.from_graph(lubm_small)
+        closed = lubm_small.copy()
+        closed.update(schema.closure_triples())
+        for qid in ("Q1", "Q3", "Q7", "Q10"):
+            reformulation = reformulate(workload_query(qid), schema)
+            full = reformulation.to_ucq()
+            minimized = reformulation.to_minimized_ucq()
+            assert len(minimized) <= len(full)
+            assert evaluate_ucq(closed, minimized).to_set() == \
+                evaluate_ucq(closed, full).to_set(), qid
+
+    def test_join_reformulation_actually_shrinks(self):
+        """A join of two hierarchy atoms produces subsumed conjuncts
+        (e.g. Person ∧ Person-subclass pairs) that minimization prunes."""
+        from repro.rdf import Triple
+        from repro.rdf.namespaces import RDFS
+        schema = Schema()
+        schema.add(Triple(EX.Woman, RDFS.subClassOf, EX.Person))
+        query = BGPQuery([TP(X, RDF.type, EX.Person),
+                          TP(X, RDF.type, EX.Person)], [X])
+        reformulation = reformulate(query, schema)
+        full = reformulation.to_ucq()
+        minimized = reformulation.to_minimized_ucq()
+        # (Person, Person), (Person, Woman), (Woman, Person), (Woman, Woman)
+        # -> canonical-dedup keeps 3, containment keeps (Person,Person)
+        #    and (Woman,Woman): the mixed one is contained in both
+        assert len(minimized) < len(full)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 5_000), st.integers(0, 5_000))
+    def test_property_minimized_ucq_same_answers(self, graph_seed, query_seed):
+        config = RandomGraphConfig(seed=graph_seed)
+        graph = random_graph(config)
+        query = random_query(config, seed=query_seed,
+                             allow_variable_predicates=False)
+        schema = Schema.from_graph(graph)
+        closed = graph.copy()
+        closed.update(schema.closure_triples())
+        reformulation = reformulate(query, schema)
+        expected = evaluate(saturate(graph).graph, query).to_set()
+        assert evaluate_ucq(closed,
+                            reformulation.to_minimized_ucq()).to_set() == expected

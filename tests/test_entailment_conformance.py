@@ -1,0 +1,168 @@
+"""RDFS entailment conformance battery, W3C-test-suite style.
+
+Each case is (name, premise graph in Turtle, conclusion triple(s),
+expected entailed-or-not).  The battery covers every ρdf rule, their
+compositions, and the classic *non*-entailments (the ways naive
+implementations over- or under-derive).  Every case is checked against
+all three saturation engines and against reformulation-based ASK,
+so a regression in any route trips it.
+"""
+
+import pytest
+
+from repro.db import RDFDatabase, Strategy
+from repro.rdf import Triple, URI, graph_from_turtle
+from repro.rdf.namespaces import RDF, RDFS
+from repro.reasoning import entails, saturate
+
+from conftest import EX
+
+PREFIX = "@prefix ex: <http://example.org/> .\n"
+
+
+def t(s: str, p: str, o: str) -> Triple:
+    def term(name: str, is_property: bool = False):
+        if name == "a" and is_property:
+            return RDF.type
+        if name.startswith("rdfs:"):
+            return RDFS.term(name[5:])
+        return EX.term(name)
+
+    return Triple(term(s), term(p, is_property=True), term(o))
+
+
+#: (case id, premise turtle, conclusion, should_be_entailed)
+CASES = [
+    # --- single rules -------------------------------------------------
+    ("rdfs9-direct",
+     "ex:Tom a ex:Cat . ex:Cat rdfs:subClassOf ex:Mammal .",
+     t("Tom", "a", "Mammal"), True),
+    ("rdfs9-transitive",
+     "ex:Tom a ex:Cat . ex:Cat rdfs:subClassOf ex:Mammal . "
+     "ex:Mammal rdfs:subClassOf ex:Animal .",
+     t("Tom", "a", "Animal"), True),
+    ("rdfs7-direct",
+     "ex:a ex:best ex:b . ex:best rdfs:subPropertyOf ex:friend .",
+     t("a", "friend", "b"), True),
+    ("rdfs7-transitive",
+     "ex:a ex:p1 ex:b . ex:p1 rdfs:subPropertyOf ex:p2 . "
+     "ex:p2 rdfs:subPropertyOf ex:p3 .",
+     t("a", "p3", "b"), True),
+    ("rdfs2-domain",
+     "ex:a ex:knows ex:b . ex:knows rdfs:domain ex:Person .",
+     t("a", "a", "Person"), True),
+    ("rdfs3-range",
+     "ex:a ex:knows ex:b . ex:knows rdfs:range ex:Person .",
+     t("b", "a", "Person"), True),
+    ("rdfs5-subprop-transitivity",
+     "ex:p1 rdfs:subPropertyOf ex:p2 . ex:p2 rdfs:subPropertyOf ex:p3 .",
+     t("p1", "rdfs:subPropertyOf", "p3"), True),
+    ("rdfs11-subclass-transitivity",
+     "ex:C1 rdfs:subClassOf ex:C2 . ex:C2 rdfs:subClassOf ex:C3 .",
+     t("C1", "rdfs:subClassOf", "C3"), True),
+
+    # --- rule compositions ---------------------------------------------
+    ("rdfs7-then-2: domain of superproperty",
+     "ex:a ex:best ex:b . ex:best rdfs:subPropertyOf ex:friend . "
+     "ex:friend rdfs:domain ex:Person .",
+     t("a", "a", "Person"), True),
+    ("rdfs7-then-3: range of superproperty",
+     "ex:a ex:best ex:b . ex:best rdfs:subPropertyOf ex:friend . "
+     "ex:friend rdfs:range ex:Person .",
+     t("b", "a", "Person"), True),
+    ("rdfs2-then-9: domain class generalizes",
+     "ex:a ex:knows ex:b . ex:knows rdfs:domain ex:Person . "
+     "ex:Person rdfs:subClassOf ex:Agent .",
+     t("a", "a", "Agent"), True),
+    ("rdfs3-then-9: range class generalizes",
+     "ex:a ex:knows ex:b . ex:knows rdfs:range ex:Person . "
+     "ex:Person rdfs:subClassOf ex:Agent .",
+     t("b", "a", "Agent"), True),
+    ("full chain 7-2-9",
+     "ex:a ex:best ex:b . ex:best rdfs:subPropertyOf ex:friend . "
+     "ex:friend rdfs:domain ex:Person . ex:Person rdfs:subClassOf ex:Agent .",
+     t("a", "a", "Agent"), True),
+    ("cyclic classes are mutually entailed",
+     "ex:C1 rdfs:subClassOf ex:C2 . ex:C2 rdfs:subClassOf ex:C1 . "
+     "ex:x a ex:C1 .",
+     t("x", "a", "C2"), True),
+    ("cyclic classes entail reflexive edges",
+     "ex:C1 rdfs:subClassOf ex:C2 . ex:C2 rdfs:subClassOf ex:C1 .",
+     t("C1", "rdfs:subClassOf", "C1"), True),
+
+    # --- classic NON-entailments ----------------------------------------
+    ("subclass is not symmetric",
+     "ex:Tom a ex:Mammal . ex:Cat rdfs:subClassOf ex:Mammal .",
+     t("Tom", "a", "Cat"), False),
+    ("subproperty is not symmetric",
+     "ex:a ex:friend ex:b . ex:best rdfs:subPropertyOf ex:friend .",
+     t("a", "best", "b"), False),
+    ("domain does not type the object",
+     "ex:a ex:knows ex:b . ex:knows rdfs:domain ex:Person .",
+     t("b", "a", "Person"), False),
+    ("range does not type the subject",
+     "ex:a ex:knows ex:b . ex:knows rdfs:range ex:Person .",
+     t("a", "a", "Person"), False),
+    ("typing does not propagate along properties",
+     "ex:a ex:knows ex:b . ex:a a ex:Person .",
+     t("b", "a", "Person"), False),
+    ("domain applies to the property, not its superproperty's subs",
+     "ex:a ex:friend ex:b . ex:best rdfs:subPropertyOf ex:friend . "
+     "ex:best rdfs:domain ex:Intimate .",
+     t("a", "a", "Intimate"), False),
+    ("no class equivalence from shared superclass",
+     "ex:Cat rdfs:subClassOf ex:Mammal . ex:Dog rdfs:subClassOf ex:Mammal . "
+     "ex:Rex a ex:Dog .",
+     t("Rex", "a", "Cat"), False),
+    ("no property equivalence from shared superproperty",
+     "ex:p1 rdfs:subPropertyOf ex:p . ex:p2 rdfs:subPropertyOf ex:p . "
+     "ex:a ex:p1 ex:b .",
+     t("a", "p2", "b"), False),
+    ("subClassOf does not relate instances to instances",
+     "ex:Tom a ex:Cat .",
+     t("Tom", "rdfs:subClassOf", "Cat"), False),
+    ("unrelated triple is not entailed",
+     "ex:Tom a ex:Cat .",
+     t("Anne", "a", "Cat"), False),
+]
+
+IDS = [case[0] for case in CASES]
+
+
+@pytest.fixture(scope="module")
+def prepared_cases():
+    prepared = {}
+    for name, turtle, conclusion, expected in CASES:
+        graph = graph_from_turtle(PREFIX + turtle)
+        prepared[name] = (graph, conclusion, expected)
+    return prepared
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_entails_api(name, prepared_cases):
+    graph, conclusion, expected = prepared_cases[name]
+    assert entails(graph, conclusion) == expected
+
+
+@pytest.mark.parametrize("engine", ["schema-aware", "seminaive",
+                                    "set-at-a-time"])
+def test_all_engines_agree_on_battery(engine, prepared_cases):
+    for name, (graph, conclusion, expected) in prepared_cases.items():
+        saturated = saturate(graph, engine=engine).graph
+        assert (conclusion in saturated) == expected, (engine, name)
+
+
+def test_reformulation_route_agrees_on_battery(prepared_cases):
+    for name, (graph, conclusion, expected) in prepared_cases.items():
+        db = RDFDatabase(graph, strategy=Strategy.REFORMULATION)
+        sparql = (f"ASK {{ {conclusion.s.n3()} {conclusion.p.n3()} "
+                  f"{conclusion.o.n3()} }}")
+        assert db.ask_query(sparql) == expected, name
+
+
+def test_backward_route_agrees_on_battery(prepared_cases):
+    for name, (graph, conclusion, expected) in prepared_cases.items():
+        db = RDFDatabase(graph, strategy=Strategy.BACKWARD)
+        sparql = (f"ASK {{ {conclusion.s.n3()} {conclusion.p.n3()} "
+                  f"{conclusion.o.n3()} }}")
+        assert db.ask_query(sparql) == expected, name

@@ -1,0 +1,150 @@
+"""Tests for the multi-endpoint federation (Section I's scenario)."""
+
+import pytest
+
+from repro.db import Endpoint, Federation, Strategy
+from repro.rdf import BlankNode, Graph, Triple
+from repro.rdf.namespaces import RDF, RDFS
+
+from conftest import EX
+
+UNIVERSITY = """
+@prefix ex: <http://example.org/> .
+ex:Researcher rdfs:subClassOf ex:Person .
+_:r1 a ex:Researcher ; ex:name "Ada" .
+"""
+
+LIBRARY = """
+@prefix ex: <http://example.org/> .
+ex:authorOf rdfs:domain ex:Person .
+_:r1 ex:authorOf ex:SomeBook .
+"""
+
+PERSON_QUERY = "SELECT ?x WHERE { ?x a <http://example.org/Person> }"
+
+
+@pytest.fixture
+def federation():
+    fed = Federation()
+    fed.register(Endpoint.from_turtle("university", UNIVERSITY))
+    fed.register(Endpoint.from_turtle("library", LIBRARY))
+    return fed
+
+
+class TestEndpoint:
+    def test_from_turtle(self):
+        endpoint = Endpoint.from_turtle("u", UNIVERSITY)
+        assert endpoint.name == "u"
+        assert len(endpoint.graph) == 3
+
+    def test_sizes(self):
+        endpoint = Endpoint.from_turtle("u", UNIVERSITY)
+        assert endpoint.schema_size() == 1
+        assert endpoint.instance_size() == 2
+
+    def test_skolemization_removes_blanks(self):
+        endpoint = Endpoint.from_turtle("u", UNIVERSITY)
+        skolemized = endpoint.skolemized()
+        assert len(skolemized) == len(endpoint.graph)
+        for triple in skolemized:
+            assert not isinstance(triple.s, BlankNode)
+            assert not isinstance(triple.o, BlankNode)
+
+    def test_skolemization_is_endpoint_specific(self):
+        a = Endpoint.from_turtle("a", UNIVERSITY).skolemized()
+        b = Endpoint.from_turtle("b", UNIVERSITY).skolemized()
+        # same blank labels, different endpoints: no shared subjects
+        a_subjects = {t.s for t in a if "endpoint" in str(t.s)}
+        b_subjects = {t.s for t in b if "endpoint" in str(t.s)}
+        assert a_subjects and b_subjects
+        assert a_subjects.isdisjoint(b_subjects)
+
+
+class TestFederation:
+    def test_registration(self, federation):
+        assert len(federation) == 2
+        assert "university" in federation
+        assert federation.endpoints() == ["library", "university"]
+
+    def test_deregister(self, federation):
+        assert federation.deregister("library")
+        assert not federation.deregister("library")
+        assert len(federation) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Federation().register(Endpoint("", Graph()))
+
+    def test_integrated_graph_merges_without_blank_collision(self, federation):
+        merged = federation.integrated_graph()
+        # both endpoints use _:r1 for *different* resources: the
+        # integrated graph must keep them apart (3 + 2 triples)
+        assert len(merged) == 5
+
+    def test_federated_schema_union(self, federation):
+        schema = federation.federated_schema()
+        assert len(schema) == 2  # one constraint from each endpoint
+
+    def test_query_combines_endpoints(self, federation):
+        # the university's researcher is a Person via its own schema;
+        # the library's author is a Person via the library's domain
+        answers = federation.query(PERSON_QUERY).to_set()
+        assert len(answers) == 2
+
+    def test_cross_endpoint_entailments(self):
+        """A's facts + B's constraints: entailments neither endpoint
+        has alone — the paper's argument for integration."""
+        fed = Federation()
+        fed.register(Endpoint.from_turtle("schema-only", """
+            @prefix ex: <http://example.org/> .
+            ex:knows rdfs:domain ex:Person .
+        """))
+        fed.register(Endpoint.from_turtle("data-only", """
+            @prefix ex: <http://example.org/> .
+            ex:Ada ex:knows ex:Bob .
+        """))
+        extra = fed.cross_endpoint_entailments()
+        assert Triple(EX.Ada, RDF.type, EX.Person) in extra
+
+    def test_registration_invalidates_cache(self, federation):
+        before = len(federation.query(PERSON_QUERY).to_set())
+        federation.register(Endpoint.from_turtle("extra", """
+            @prefix ex: <http://example.org/> .
+            ex:Carol a ex:Researcher .
+        """))
+        after = len(federation.query(PERSON_QUERY).to_set())
+        assert after == before + 1
+
+    def test_deregistration_invalidates_cache(self, federation):
+        before = len(federation.query(PERSON_QUERY).to_set())
+        federation.deregister("library")
+        after = len(federation.query(PERSON_QUERY).to_set())
+        assert after < before
+
+    def test_ask(self, federation):
+        endpoint = federation._endpoints["library"]  # noqa: SLF001
+        skolemized = endpoint.skolemized()
+        author = next(t.s for t in skolemized
+                      if t.p == EX.authorOf)
+        assert federation.ask(Triple(author, RDF.type, EX.Person))
+
+    @pytest.mark.parametrize("strategy",
+                             [Strategy.SATURATION, Strategy.REFORMULATION])
+    def test_strategies_agree(self, strategy):
+        fed = Federation(strategy=strategy)
+        fed.register(Endpoint.from_turtle("university", UNIVERSITY))
+        fed.register(Endpoint.from_turtle("library", LIBRARY))
+        assert len(fed.query(PERSON_QUERY).to_set()) == 2
+
+    def test_stats(self, federation):
+        stats = federation.stats()
+        assert stats["endpoints"] == ["library", "university"]
+        assert stats["integrated_triples"] == 5
+        assert stats["per_endpoint"]["university"]["schema"] == 1
+
+    def test_replacing_endpoint_updates_answers(self, federation):
+        federation.register(Endpoint.from_turtle("library", """
+            @prefix ex: <http://example.org/> .
+            ex:nothing ex:here ex:atall .
+        """))
+        assert len(federation.query(PERSON_QUERY).to_set()) == 1

@@ -1,0 +1,178 @@
+"""Unit tests for the dictionary and the triple indexes."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.index import ALL_ORDERS, DEFAULT_ORDERS, TripleIndex
+from repro.rdf.terms import URI
+
+
+class TestTermDictionary:
+    def test_encode_is_dense_from_zero(self):
+        d = TermDictionary()
+        assert d.encode(URI("http://a")) == 0
+        assert d.encode(URI("http://b")) == 1
+
+    def test_encode_idempotent(self):
+        d = TermDictionary()
+        first = d.encode(URI("http://a"))
+        assert d.encode(URI("http://a")) == first
+        assert len(d) == 1
+
+    def test_lookup_does_not_allocate(self):
+        d = TermDictionary()
+        assert d.lookup(URI("http://a")) is None
+        assert len(d) == 0
+
+    def test_decode_roundtrip(self):
+        d = TermDictionary()
+        term = URI("http://a")
+        assert d.decode(d.encode(term)) == term
+
+    def test_decode_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TermDictionary().decode(7)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode(URI("http://a"))
+        assert URI("http://a") in d
+        assert URI("http://b") not in d
+
+    def test_copy_independent(self):
+        d = TermDictionary()
+        d.encode(URI("http://a"))
+        clone = d.copy()
+        clone.encode(URI("http://b"))
+        assert len(d) == 1 and len(clone) == 2
+
+
+def _all_patterns(triple):
+    """All 8 bound/unbound pattern shapes for one triple."""
+    for mask in itertools.product((True, False), repeat=3):
+        yield tuple(v if bound else None for v, bound in zip(triple, mask))
+
+
+class TestTripleIndex:
+    def test_add_and_contains(self):
+        index = TripleIndex()
+        assert index.add((1, 2, 3))
+        assert (1, 2, 3) in index
+        assert (1, 2, 4) not in index
+
+    def test_add_duplicate_returns_false(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        assert not index.add((1, 2, 3))
+        assert len(index) == 1
+
+    def test_discard(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        assert index.discard((1, 2, 3))
+        assert (1, 2, 3) not in index
+        assert len(index) == 0
+
+    def test_discard_absent_returns_false(self):
+        assert not TripleIndex().discard((1, 2, 3))
+
+    def test_iteration_yields_original_order_of_components(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        index.add((4, 5, 6))
+        assert set(index) == {(1, 2, 3), (4, 5, 6)}
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            TripleIndex(orders=("xyz",))
+
+    def test_no_orders_rejected(self):
+        with pytest.raises(ValueError):
+            TripleIndex(orders=())
+
+    @pytest.mark.parametrize("orders", [("spo",), DEFAULT_ORDERS, ALL_ORDERS])
+    def test_every_pattern_shape_every_layout(self, orders):
+        triples = [(1, 2, 3), (1, 2, 4), (1, 5, 3), (6, 2, 3), (6, 5, 4)]
+        index = TripleIndex(orders)
+        for t in triples:
+            index.add(t)
+        for s, p, o in [(1, 2, 3), (9, 9, 9)]:
+            for pattern in _all_patterns((s, p, o)):
+                expected = {t for t in triples
+                            if all(b is None or t[i] == b
+                                   for i, b in enumerate(pattern))}
+                assert set(index.match(*pattern)) == expected, (orders, pattern)
+
+    @pytest.mark.parametrize("orders", [("spo",), DEFAULT_ORDERS, ALL_ORDERS])
+    def test_count_matches_match(self, orders):
+        triples = [(1, 2, 3), (1, 2, 4), (1, 5, 3), (6, 2, 3)]
+        index = TripleIndex(orders)
+        for t in triples:
+            index.add(t)
+        for pattern in _all_patterns((1, 2, 3)):
+            assert index.count(*pattern) == len(list(index.match(*pattern)))
+
+    def test_discard_cleans_empty_levels(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        index.discard((1, 2, 3))
+        # internal nesting should be fully pruned: matching is empty
+        assert list(index.match(1, None, None)) == []
+        assert list(index.match(None, 2, None)) == []
+
+    def test_clear(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        index.clear()
+        assert len(index) == 0
+        assert list(index) == []
+
+    def test_copy_independent(self):
+        index = TripleIndex()
+        index.add((1, 2, 3))
+        clone = index.copy()
+        clone.add((4, 5, 6))
+        assert len(index) == 1 and len(clone) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                              st.integers(0, 5)), max_size=40),
+           st.tuples(st.one_of(st.none(), st.integers(0, 5)),
+                     st.one_of(st.none(), st.integers(0, 5)),
+                     st.one_of(st.none(), st.integers(0, 5))))
+    def test_property_match_equals_filter(self, triples, pattern):
+        """For any insert sequence and pattern, index.match must equal
+        a brute-force filter of the stored set."""
+        index = TripleIndex()
+        stored = set()
+        for t in triples:
+            index.add(t)
+            stored.add(t)
+        expected = {t for t in stored
+                    if all(b is None or t[i] == b for i, b in enumerate(pattern))}
+        assert set(index.match(*pattern)) == expected
+        assert index.count(*pattern) == len(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.tuples(st.integers(0, 3), st.integers(0, 3),
+                                        st.integers(0, 3))),
+                    max_size=60))
+    def test_property_add_discard_sequences(self, operations):
+        """Random add/discard interleavings keep all index orders
+        consistent with a model set."""
+        index = TripleIndex(ALL_ORDERS)
+        model = set()
+        for is_add, triple in operations:
+            if is_add:
+                assert index.add(triple) == (triple not in model)
+                model.add(triple)
+            else:
+                assert index.discard(triple) == (triple in model)
+                model.discard(triple)
+            assert len(index) == len(model)
+        assert set(index) == model

@@ -1,0 +1,134 @@
+"""Robustness tests for the parsers: unicode, escapes, odd-but-legal
+inputs, and hostile garbage.  A parser used to ingest third-party
+endpoint dumps (Section I) must fail loudly on bad input and never
+mis-parse good input."""
+
+import pytest
+
+from repro.rdf import (Graph, Literal, Triple, URI, graph_from_ntriples,
+                       graph_from_turtle, serialize_ntriples,
+                       serialize_turtle)
+from repro.rdf.namespaces import XSD
+from repro.rdf.ntriples import NTriplesError, parse_ntriples_line
+from repro.rdf.turtle import TurtleError
+from repro.sparql import SPARQLSyntaxError, parse_query
+
+from conftest import EX
+
+
+class TestUnicode:
+    def test_unicode_literal_roundtrip(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, Literal("héllo wörld — ünïcode ✓ 日本語")))
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+        assert graph_from_turtle(serialize_turtle(g)) == g
+
+    def test_unicode_escape_forms(self):
+        line = '<http://a> <http://p> "caf\\u00e9 \\U0001F600" .'
+        t = parse_ntriples_line(line)
+        assert t.o == Literal("café 😀")
+
+    def test_unicode_in_uri(self):
+        g = Graph()
+        g.add(Triple(URI("http://example.org/café"), EX.p, EX.o))
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+
+
+class TestEscapeEdgeCases:
+    def test_all_simple_escapes(self):
+        lexical = 'tab\there\nnewline\rreturn "quote" back\\slash'
+        g = Graph([Triple(EX.a, EX.p, Literal(lexical))])
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line('<http://a> <http://p> "bad\\" .')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line('<http://a> <http://p> "bad\\x41" .')
+
+    def test_quote_inside_literal_in_turtle(self):
+        g = graph_from_turtle(
+            '@prefix ex: <http://example.org/> .\n'
+            'ex:a ex:p "say \\"hi\\"" .')
+        assert Triple(EX.a, EX.p, Literal('say "hi"')) in g
+
+
+class TestOddButLegal:
+    def test_empty_literal(self):
+        g = Graph([Triple(EX.a, EX.p, Literal(""))])
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+
+    def test_literal_that_looks_like_a_uri(self):
+        g = Graph([Triple(EX.a, EX.p, Literal("<http://not-a-uri>"))])
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+
+    def test_literal_that_looks_like_turtle_syntax(self):
+        g = Graph([Triple(EX.a, EX.p, Literal("ex:b ; ex:c , . a"))])
+        assert graph_from_turtle(serialize_turtle(g)) == g
+
+    def test_numeric_looking_plain_literal_distinct_from_typed(self):
+        plain = Literal("42")
+        typed = Literal("42", datatype=XSD.integer)
+        g = Graph([Triple(EX.a, EX.p, plain), Triple(EX.a, EX.p, typed)])
+        assert len(g) == 2
+        assert graph_from_ntriples(serialize_ntriples(g)) == g
+
+    def test_same_subject_many_predicates_turtle(self):
+        parts = " ; ".join(f"ex:p{i} ex:o{i}" for i in range(30))
+        g = graph_from_turtle(
+            f"@prefix ex: <http://example.org/> .\nex:s {parts} .")
+        assert len(g) == 30
+
+    def test_long_object_list(self):
+        objects = " , ".join(f"ex:o{i}" for i in range(40))
+        g = graph_from_turtle(
+            f"@prefix ex: <http://example.org/> .\nex:s ex:p {objects} .")
+        assert len(g) == 40
+
+    def test_language_tag_with_subtag(self):
+        t = parse_ntriples_line('<http://a> <http://p> "colour"@en-GB .')
+        assert t.o == Literal("colour", language="en-gb")
+
+    def test_crlf_line_endings(self):
+        text = ("<http://a> <http://p> <http://b> .\r\n"
+                "<http://a> <http://p> <http://c> .\r\n")
+        assert len(graph_from_ntriples(text)) == 2
+
+
+class TestHostileInput:
+    @pytest.mark.parametrize("bad", [
+        "<http://a> <http://p> .",                  # missing object
+        "<http://a> <http://p> <http://b>",          # missing dot
+        "http://a <http://p> <http://b> .",          # unbracketed uri
+        '<http://a> "p" <http://b> .',               # literal property
+        '"lit" <http://p> <http://b> .',             # literal subject
+        "<http://a> <http://p> <http://b> <http://c> .",  # quad
+    ])
+    def test_ntriples_garbage_rejected(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line(bad)
+
+    @pytest.mark.parametrize("bad", [
+        "ex:a ex:p ex:b",               # unbound prefix, missing dot too
+        "@prefix ex <http://x/> .",     # missing colon
+        "@prefix ex: <http://x/> . ex:a ex:p .",   # incomplete triple
+        "@prefix ex: <http://x/> . ex:a 42 ex:b .",  # numeric property
+    ])
+    def test_turtle_garbage_rejected(self, bad):
+        with pytest.raises((TurtleError, KeyError)):
+            graph_from_turtle(bad)
+
+    def test_sparql_injectionish_literal_is_data(self):
+        """A literal containing '} UNION' must stay one literal."""
+        q = parse_query(
+            'PREFIX ex: <http://example.org/> '
+            'SELECT ?x WHERE { ?x ex:p "} SELECT ?y WHERE {" }')
+        assert len(q.patterns) == 1
+        assert q.patterns[0].o == Literal("} SELECT ?y WHERE {")
+
+    def test_deeply_nested_not_applicable_but_long_input_ok(self):
+        triples = "\n".join(
+            f"<http://s{i}> <http://p> <http://o{i}> ." for i in range(5000))
+        assert len(graph_from_ntriples(triples)) == 5000

@@ -1,0 +1,108 @@
+"""Unit tests for namespaces and CURIE expansion/compaction."""
+
+import pytest
+
+from repro.rdf.namespaces import (DEFAULT_PREFIXES, Namespace,
+                                  NamespaceManager, RDF, RDFS, XSD)
+from repro.rdf.terms import URI
+
+
+class TestNamespace:
+    def test_attribute_access_mints_uri(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Person == URI("http://example.org/Person")
+
+    def test_item_access_for_odd_names(self):
+        ns = Namespace("http://example.org/")
+        assert ns["strange-name"] == URI("http://example.org/strange-name")
+
+    def test_terms_are_cached(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Person is ns.Person
+
+    def test_contains(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Person in ns
+        assert URI("http://other.org/X") not in ns
+        assert "not-a-term" not in ns
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_equality(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert Namespace("http://a/") != Namespace("http://b/")
+
+    def test_builtin_vocabulary(self):
+        assert RDF.type.value == \
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        assert RDFS.subClassOf.value == \
+            "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+        assert XSD.integer.value == \
+            "http://www.w3.org/2001/XMLSchema#integer"
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        manager = NamespaceManager()
+        for prefix in DEFAULT_PREFIXES:
+            assert prefix in manager
+
+    def test_expand(self):
+        manager = NamespaceManager()
+        assert manager.expand("rdf:type") == RDF.type
+
+    def test_expand_unknown_prefix_raises(self):
+        manager = NamespaceManager()
+        with pytest.raises(KeyError):
+            manager.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager()
+        with pytest.raises(ValueError):
+            manager.expand("nocolon")
+
+    def test_bind_and_expand_custom(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:Cat") == URI("http://example.org/Cat")
+
+    def test_rebind_replaces(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://one.org/")
+        manager.bind("ex", "http://two.org/")
+        assert manager.expand("ex:X") == URI("http://two.org/X")
+
+    def test_compact_roundtrip(self):
+        manager = NamespaceManager()
+        assert manager.compact(RDF.type) == "rdf:type"
+
+    def test_compact_unknown_falls_back_to_n3(self):
+        manager = NamespaceManager()
+        uri = URI("http://unknown.org/X")
+        assert manager.compact(uri) == "<http://unknown.org/X>"
+
+    def test_compact_prefers_longest_base(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("a", "http://example.org/")
+        manager.bind("b", "http://example.org/deep/")
+        assert manager.compact(URI("http://example.org/deep/X")) == "b:X"
+
+    def test_compact_refuses_slashy_locals(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("a", "http://example.org/")
+        uri = URI("http://example.org/path/to/X")
+        assert manager.compact(uri).startswith("<")
+
+    def test_copy_is_independent(self):
+        manager = NamespaceManager()
+        clone = manager.copy()
+        clone.bind("ex", "http://example.org/")
+        assert "ex" in clone
+        assert "ex" not in manager
+
+    def test_iteration_yields_bindings(self):
+        manager = NamespaceManager()
+        bindings = dict(manager)
+        assert bindings["rdf"].base == RDF.base

@@ -1,0 +1,275 @@
+"""Unit tests for entailment rules and the built-in rule sets,
+including the Figure 2 conformance cases."""
+
+import pytest
+
+from repro.rdf import Graph, Triple, TriplePattern as TP
+from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.terms import Literal, Variable as V
+from repro.reasoning import (FIGURE2_RULES, RDFS_DEFAULT, RDFS_FULL,
+                             RDFS_PLUS, RHO_DF, RULESETS, Rule, RuleSet,
+                             get_ruleset)
+from repro.reasoning.rules import Derivation, instantiate_head
+
+from conftest import EX
+
+
+class TestRuleConstruction:
+    def test_safe_rule_ok(self):
+        Rule("r", body=[TP(V("x"), EX.p, V("y"))],
+             head=TP(V("x"), EX.q, V("y")))
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("r", body=[TP(V("x"), EX.p, V("y"))],
+                 head=TP(V("x"), EX.q, V("z")))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("r", body=[], head=TP(EX.a, EX.p, EX.b))
+
+    def test_constant_head_ok(self):
+        Rule("r", body=[TP(V("x"), EX.p, V("y"))],
+             head=TP(EX.a, EX.q, EX.b))
+
+    def test_equality(self):
+        r1 = Rule("r", [TP(V("x"), EX.p, V("y"))], TP(V("x"), EX.q, V("y")))
+        r2 = Rule("r", [TP(V("x"), EX.p, V("y"))], TP(V("x"), EX.q, V("y")))
+        assert r1 == r2 and hash(r1) == hash(r2)
+
+    def test_variables(self):
+        rule = Rule("r", [TP(V("x"), EX.p, V("y"))], TP(V("x"), EX.q, V("y")))
+        assert rule.variables() == {V("x"), V("y")}
+
+
+class TestInstantiateHead:
+    def test_grounding(self):
+        head = TP(V("x"), RDF.type, V("c"))
+        assert instantiate_head(head, {V("x"): EX.a, V("c"): EX.C}) == \
+            Triple(EX.a, RDF.type, EX.C)
+
+    def test_partial_binding_returns_none(self):
+        head = TP(V("x"), RDF.type, V("c"))
+        assert instantiate_head(head, {V("x"): EX.a}) is None
+
+    def test_literal_subject_returns_none(self):
+        head = TP(V("o"), RDF.type, V("c"))
+        assert instantiate_head(head, {V("o"): Literal("v"),
+                                       V("c"): EX.C}) is None
+
+    def test_blank_property_returns_none(self):
+        from repro.rdf.terms import BlankNode
+        head = TP(V("s"), V("p"), V("o"))
+        binding = {V("s"): EX.a, V("p"): BlankNode("b"), V("o"): EX.b}
+        assert instantiate_head(head, binding) is None
+
+
+class TestFigure2Conformance:
+    """Each of the paper's Figure 2 rules, on its defining example."""
+
+    def test_rdfs9_subclass_instance(self):
+        g = Graph()
+        g.add(Triple(EX.c1, RDFS.subClassOf, EX.c2))
+        g.add(Triple(EX.s, RDF.type, EX.c1))
+        rule = RHO_DF["rdfs9"]
+        conclusions = {d.conclusion for d in rule.fire(g)}
+        assert conclusions == {Triple(EX.s, RDF.type, EX.c2)}
+
+    def test_rdfs7_subproperty_instance(self):
+        g = Graph()
+        g.add(Triple(EX.p1, RDFS.subPropertyOf, EX.p2))
+        g.add(Triple(EX.s, EX.p1, EX.o))
+        conclusions = {d.conclusion for d in RHO_DF["rdfs7"].fire(g)}
+        assert conclusions == {Triple(EX.s, EX.p2, EX.o)}
+
+    def test_rdfs2_domain_typing(self):
+        g = Graph()
+        g.add(Triple(EX.p, RDFS.domain, EX.c))
+        g.add(Triple(EX.s, EX.p, EX.o))
+        conclusions = {d.conclusion for d in RHO_DF["rdfs2"].fire(g)}
+        assert conclusions == {Triple(EX.s, RDF.type, EX.c)}
+
+    def test_rdfs3_range_typing(self):
+        g = Graph()
+        g.add(Triple(EX.p, RDFS.range, EX.c))
+        g.add(Triple(EX.s, EX.p, EX.o))
+        conclusions = {d.conclusion for d in RHO_DF["rdfs3"].fire(g)}
+        assert conclusions == {Triple(EX.o, RDF.type, EX.c)}
+
+    def test_rdfs3_skips_literal_objects(self):
+        g = Graph()
+        g.add(Triple(EX.p, RDFS.range, EX.c))
+        g.add(Triple(EX.s, EX.p, Literal("v")))
+        assert list(RHO_DF["rdfs3"].fire(g)) == []
+
+    def test_paper_motivating_example(self):
+        """'hasFriend rdfs:domain Person' + 'Anne hasFriend Marie'
+        entails 'Anne rdf:type Person' (Section II-A)."""
+        g = Graph()
+        g.add(Triple(EX.hasFriend, RDFS.domain, EX.Person))
+        g.add(Triple(EX.Anne, EX.hasFriend, EX.Marie))
+        conclusions = {d.conclusion for d in RHO_DF["rdfs2"].fire(g)}
+        assert Triple(EX.Anne, RDF.type, EX.Person) in conclusions
+
+    def test_figure2_rule_names(self):
+        assert {r.name for r in FIGURE2_RULES} == \
+            {"rdfs2", "rdfs3", "rdfs7", "rdfs9"}
+
+
+class TestFiring:
+    def test_fire_with_delta_requires_delta_premise(self):
+        g = Graph()
+        g.add(Triple(EX.c1, RDFS.subClassOf, EX.c2))
+        g.add(Triple(EX.s, RDF.type, EX.c1))
+        rule = RHO_DF["rdfs9"]
+        # delta not involved in any match: nothing fires
+        assert list(rule.fire(g, [Triple(EX.z, EX.p, EX.z)])) == []
+        # delta = the instance triple: fires once
+        fired = list(rule.fire(g, [Triple(EX.s, RDF.type, EX.c1)]))
+        assert len(fired) == 1
+
+    def test_fire_deduplicates_within_call(self):
+        g = Graph()
+        g.add(Triple(EX.c1, RDFS.subClassOf, EX.c2))
+        g.add(Triple(EX.s, RDF.type, EX.c1))
+        rule = RHO_DF["rdfs9"]
+        # both premises in the delta: each is a pivot, but the derivation
+        # must be reported once
+        delta = [Triple(EX.c1, RDFS.subClassOf, EX.c2),
+                 Triple(EX.s, RDF.type, EX.c1)]
+        assert len(list(rule.fire(g, delta))) == 1
+
+    def test_derivation_records_premises(self):
+        g = Graph()
+        g.add(Triple(EX.c1, RDFS.subClassOf, EX.c2))
+        g.add(Triple(EX.s, RDF.type, EX.c1))
+        derivation = next(iter(RHO_DF["rdfs9"].fire(g)))
+        assert derivation.rule_name == "rdfs9"
+        assert set(derivation.premises) == set(g)
+
+    def test_fire_conclusions_matches_fire(self):
+        g = Graph()
+        g.add(Triple(EX.p1, RDFS.subPropertyOf, EX.p2))
+        g.add(Triple(EX.s, EX.p1, EX.o))
+        for rule in RHO_DF:
+            assert set(rule.fire_conclusions(g)) == \
+                {d.conclusion for d in rule.fire(g)}
+
+    def test_derivation_value_semantics(self):
+        t1 = Triple(EX.a, EX.p, EX.b)
+        t2 = Triple(EX.a, RDF.type, EX.C)
+        d1 = Derivation("r", (t1,), t2)
+        d2 = Derivation("r", (t1,), t2)
+        assert d1 == d2 and hash(d1) == hash(d2)
+        assert d1 != Derivation("other", (t1,), t2)
+
+
+class TestRuleSets:
+    def test_registry_contains_all(self):
+        assert set(RULESETS) == {"rhodf", "rdfs-default", "rdfs-full",
+                                 "rdfs-plus"}
+
+    def test_get_ruleset(self):
+        assert get_ruleset("rhodf") is RHO_DF
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_ruleset("nope")
+
+    def test_rhodf_contents(self):
+        assert set(RHO_DF.rule_names()) == \
+            {"rdfs2", "rdfs3", "rdfs5", "rdfs7", "rdfs9", "rdfs11"}
+
+    def test_default_equals_rhodf(self):
+        assert frozenset(RDFS_DEFAULT.rules) == frozenset(RHO_DF.rules)
+
+    def test_full_is_superset(self):
+        assert set(RHO_DF.rules) < set(RDFS_FULL.rules)
+
+    def test_plus_contains_owl_rules(self):
+        assert "owl-trans" in RDFS_PLUS
+        assert "owl-inv1" in RDFS_PLUS
+        assert "owl-same-s" in RDFS_PLUS
+
+    def test_duplicate_names_rejected(self):
+        rule = Rule("r", [TP(V("x"), EX.p, V("y"))], TP(V("x"), EX.q, V("y")))
+        with pytest.raises(ValueError):
+            RuleSet("bad", [rule, rule])
+
+    def test_extend_creates_new_set(self):
+        rule = Rule("extra", [TP(V("x"), EX.p, V("y"))],
+                    TP(V("x"), EX.q, V("y")))
+        extended = RHO_DF.extend("mine", [rule])
+        assert "extra" in extended
+        assert "extra" not in RHO_DF
+
+    def test_lookup_by_name(self):
+        assert RHO_DF["rdfs9"].name == "rdfs9"
+
+    def test_all_rules_are_safe(self):
+        # constructing a RuleSet already validates, but assert explicitly
+        for ruleset in RULESETS.values():
+            for rule in ruleset:
+                body_vars = set()
+                for pattern in rule.body:
+                    body_vars |= pattern.variables()
+                assert rule.head.variables() <= body_vars
+
+
+class TestOwlRules:
+    def test_inverse_property(self):
+        g = Graph()
+        g.add(Triple(EX.hasChild, OWL.inverseOf, EX.hasParent))
+        g.add(Triple(EX.a, EX.hasChild, EX.b))
+        conclusions = set(RDFS_PLUS["owl-inv1"].fire_conclusions(g))
+        assert Triple(EX.b, EX.hasParent, EX.a) in conclusions
+
+    def test_symmetric_property(self):
+        g = Graph()
+        g.add(Triple(EX.knows, RDF.type, OWL.SymmetricProperty))
+        g.add(Triple(EX.a, EX.knows, EX.b))
+        conclusions = set(RDFS_PLUS["owl-sym"].fire_conclusions(g))
+        assert Triple(EX.b, EX.knows, EX.a) in conclusions
+
+    def test_transitive_property(self):
+        g = Graph()
+        g.add(Triple(EX.partOf, RDF.type, OWL.TransitiveProperty))
+        g.add(Triple(EX.a, EX.partOf, EX.b))
+        g.add(Triple(EX.b, EX.partOf, EX.c))
+        conclusions = set(RDFS_PLUS["owl-trans"].fire_conclusions(g))
+        assert Triple(EX.a, EX.partOf, EX.c) in conclusions
+
+    def test_functional_property(self):
+        g = Graph()
+        g.add(Triple(EX.hasMother, RDF.type, OWL.FunctionalProperty))
+        g.add(Triple(EX.tom, EX.hasMother, EX.ada))
+        g.add(Triple(EX.tom, EX.hasMother, EX.adaLovelace))
+        conclusions = set(RDFS_PLUS["owl-fp"].fire_conclusions(g))
+        assert Triple(EX.ada, OWL.sameAs, EX.adaLovelace) in conclusions
+
+    def test_inverse_functional_property(self):
+        g = Graph()
+        g.add(Triple(EX.ssn, RDF.type, OWL.InverseFunctionalProperty))
+        g.add(Triple(EX.p1, EX.ssn, EX.number42))
+        g.add(Triple(EX.p2, EX.ssn, EX.number42))
+        conclusions = set(RDFS_PLUS["owl-ifp"].fire_conclusions(g))
+        assert Triple(EX.p1, OWL.sameAs, EX.p2) in conclusions
+
+    def test_functional_property_merges_facts_via_sameas(self):
+        """fp -> sameAs -> substitution: the full OWL-Horst interplay."""
+        from repro.reasoning import saturation_of
+        g = Graph()
+        g.add(Triple(EX.hasMother, RDF.type, OWL.FunctionalProperty))
+        g.add(Triple(EX.tom, EX.hasMother, EX.ada))
+        g.add(Triple(EX.tom, EX.hasMother, EX.adaLovelace))
+        g.add(Triple(EX.ada, EX.bornIn, EX.london))
+        saturated = saturation_of(g, RDFS_PLUS)
+        assert Triple(EX.adaLovelace, EX.bornIn, EX.london) in saturated
+
+    def test_equivalent_class_both_directions(self):
+        g = Graph()
+        g.add(Triple(EX.Human, OWL.equivalentClass, EX.Person))
+        c1 = set(RDFS_PLUS["owl-eqc1"].fire_conclusions(g))
+        c2 = set(RDFS_PLUS["owl-eqc2"].fire_conclusions(g))
+        assert Triple(EX.Human, RDFS.subClassOf, EX.Person) in c1
+        assert Triple(EX.Person, RDFS.subClassOf, EX.Human) in c2

@@ -1,0 +1,136 @@
+"""Unit tests for triples, patterns, matching and substitution."""
+
+import pytest
+
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import BlankNode, Literal, URI, Variable
+from repro.rdf.triples import Triple, TriplePattern
+
+A, B, C = URI("http://x/a"), URI("http://x/b"), URI("http://x/c")
+P = URI("http://x/p")
+X, Y = Variable("x"), Variable("y")
+
+
+class TestTripleWellFormedness:
+    def test_uri_everywhere_ok(self):
+        Triple(A, P, B)
+
+    def test_blank_subject_ok(self):
+        Triple(BlankNode("b"), P, B)
+
+    def test_literal_object_ok(self):
+        Triple(A, P, Literal("v"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("v"), P, B)
+
+    def test_blank_property_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(A, BlankNode("b"), B)
+
+    def test_literal_property_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(A, Literal("p"), B)
+
+    def test_variable_anywhere_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(X, P, B)
+        with pytest.raises(TypeError):
+            Triple(A, P, X)
+
+
+class TestTripleBasics:
+    def test_equality_and_hash(self):
+        assert Triple(A, P, B) == Triple(A, P, B)
+        assert hash(Triple(A, P, B)) == hash(Triple(A, P, B))
+        assert Triple(A, P, B) != Triple(A, P, C)
+
+    def test_unpacking(self):
+        s, p, o = Triple(A, P, B)
+        assert (s, p, o) == (A, P, B)
+
+    def test_n3(self):
+        assert Triple(A, P, B).n3() == "<http://x/a> <http://x/p> <http://x/b> ."
+
+    def test_immutable(self):
+        t = Triple(A, P, B)
+        with pytest.raises(AttributeError):
+            t.s = B
+
+    def test_sorting_deterministic(self):
+        triples = [Triple(B, P, A), Triple(A, P, B), Triple(A, P, A)]
+        assert sorted(triples) == sorted(reversed(triples))
+
+    def test_to_pattern_roundtrip(self):
+        t = Triple(A, P, B)
+        assert t.to_pattern().to_triple() == t
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        assert TriplePattern(X, P, Y).variables() == {X, Y}
+        assert TriplePattern(A, P, B).variables() == frozenset()
+
+    def test_is_ground(self):
+        assert TriplePattern(A, P, B).is_ground()
+        assert not TriplePattern(X, P, B).is_ground()
+
+    def test_to_triple_requires_ground(self):
+        with pytest.raises(ValueError):
+            TriplePattern(X, P, B).to_triple()
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            TriplePattern(Literal("v"), P, B)
+
+    def test_variable_property_allowed(self):
+        TriplePattern(A, X, B)
+
+    def test_substitute(self):
+        pattern = TriplePattern(X, P, Y)
+        result = pattern.substitute({X: A})
+        assert result == TriplePattern(A, P, Y)
+
+    def test_substitute_does_not_touch_constants(self):
+        pattern = TriplePattern(A, P, Y)
+        assert pattern.substitute({X: B}) == pattern
+
+    def test_rename(self):
+        pattern = TriplePattern(X, P, Y)
+        z = Variable("z")
+        assert pattern.rename({X: z}) == TriplePattern(z, P, Y)
+
+
+class TestMatching:
+    def test_match_binds_variables(self):
+        binding = TriplePattern(X, P, Y).matches(Triple(A, P, B))
+        assert binding == {X: A, Y: B}
+
+    def test_match_constant_mismatch(self):
+        assert TriplePattern(A, P, Y).matches(Triple(B, P, C)) is None
+
+    def test_match_repeated_variable_consistent(self):
+        pattern = TriplePattern(X, P, X)
+        assert pattern.matches(Triple(A, P, A)) == {X: A}
+        assert pattern.matches(Triple(A, P, B)) is None
+
+    def test_match_respects_prior_binding(self):
+        pattern = TriplePattern(X, P, Y)
+        assert pattern.matches(Triple(A, P, B), {X: A}) == {X: A, Y: B}
+        assert pattern.matches(Triple(A, P, B), {X: C}) is None
+
+    def test_match_does_not_mutate_input_binding(self):
+        prior = {X: A}
+        TriplePattern(X, P, Y).matches(Triple(A, P, B), prior)
+        assert prior == {X: A}
+
+    def test_match_variable_property(self):
+        v = Variable("p")
+        binding = TriplePattern(A, v, B).matches(Triple(A, P, B))
+        assert binding == {v: P}
+
+    def test_rdf_type_pattern(self):
+        pattern = TriplePattern(X, RDF.type, C)
+        assert pattern.matches(Triple(A, RDF.type, C)) == {X: A}
+        assert pattern.matches(Triple(A, P, C)) is None

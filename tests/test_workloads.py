@@ -1,0 +1,245 @@
+"""Tests for the workload generators (LUBM, random, updates)."""
+
+import pytest
+
+from repro.rdf import Graph
+from repro.rdf.namespaces import RDF, RDFS
+from repro.schema import Schema, is_schema_triple, validate_schema
+from repro.workloads import (LUBMConfig, RandomGraphConfig, UNIV,
+                             WORKLOAD_QUERIES, generate_lubm,
+                             instance_deletions, instance_insertions,
+                             lubm_schema, lubm_schema_graph, query_ids,
+                             random_graph, random_query, schema_deletions,
+                             schema_insertions, workload_query)
+
+
+class TestLUBMSchema:
+    def test_schema_has_all_constraint_kinds(self):
+        kinds = {t.p for t in lubm_schema()}
+        assert kinds == {RDFS.subClassOf, RDFS.subPropertyOf,
+                         RDFS.domain, RDFS.range}
+
+    def test_schema_graph(self):
+        g = lubm_schema_graph()
+        assert len(g) == len(lubm_schema())
+
+    def test_schema_is_acyclic_and_deep(self):
+        report = validate_schema(Schema.from_graph(lubm_schema_graph()))
+        assert not report.has_cycles
+        assert report.class_depth >= 3
+        assert report.property_depth >= 1
+
+    def test_full_professor_chain(self):
+        schema = Schema.from_graph(lubm_schema_graph())
+        supers = schema.superclasses(UNIV.FullProfessor)
+        assert {UNIV.Professor, UNIV.Faculty, UNIV.Employee,
+                UNIV.Person} <= supers
+
+    def test_headof_chain(self):
+        schema = Schema.from_graph(lubm_schema_graph())
+        assert schema.superproperties(UNIV.headOf) == \
+            {UNIV.worksFor, UNIV.memberOf}
+
+
+class TestLUBMGenerator:
+    def test_deterministic(self):
+        assert generate_lubm(LUBMConfig(departments=1)) == \
+            generate_lubm(LUBMConfig(departments=1))
+
+    def test_seed_changes_output(self):
+        a = generate_lubm(LUBMConfig(departments=1, seed=1))
+        b = generate_lubm(LUBMConfig(departments=1, seed=2))
+        assert a != b
+
+    def test_scaling_with_departments(self):
+        small = generate_lubm(LUBMConfig(departments=1))
+        large = generate_lubm(LUBMConfig(departments=4))
+        assert len(large) > 3 * len(small)
+
+    def test_scaled_config(self):
+        base = LUBMConfig()
+        doubled = base.scaled(2.0)
+        assert doubled.undergraduate_students == 2 * base.undergraduate_students
+        assert doubled.departments == base.departments  # not scaled
+
+    def test_most_specific_typing_discipline(self, lubm_small):
+        """Like the original LUBM: nobody is explicitly typed Person —
+        reasoning must supply it."""
+        assert not list(lubm_small.triples(None, RDF.type, UNIV.Person))
+        assert not list(lubm_small.triples(None, RDF.type, UNIV.Faculty))
+        assert list(lubm_small.triples(None, RDF.type, UNIV.FullProfessor))
+
+    def test_chairs_use_headof_only(self, lubm_small):
+        chairs = lubm_small.subjects(RDF.type, UNIV.Chair)
+        assert chairs
+        for chair in chairs:
+            assert list(lubm_small.triples(chair, UNIV.headOf, None))
+            assert not list(lubm_small.triples(chair, UNIV.worksFor, None))
+            assert not list(lubm_small.triples(chair, UNIV.memberOf, None))
+
+    def test_without_schema(self):
+        g = generate_lubm(LUBMConfig(departments=1), include_schema=False)
+        assert not any(is_schema_triple(t) for t in g)
+
+    def test_every_department_has_a_chair(self, lubm_medium):
+        departments = lubm_medium.subjects(RDF.type, UNIV.Department)
+        chairs_heads = {t.o for t in lubm_medium.triples(None, UNIV.headOf, None)}
+        assert departments <= chairs_heads
+
+
+class TestQueryWorkload:
+    def test_ten_queries(self):
+        assert query_ids() == [f"Q{i}" for i in range(1, 11)]
+
+    def test_lookup(self):
+        assert workload_query("Q1").patterns[0].o == UNIV.Person
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            workload_query("Q99")
+
+    def test_queries_have_descriptions(self):
+        for qid, (description, query) in WORKLOAD_QUERIES.items():
+            assert description
+            assert query.size() >= 1
+
+    def test_all_queries_nonempty_on_saturated_lubm(self, lubm_small):
+        from repro.reasoning import saturate
+        from repro.sparql import evaluate
+        saturated = saturate(lubm_small).graph
+        for qid in query_ids():
+            assert len(evaluate(saturated, workload_query(qid))) > 0, qid
+
+    def test_reformulation_sizes_span_orders_of_magnitude(self, lubm_small):
+        """The workload design goal: UCQ sizes from 1 to dozens."""
+        from repro.reasoning import reformulate
+        schema = Schema.from_graph(lubm_small)
+        sizes = [reformulate(workload_query(qid), schema).ucq_size
+                 for qid in query_ids()]
+        assert min(sizes) == 1
+        assert max(sizes) >= 30
+
+
+class TestSocialGenerator:
+    def test_deterministic(self):
+        from repro.workloads import SocialConfig, generate_social
+        assert generate_social(SocialConfig()) == generate_social(SocialConfig())
+
+    def test_shallow_wide_schema_shape(self):
+        from repro.workloads import SOCIAL, SocialConfig, social_schema
+        report = validate_schema(
+            Schema.from_triples(social_schema(SocialConfig())))
+        assert not report.has_cycles
+        assert report.class_depth == 2        # leaf -> root -> Entity
+        assert report.class_count > 100       # wide
+
+    def test_hub_skew(self):
+        from repro.workloads import SOCIAL, SocialConfig, generate_social
+        g = generate_social(SocialConfig())
+        in_degree: dict = {}
+        for t in g:
+            if str(t.p).startswith(str(SOCIAL.base) + "link"):
+                in_degree[t.o] = in_degree.get(t.o, 0) + 1
+        degrees = sorted(in_degree.values(), reverse=True)
+        # the busiest hub dwarfs the median target
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_root_reformulation_wider_than_lubm(self, lubm_small):
+        """The design goal: shallow-wide schema -> much bigger root
+        reformulations than deep-narrow LUBM."""
+        from repro.reasoning import reformulate
+        from repro.rdf import TriplePattern as TP
+        from repro.rdf.namespaces import RDF
+        from repro.rdf.terms import Variable as V
+        from repro.sparql import BGPQuery
+        from repro.workloads import SOCIAL, generate_social
+        from repro.workloads.lubm import UNIV
+
+        social = generate_social()
+        social_size = reformulate(
+            BGPQuery([TP(V("x"), RDF.type, SOCIAL.Entity)]),
+            Schema.from_graph(social)).ucq_size
+        lubm_size = reformulate(
+            BGPQuery([TP(V("x"), RDF.type, UNIV.Person)]),
+            Schema.from_graph(lubm_small)).ucq_size
+        assert social_size > 3 * lubm_size
+
+    def test_reasoning_routes_agree_on_social(self):
+        from repro.db import RDFDatabase, Strategy
+        from repro.workloads import SOCIAL, SocialConfig, generate_social
+
+        g = generate_social(SocialConfig(entities=100, links=200,
+                                         attributes=100))
+        query = (f"SELECT ?x WHERE {{ ?x a <{SOCIAL.Agent.value}> }}")
+        a = RDFDatabase(g, strategy=Strategy.SATURATION).query(query).to_set()
+        b = RDFDatabase(g, strategy=Strategy.REFORMULATION).query(query).to_set()
+        assert a == b and len(a) > 0
+
+
+class TestRandomGenerators:
+    def test_random_graph_deterministic(self):
+        config = RandomGraphConfig(seed=5)
+        assert random_graph(config) == random_graph(config)
+
+    def test_acyclic_mode(self):
+        config = RandomGraphConfig(seed=3, allow_cycles=False,
+                                   schema_triples=25)
+        report = validate_schema(Schema.from_graph(random_graph(config)))
+        assert not report.has_cycles
+
+    def test_random_query_deterministic(self):
+        config = RandomGraphConfig(seed=1)
+        assert random_query(config, seed=9) == random_query(config, seed=9)
+
+    def test_random_query_no_variable_predicates_option(self):
+        from repro.rdf.terms import Variable
+        config = RandomGraphConfig(seed=1)
+        for s in range(20):
+            q = random_query(config, seed=s, allow_variable_predicates=False)
+            for pattern in q.patterns:
+                assert not isinstance(pattern.p, Variable)
+
+
+class TestUpdateWorkloads:
+    def test_instance_insertions_are_fresh_and_instance_level(self, lubm_small):
+        batch = instance_insertions(lubm_small, 20, seed=1)
+        assert len(batch) == 20
+        for triple in batch.triples:
+            assert not is_schema_triple(triple)
+            assert triple not in lubm_small
+
+    def test_instance_deletions_sample_existing(self, lubm_small):
+        batch = instance_deletions(lubm_small, 20, seed=1)
+        assert len(batch) == 20
+        for triple in batch.triples:
+            assert triple in lubm_small
+            assert not is_schema_triple(triple)
+
+    def test_schema_insertions_fresh_schema_level(self, lubm_small):
+        batch = schema_insertions(lubm_small, 5, seed=1)
+        assert len(batch) == 5
+        for triple in batch.triples:
+            assert is_schema_triple(triple)
+            assert triple not in lubm_small
+
+    def test_schema_insertions_keep_hierarchies_acyclic(self, lubm_small):
+        batch = schema_insertions(lubm_small, 10, seed=2)
+        enlarged = lubm_small.copy()
+        enlarged.update(batch.triples)
+        assert not validate_schema(Schema.from_graph(enlarged)).has_cycles
+
+    def test_schema_deletions_sample_existing(self, lubm_small):
+        batch = schema_deletions(lubm_small, 5, seed=1)
+        for triple in batch.triples:
+            assert triple in lubm_small
+            assert is_schema_triple(triple)
+
+    def test_batches_deterministic(self, lubm_small):
+        assert instance_insertions(lubm_small, 5, seed=7).triples == \
+            instance_insertions(lubm_small, 5, seed=7).triples
+
+    def test_deletion_capped_by_pool(self):
+        g = Graph()
+        from conftest import EX
+        g.add_spo(EX.a, EX.p, EX.b)
+        assert len(instance_deletions(g, 100)) == 1
