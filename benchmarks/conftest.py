@@ -3,17 +3,38 @@
 Every benchmark module both *times* its experiment (pytest-benchmark)
 and *writes the paper-style rows* to ``benchmarks/results/<exp>.txt``
 so the reproduction artifacts survive output capturing.
+
+Each benchmark additionally runs inside its own observability window
+(the autouse fixture below), and the collected metrics + span tree are
+written as a machine-readable JSON report to
+``benchmarks/results/obs/<test_name>.json`` — per-rule fire counts,
+evaluator lookup counts, span timings, the lot.  Perf PRs diff these.
 """
 
 from __future__ import annotations
 
 import pathlib
+import re
 
 import pytest
 
+from repro.obs import measurement_window, write_report
 from repro.workloads import LUBMConfig, generate_lubm
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OBS_DIR = RESULTS_DIR / "obs"
+
+
+@pytest.fixture(autouse=True)
+def obs_report(request):
+    """Wrap every benchmark in a fresh metrics/tracing window and
+    persist the resulting report next to the text artifacts."""
+    with measurement_window() as (registry, tracer):
+        yield
+    OBS_DIR.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    write_report(str(OBS_DIR / f"{safe}.json"), registry, tracer,
+                 benchmark=request.node.nodeid)
 
 
 def save_report(name: str, text: str) -> None:

@@ -25,6 +25,9 @@ Quickstart::
 
 from .db import (QueryLog, RDFDatabase, Strategy, StrategyAdvice,
                  UnsupportedGraphError, WorkloadProfile, recommend_strategy)
+from .obs import (MetricsRegistry, Tracer, get_metrics, get_tracer,
+                  measurement_window, observability_report, render_report,
+                  report_to_json, span, write_report)
 from .rdf import (BlankNode, Graph, Literal, Namespace, NamespaceManager,
                   RDF, RDFS, OWL, XSD, Triple, TriplePattern, URI, Variable,
                   graph_from_ntriples, graph_from_turtle, parse_ntriples,
@@ -60,4 +63,8 @@ __all__ = [
     # db
     "RDFDatabase", "Strategy", "UnsupportedGraphError", "QueryLog",
     "WorkloadProfile", "StrategyAdvice", "recommend_strategy",
+    # obs
+    "MetricsRegistry", "Tracer", "get_metrics", "get_tracer", "span",
+    "measurement_window", "observability_report", "report_to_json",
+    "render_report", "write_report",
 ]

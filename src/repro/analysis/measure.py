@@ -8,9 +8,10 @@ noise on a shared machine).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
+
+from ..obs import span
 
 __all__ = ["Timing", "time_call", "best_of"]
 
@@ -29,11 +30,11 @@ class Timing:
         return self.seconds * 1000.0
 
 
-def time_call(fn: Callable[[], T]) -> Timing:
-    """Time a single call of ``fn``."""
-    started = time.perf_counter()
-    result = fn()
-    return Timing(time.perf_counter() - started, result)
+def time_call(fn: Callable[[], T], label: str = "measure.call") -> Timing:
+    """Time a single call of ``fn`` (recorded as an obs span)."""
+    with span(label) as sp:
+        result = fn()
+    return Timing(sp.duration, result)
 
 
 def best_of(fn: Callable[[], T], repeat: int = 3) -> Timing:

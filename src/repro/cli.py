@@ -9,7 +9,13 @@ Subcommands mirror the paper's workflow:
 * ``reformulate`` — print the UCQ a query rewrites into;
 * ``explain``     — print a proof tree for an entailed triple;
 * ``thresholds``  — Figure 3 on the given graph and queries;
-* ``generate``    — emit a seeded LUBM-style university graph.
+* ``generate``    — emit a seeded LUBM-style university graph;
+* ``stats``       — saturate (and optionally query), then print the
+  observability report: per-rule fire counts, histograms, span trees.
+
+The global ``--trace`` flag wraps any subcommand in a fresh
+measurement window and prints the collected metrics and span tree to
+stderr after the command's own output.
 
 Graphs load from ``.ttl``/``.turtle`` (Turtle) or ``.nt``/``.ntriples``
 (N-Triples) files, or from ``-`` (Turtle on stdin).
@@ -63,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reasoning on Web Data: saturation- and "
                     "reformulation-based RDF query answering")
+    parser.add_argument("--trace", action="store_true",
+                        help="print collected metrics and span tree to "
+                             "stderr after the command finishes")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_argument(sub: argparse.ArgumentParser) -> None:
@@ -130,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--universities", type=int, default=1)
     sub.add_argument("--seed", type=int, default=20150413)
     sub.add_argument("-o", "--output", default="-")
+
+    sub = subparsers.add_parser(
+        "stats",
+        help="saturate (and optionally query), print the obs report")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("-q", "--query", action="append", default=[],
+                     help="SPARQL query to run inside the measured "
+                          "window (repeatable)")
+    sub.add_argument("--strategy", default="saturation",
+                     choices=[s.value for s in Strategy])
+    sub.add_argument("--json", action="store_true",
+                     help="emit the machine-readable JSON report "
+                          "instead of the text rendering")
+    sub.add_argument("-o", "--output",
+                     help="also write the JSON report to this file")
 
     return parser
 
@@ -239,6 +264,27 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .obs import (measurement_window, observability_report,
+                      render_report, report_to_json)
+
+    graph = _load_graph(args.graph)
+    with measurement_window() as (registry, tracer):
+        db = RDFDatabase(graph, strategy=Strategy(args.strategy),
+                         ruleset=get_ruleset(args.ruleset))
+        for text in args.query:
+            db.query(text)
+    report = observability_report(
+        registry, tracer, command="stats", graph=args.graph,
+        ruleset=args.ruleset, strategy=args.strategy,
+        triples=len(db.graph), queries=len(args.query))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report) + "\n")
+    print(report_to_json(report) if args.json else render_report(report))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "saturate": _cmd_saturate,
@@ -248,12 +294,26 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "thresholds": _cmd_thresholds,
     "generate": _cmd_generate,
+    "stats": _cmd_stats,
 }
+
+
+def _run_traced(args) -> int:
+    from .obs import measurement_window, observability_report, render_report
+
+    with measurement_window() as (registry, tracer):
+        status = _COMMANDS[args.command](args)
+    report = observability_report(registry, tracer, command=args.command)
+    print("--- trace ---", file=sys.stderr)
+    print(render_report(report), file=sys.stderr)
+    return status
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.trace:
+            return _run_traced(args)
         return _COMMANDS[args.command](args)
     except BrokenPipeError:
         # downstream pager/head closed the pipe: exit quietly, the

@@ -33,7 +33,8 @@ from .magic import magic_query
 from .program import Atom, Clause, Program, Var
 
 __all__ = ["TRIPLE_PREDICATE", "graph_to_database", "ruleset_to_program",
-           "query_to_clause", "answer_query", "saturate_via_datalog"]
+           "add_head_constant_guards", "query_to_clause", "answer_query",
+           "saturate_via_datalog"]
 
 TRIPLE_PREDICATE = "t"
 _SUBJECT_GUARD = "r"
@@ -70,6 +71,24 @@ def graph_to_database(graph: Graph) -> Database:
         if isinstance(term, URI):
             database.add_fact(_PROPERTY_GUARD, (term,))
     return database
+
+
+def add_head_constant_guards(database: Database, ruleset: RuleSet) -> None:
+    """Admit rule-head constants into the guard relations.
+
+    Derivation can only introduce terms that appear as constants in
+    some rule head (every other head position is a body-bound
+    variable), so vocabulary terms like ``rdfs:Resource`` or
+    ``rdfs:member`` may be absent from the input graph yet legal in
+    derived triples.  Without these facts the guarded program is
+    incomplete for such rules (e.g. rdfs4b applied to a derived
+    ``rdf:type rdfs:Resource`` triple).
+    """
+    for rule in ruleset:
+        for term in (rule.head.s, rule.head.p, rule.head.o):
+            if isinstance(term, URI):
+                database.add_fact(_SUBJECT_GUARD, (term,))
+                database.add_fact(_PROPERTY_GUARD, (term,))
 
 
 def ruleset_to_program(ruleset: RuleSet = RDFS_DEFAULT) -> Program:
@@ -110,6 +129,7 @@ def saturate_via_datalog(graph: Graph,
     saturation engine's output.
     """
     database = graph_to_database(graph)
+    add_head_constant_guards(database, ruleset)
     engine = SemiNaiveEngine(ruleset_to_program(ruleset))
     engine.evaluate(database)
     result = graph.copy()
@@ -135,6 +155,7 @@ def answer_query(graph: Graph, query: BGPQuery,
     distinguished variables.
     """
     database = graph_to_database(graph)
+    add_head_constant_guards(database, ruleset)
     program_clauses = list(ruleset_to_program(ruleset))
     query_clause, goal = query_to_clause(query)
     program = Program(program_clauses + [query_clause])

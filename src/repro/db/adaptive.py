@@ -22,11 +22,11 @@ amortization logic of Figure 3, applied online.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..analysis.model import Calibration, calibrate, quick_recommendation
+from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..reasoning.rulesets import RDFS_DEFAULT, RuleSet
 from ..sparql.ast import BGPQuery
@@ -139,21 +139,27 @@ class AdaptiveDatabase:
             self._review()
 
     def _review(self) -> None:
-        if not self._window_queries:
-            # no queries in the window: updates dominate trivially
-            recommendation = Strategy.REFORMULATION \
-                if self._window_update_batches else self._db.strategy
-        else:
-            if self._calibration is None:
-                self._calibration = calibrate(size=200, repeat=1)
-            estimate = quick_recommendation(
-                self._db.graph,
-                list(self._window_queries.items()),
-                updates_per_period=self._window_update_batches,
-                calibration=self._calibration,
-                sample_size=200,
-            )
-            recommendation = Strategy(estimate["recommended"])
+        metrics = get_metrics()
+        with span("adaptive.review", operations=self._operations) as sp:
+            if not self._window_queries:
+                # no queries in the window: updates dominate trivially
+                recommendation = Strategy.REFORMULATION \
+                    if self._window_update_batches else self._db.strategy
+            else:
+                if self._calibration is None:
+                    self._calibration = calibrate(size=200, repeat=1)
+                estimate = quick_recommendation(
+                    self._db.graph,
+                    list(self._window_queries.items()),
+                    updates_per_period=self._window_update_batches,
+                    calibration=self._calibration,
+                    sample_size=200,
+                )
+                recommendation = Strategy(estimate["recommended"])
+            sp.set(recommendation=recommendation.value)
+        metrics.counter("adaptive.reviews").inc()
+        metrics.counter("adaptive.recommendations",
+                        strategy=recommendation.value).inc()
         self._window_queries.clear()
         self._window_update_batches = 0.0
 
@@ -169,6 +175,8 @@ class AdaptiveDatabase:
         if self._pending_count >= self.patience:
             previous = self._db.strategy
             self._db.switch_strategy(recommendation)
+            metrics.counter("adaptive.switches",
+                            to=recommendation.value).inc()
             self.switches.append(StrategySwitch(
                 at_operation=self._operations,
                 from_strategy=previous,

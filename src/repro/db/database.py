@@ -22,11 +22,11 @@ Figure 3 — in where they spend the time.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..datalog.translate import answer_query as datalog_answer
+from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
 from ..reasoning.incremental import (CountingReasoner, DRedReasoner,
@@ -118,11 +118,14 @@ class RDFDatabase:
     def switch_strategy(self, strategy: Strategy) -> None:
         """Change the reasoning regime; derived state is rebuilt."""
         if strategy != self._strategy:
-            self._strategy = strategy
-            self._reasoner = None
-            self._closed = None
-            self._schema = None
-            self._prepare()
+            get_metrics().counter("db.strategy_switches",
+                                  to=strategy.value).inc()
+            with span("db.switch_strategy", to=strategy.value):
+                self._strategy = strategy
+                self._reasoner = None
+                self._closed = None
+                self._schema = None
+                self._prepare()
 
     def _prepare(self) -> None:
         if self._strategy == Strategy.SATURATION:
@@ -148,6 +151,8 @@ class RDFDatabase:
         closed = self._explicit.copy()
         closed.update(self._schema.closure_triples())
         self._closed = closed
+        if self._reformulation_cache:
+            get_metrics().counter("db.reformulation_cache_invalidations").inc()
         self._reformulation_cache.clear()
         self._schema_generation += 1
 
@@ -166,6 +171,7 @@ class RDFDatabase:
     def insert(self, triples: Union[Triple, Iterable[Triple]]) -> int:
         """Insert explicit triples; derived state follows the strategy."""
         batch = [triples] if isinstance(triples, Triple) else list(triples)
+        get_metrics().counter("db.triples_inserted").inc(len(batch))
         added = self._explicit.update(batch)
         if self._strategy == Strategy.SATURATION and self._reasoner is not None:
             self._reasoner.insert(batch)
@@ -180,6 +186,7 @@ class RDFDatabase:
     def delete(self, triples: Union[Triple, Iterable[Triple]]) -> int:
         """Delete explicit triples; derived state follows the strategy."""
         batch = [triples] if isinstance(triples, Triple) else list(triples)
+        get_metrics().counter("db.triples_deleted").inc(len(batch))
         removed = self._explicit.remove_all(batch)
         if self._strategy == Strategy.SATURATION and self._reasoner is not None:
             self._reasoner.delete(batch)
@@ -242,47 +249,56 @@ class RDFDatabase:
 
         if isinstance(query, UnionQuery):
             return self._query_union(query)
-        started = time.perf_counter()
-        if self._strategy == Strategy.NONE:
-            results = evaluate(self._explicit, query)
-        elif self._strategy == Strategy.SATURATION:
-            assert self._reasoner is not None
-            results = evaluate(self._reasoner.graph, query)
-        elif self._strategy == Strategy.REFORMULATION:
-            assert self._schema is not None and self._closed is not None
-            reformulated = self._reformulation_cache.get(query)
-            if reformulated is None:
-                reformulated = reformulate(query, self._schema)
-                self._reformulation_cache[query] = reformulated
-            results = evaluate_reformulation(self._closed, reformulated)
-        else:  # Strategy.BACKWARD
-            answers = datalog_answer(self._explicit, query, self._ruleset,
-                                     method="magic")
-            results = ResultSet(query.distinguished, distinct=True)
-            for row in answers:
-                results.add(row)
+        metrics = get_metrics()
+        with span("db.query", strategy=self._strategy.value) as sp:
+            if self._strategy == Strategy.NONE:
+                results = evaluate(self._explicit, query)
+            elif self._strategy == Strategy.SATURATION:
+                assert self._reasoner is not None
+                results = evaluate(self._reasoner.graph, query)
+            elif self._strategy == Strategy.REFORMULATION:
+                assert self._schema is not None and self._closed is not None
+                reformulated = self._reformulation_cache.get(query)
+                if reformulated is None:
+                    metrics.counter("db.reformulation_cache_misses").inc()
+                    reformulated = reformulate(query, self._schema)
+                    self._reformulation_cache[query] = reformulated
+                else:
+                    metrics.counter("db.reformulation_cache_hits").inc()
+                results = evaluate_reformulation(self._closed, reformulated)
+            else:  # Strategy.BACKWARD
+                answers = datalog_answer(self._explicit, query, self._ruleset,
+                                         method="magic")
+                results = ResultSet(query.distinguished, distinct=True)
+                for row in answers:
+                    results.add(row)
+            sp.set(answers=len(results))
+        metrics.counter("db.queries", strategy=self._strategy.value).inc()
+        metrics.histogram("db.query_seconds").observe(sp.duration)
         self._log.append(QueryLog(
             sparql=query.to_sparql(), strategy=self._strategy.value,
-            answers=len(results), seconds=time.perf_counter() - started,
+            answers=len(results), seconds=sp.duration,
         ))
         return results
 
     def _query_union(self, union) -> ResultSet:
         """A union's answer set is the set-union of its branches'
         answer sets, each answered under the configured strategy."""
-        started = time.perf_counter()
-        results = ResultSet(union.distinguished, distinct=True)
-        for branch in union.branches:
-            for row in self.query(branch):
-                results.add(row)
+        with span("db.query_union", strategy=self._strategy.value,
+                  branches=len(union.branches)) as sp:
+            results = ResultSet(union.distinguished, distinct=True)
+            for branch in union.branches:
+                for row in self.query(branch):
+                    results.add(row)
+                    if union.limit is not None and len(results) >= union.limit:
+                        break
                 if union.limit is not None and len(results) >= union.limit:
                     break
-            if union.limit is not None and len(results) >= union.limit:
-                break
+            sp.set(answers=len(results))
         # the per-branch calls each logged themselves; log the union too
         self._log.append(QueryLog(
             sparql=union.to_sparql(), strategy=self._strategy.value,
-            answers=len(results), seconds=time.perf_counter() - started,
+            answers=len(results), seconds=sp.duration,
         ))
         return results
 

@@ -1,0 +1,36 @@
+"""Unified observability: metrics, tracing and stable JSON export.
+
+The measurement substrate every engine reports into (see ROADMAP's
+"as fast as the hardware allows" — a claim needs numbers, and numbers
+need a consistent place to live):
+
+* :mod:`repro.obs.metrics` — process-wide counters, gauges and
+  histograms (p50/p95/max) in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` — ``with span("saturate.round"): ...``
+  nested timing trees;
+* :mod:`repro.obs.export` — the versioned JSON report the CLI
+  (``repro stats``, ``--trace``) and the benchmark harness emit.
+
+Instrumented call sites pay next to nothing; isolation for tests and
+benchmarks is a ``measurement_window()`` away.
+"""
+
+from .export import (REPORT_SCHEMA, measurement_window, observability_report,
+                     render_report, report_to_json, write_report)
+from .metrics import (Counter, Gauge, Histogram, HistogramSnapshot,
+                      MetricsRegistry, get_metrics, pop_registry,
+                      push_registry, set_metrics)
+from .tracing import (Span, Tracer, current_span, get_tracer, pop_tracer,
+                      push_tracer, set_tracer, span)
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "HistogramSnapshot", "MetricsRegistry",
+    "get_metrics", "set_metrics", "push_registry", "pop_registry",
+    # tracing
+    "Span", "Tracer", "span", "current_span", "get_tracer", "set_tracer",
+    "push_tracer", "pop_tracer",
+    # export
+    "REPORT_SCHEMA", "observability_report", "report_to_json",
+    "write_report", "render_report", "measurement_window",
+]

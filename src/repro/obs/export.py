@@ -1,0 +1,144 @@
+"""Stable JSON export and text rendering of observability state.
+
+One report format, used everywhere a run's numbers leave the process:
+the ``repro stats`` CLI subcommand, the ``--trace`` flag, and the
+per-benchmark artifacts ``benchmarks/conftest.py`` writes.  Future
+perf PRs diff these files to prove a hot path got faster, so the
+format is versioned and key order is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry, get_metrics
+from .tracing import Tracer, get_tracer
+
+__all__ = ["REPORT_SCHEMA", "observability_report", "report_to_json",
+           "write_report", "render_report", "measurement_window"]
+
+#: bump on incompatible layout changes; diff tooling keys off this
+REPORT_SCHEMA = "repro-obs-report/1"
+
+
+def observability_report(registry: Optional[MetricsRegistry] = None,
+                         tracer: Optional[Tracer] = None,
+                         **context: object) -> Dict[str, object]:
+    """The combined metrics + spans report as a plain dict.
+
+    ``context`` lands under a ``"context"`` key — benchmark name,
+    graph size, strategy, anything that identifies the run.
+    """
+    registry = registry if registry is not None else get_metrics()
+    tracer = tracer if tracer is not None else get_tracer()
+    report: Dict[str, object] = {"schema": REPORT_SCHEMA}
+    if context:
+        report["context"] = {k: context[k] for k in sorted(context)}
+    report["metrics"] = registry.snapshot()
+    report["spans"] = tracer.to_list()
+    return report
+
+
+def report_to_json(report: Dict[str, object]) -> str:
+    """Serialize a report deterministically (sorted keys, 2-space)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def write_report(path: str, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 **context: object) -> Dict[str, object]:
+    """Build a report and write it to ``path``; returns the report."""
+    report = observability_report(registry, tracer, **context)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report_to_json(report) + "\n")
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a report (counters, histograms,
+    then span trees), for terminal output."""
+    lines = []
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})  # type: ignore[union-attr]
+    gauges = metrics.get("gauges", {})  # type: ignore[union-attr]
+    histograms = metrics.get("histograms", {})  # type: ignore[union-attr]
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            if isinstance(value, dict):
+                for label in sorted(value):
+                    lines.append(f"  {name}{{{label}}}: {value[label]}")
+            else:
+                lines.append(f"  {name}: {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            value = gauges[name]
+            if isinstance(value, dict):
+                for label in sorted(value):
+                    lines.append(f"  {name}{{{label}}}: {value[label]}")
+            else:
+                lines.append(f"  {name}: {value}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            value = histograms[name]
+            summaries = value.items() if isinstance(value, dict) and \
+                "count" not in value else [("", value)]
+            for label, summary in summaries:
+                suffix = f"{{{label}}}" if label else ""
+                lines.append(
+                    f"  {name}{suffix}: n={summary['count']} "
+                    f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                    f"max={summary['max']:.6g}")
+    spans = report.get("spans", [])
+    if spans:
+        lines.append("spans:")
+        lines.extend(_render_span(node, 1) for node in spans)
+    return "\n".join(lines) if lines else "(no measurements recorded)"
+
+
+def _render_span(node: Dict[str, object], indent: int) -> str:
+    attrs = node.get("attributes")
+    attr_str = ""
+    if attrs:
+        attr_str = " " + " ".join(f"{k}={v}"
+                                  for k, v in attrs.items())  # type: ignore[union-attr]
+    line = (f"{'  ' * indent}{node['name']}: "
+            f"{float(node['seconds']) * 1000:.2f} ms{attr_str}")  # type: ignore[arg-type]
+    children = node.get("children", [])
+    if children:
+        return "\n".join([line] + [_render_span(child, indent + 1)
+                                   for child in children])  # type: ignore[union-attr]
+    return line
+
+
+class measurement_window:
+    """Context manager: a fresh registry + tracer for one experiment.
+
+    ::
+
+        with measurement_window() as (registry, tracer):
+            saturate(graph)
+        report = observability_report(registry, tracer)
+
+    Nested windows isolate correctly (stack discipline).
+    """
+
+    def __enter__(self):
+        from .metrics import push_registry
+        from .tracing import push_tracer
+
+        self.registry = push_registry()
+        self.tracer = push_tracer()
+        return self.registry, self.tracer
+
+    def __exit__(self, *exc_info):
+        from .metrics import pop_registry
+        from .tracing import pop_tracer
+
+        pop_tracer()
+        pop_registry()
+        return False

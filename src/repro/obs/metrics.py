@@ -1,0 +1,303 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+The paper's argument is quantitative — Figure 3 is a grid of measured
+costs — so the reproduction needs measurements that are *comparable
+across runs* and *machine-checkable*, not scattered ``perf_counter``
+deltas.  This module provides the substrate: a
+:class:`MetricsRegistry` holding named instruments, each optionally
+refined by labels (``counter("saturation.rule_fired", rule="rdfs9")``),
+with a stable JSON-friendly snapshot so benchmark reports can be
+diffed between PRs.
+
+Design constraints, in order:
+
+* **negligible hot-path cost** — instruments are plain objects; the
+  registry lookup is paid once per call site, the per-event cost is an
+  attribute increment (callers in tight loops accumulate locally and
+  flush once);
+* **determinism** — snapshots sort by name and label, so two runs of
+  the same workload produce byte-identical reports (timing histograms
+  excepted, and excludable);
+* **no dependencies** — everything is stdlib.
+
+The process-wide default registry is reachable through
+:func:`get_metrics`; tests and the benchmark harness swap it with
+:func:`push_registry` / :func:`pop_registry` to isolate measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "HistogramSnapshot",
+           "MetricsRegistry", "get_metrics", "set_metrics",
+           "push_registry", "pop_registry"]
+
+#: label sets are stored as sorted tuples so lookups are order-insensitive
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, derivations, lookups)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """A value that goes up and down (sizes, cache population)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class HistogramSnapshot:
+    """Summary statistics of a histogram at one point in time."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "p50", "p95")
+
+    def __init__(self, count: int, total: float, minimum: float,
+                 maximum: float, p50: float, p95: float):
+        self.count = count
+        self.total = total
+        self.minimum = minimum
+        self.maximum = maximum
+        self.p50 = p50
+        self.p95 = p95
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total, "min": self.minimum,
+                "max": self.maximum, "mean": self.mean,
+                "p50": self.p50, "p95": self.p95}
+
+
+class Histogram:
+    """A distribution of observed values with p50/p95/max summaries.
+
+    Keeps every observation up to ``max_samples``, then halves the
+    reservoir by keeping every other sample (deterministic — no
+    random eviction, so identical runs summarize identically).  At the
+    default cap the memory cost is bounded at a few tens of KiB per
+    instrument, which the benchmark workloads never approach.
+    """
+
+    __slots__ = ("name", "labels", "max_samples", "_samples", "_dropped",
+                 "count", "total")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 max_samples: int = 4096):
+        self.name = name
+        self.labels = labels
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._dropped = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._samples.append(value)
+        if len(self._samples) > self.max_samples:
+            dropped = len(self._samples) // 2
+            self._samples = self._samples[::2]
+            self._dropped += dropped
+
+    def snapshot(self) -> HistogramSnapshot:
+        if not self._samples:
+            return HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self._samples)
+        return HistogramSnapshot(
+            count=self.count, total=self.total,
+            minimum=ordered[0], maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50), p95=_percentile(ordered, 0.95),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name}{dict(self.labels)} n={self.count}>"
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation percentile over a pre-sorted sample list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+class MetricsRegistry:
+    """A named, labeled instrument store with a stable JSON snapshot.
+
+    Instruments are created on first use and cached; asking twice for
+    the same (name, labels) pair returns the same object, so call
+    sites can hoist the lookup out of loops.  A name can only be used
+    for one instrument kind (asking for a counter named like an
+    existing gauge raises ``TypeError`` — silent kind confusion would
+    corrupt reports).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def _get(self, kind: type, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            if not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}")
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                registered = self._kinds.setdefault(name, kind)
+                if registered is not kind:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{registered.__name__}, not {kind.__name__}")
+                instrument = kind(name, key[1])
+                self._instruments[key] = instrument
+        if not isinstance(instrument, kind):  # raced with a bad caller
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}")
+        return instrument
+
+    # -- introspection --------------------------------------------------
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(sorted(self._instruments.values(),
+                           key=lambda i: (i.name, i.labels)))  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh measurement window)."""
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A stable, JSON-serializable view of every instrument.
+
+        Layout: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}``; labeled instruments nest under their
+        name keyed by a canonical ``k=v,k=v`` label string.
+        """
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for instrument in self:
+            name = instrument.name  # type: ignore[attr-defined]
+            labels = instrument.labels  # type: ignore[attr-defined]
+            if isinstance(instrument, Counter):
+                bucket, value = counters, instrument.value
+            elif isinstance(instrument, Gauge):
+                bucket, value = gauges, instrument.value
+            else:
+                assert isinstance(instrument, Histogram)
+                bucket, value = histograms, instrument.snapshot().to_dict()
+            if not labels:
+                bucket[name] = value
+            else:
+                label_str = ",".join(f"{k}={v}" for k, v in labels)
+                bucket.setdefault(name, {})[label_str] = value  # type: ignore[union-attr]
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+# the process-wide default registry (swappable for isolation)
+# ----------------------------------------------------------------------
+
+_default_registry = MetricsRegistry()
+_registry_stack: List[MetricsRegistry] = []
+
+
+def get_metrics() -> MetricsRegistry:
+    """The registry instrumented code reports into right now."""
+    if _registry_stack:
+        return _registry_stack[-1]
+    return _default_registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the old one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def push_registry(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Route subsequent measurements into a (new) registry until
+    :func:`pop_registry`.  Used by tests and the benchmark harness to
+    isolate one experiment's numbers."""
+    registry = registry if registry is not None else MetricsRegistry()
+    _registry_stack.append(registry)
+    return registry
+
+
+def pop_registry() -> MetricsRegistry:
+    """Undo the innermost :func:`push_registry`."""
+    if not _registry_stack:
+        raise RuntimeError("pop_registry() without a matching push_registry()")
+    return _registry_stack.pop()

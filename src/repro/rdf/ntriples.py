@@ -30,7 +30,8 @@ class NTriplesError(ValueError):
         super().__init__(message)
 
 
-_URI_RE = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_URI_RE = (r"<((?:[^<>\"{}|^`\\\x00-\x20]"
+           r"|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8})*)>")
 _BLANK_RE = r"_:([A-Za-z0-9][A-Za-z0-9._-]*)"
 _LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?'
 

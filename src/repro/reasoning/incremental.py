@@ -28,10 +28,10 @@ Insertions use the same semi-naive delta propagation in both.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
 from ..schema import Schema, strongly_connected_components
@@ -132,24 +132,39 @@ class IncrementalReasoner:
 
     def insert(self, triples: Iterable[Triple]) -> MaintenanceResult:
         """Insert explicit triples and propagate their consequences."""
-        started = time.perf_counter()
         batch = list(triples)
-        delta: List[Triple] = []
-        explicit_changed = 0
-        for triple in batch:
-            if triple not in self.explicit:
-                self.explicit.add(triple)
-                explicit_changed += 1
-            if self.graph.add(triple):
-                delta.append(triple)
-                self._on_explicit_added(triple)
-        implicit_added = self._propagate_insertions(delta)
-        return MaintenanceResult(
-            operation="insert", algorithm=self.algorithm,
-            requested=len(batch), explicit_changed=explicit_changed,
-            implicit_added=implicit_added,
-            seconds=time.perf_counter() - started,
-        )
+        with span("maintenance.insert", algorithm=self.algorithm,
+                  requested=len(batch)) as sp:
+            delta: List[Triple] = []
+            explicit_changed = 0
+            for triple in batch:
+                if triple not in self.explicit:
+                    self.explicit.add(triple)
+                    explicit_changed += 1
+                if self.graph.add(triple):
+                    delta.append(triple)
+                    self._on_explicit_added(triple)
+            implicit_added = self._propagate_insertions(delta)
+            sp.set(implicit_added=implicit_added)
+            result = MaintenanceResult(
+                operation="insert", algorithm=self.algorithm,
+                requested=len(batch), explicit_changed=explicit_changed,
+                implicit_added=implicit_added,
+            )
+            self._record_metrics(result)
+        result.seconds = sp.duration
+        return result
+
+    def _record_metrics(self, result: MaintenanceResult) -> None:
+        metrics = get_metrics()
+        metrics.counter("maintenance.operations", operation=result.operation,
+                        algorithm=result.algorithm).inc()
+        metrics.counter("maintenance.implicit_added").inc(result.implicit_added)
+        metrics.counter("maintenance.implicit_removed").inc(
+            result.implicit_removed)
+        if result.operation == "delete" and result.algorithm == "dred":
+            metrics.counter("maintenance.overdeleted").inc(result.overdeleted)
+            metrics.counter("maintenance.rederived").inc(result.rederived)
 
     def delete(self, triples: Iterable[Triple]) -> MaintenanceResult:
         raise NotImplementedError
@@ -206,68 +221,75 @@ class DRedReasoner(IncrementalReasoner):
 
     def delete(self, triples: Iterable[Triple]) -> MaintenanceResult:
         """Delete explicit triples; over-delete then re-derive."""
-        started = time.perf_counter()
         batch = list(triples)
-        explicit_changed = 0
-        seeds: List[Triple] = []
-        for triple in batch:
-            if triple in self.explicit:
-                self.explicit.discard(triple)
-                explicit_changed += 1
-                seeds.append(triple)
+        with span("maintenance.delete", algorithm=self.algorithm,
+                  requested=len(batch)) as sp:
+            explicit_changed = 0
+            seeds: List[Triple] = []
+            for triple in batch:
+                if triple in self.explicit:
+                    self.explicit.discard(triple)
+                    explicit_changed += 1
+                    seeds.append(triple)
 
-        # Phase 1 — over-deletion: propagate, over the pre-deletion
-        # graph, every conclusion reachable from a deleted premise.
-        snapshot = self.graph.copy()
-        overdeleted: Set[Triple] = set()
-        queue: List[Triple] = []
-        for seed in seeds:
-            if seed not in self.explicit and seed in self.graph:
-                overdeleted.add(seed)
-                queue.append(seed)
-        while queue:
-            next_queue: List[Triple] = []
-            for rule in self.ruleset:
-                for conclusion in rule.fire_conclusions(snapshot, queue):
-                    if conclusion in overdeleted or conclusion in self.explicit:
-                        continue
-                    if conclusion in self.graph:
-                        overdeleted.add(conclusion)
-                        next_queue.append(conclusion)
-            queue = next_queue
-        for triple in overdeleted:
-            self.graph.remove(triple)
+            # Phase 1 — over-deletion: propagate, over the pre-deletion
+            # graph, every conclusion reachable from a deleted premise.
+            with span("maintenance.overdelete"):
+                snapshot = self.graph.copy()
+                overdeleted: Set[Triple] = set()
+                queue: List[Triple] = []
+                for seed in seeds:
+                    if seed not in self.explicit and seed in self.graph:
+                        overdeleted.add(seed)
+                        queue.append(seed)
+                while queue:
+                    next_queue: List[Triple] = []
+                    for rule in self.ruleset:
+                        for conclusion in rule.fire_conclusions(snapshot, queue):
+                            if conclusion in overdeleted or conclusion in self.explicit:
+                                continue
+                            if conclusion in self.graph:
+                                overdeleted.add(conclusion)
+                                next_queue.append(conclusion)
+                    queue = next_queue
+                for triple in overdeleted:
+                    self.graph.remove(triple)
 
-        # Phase 2 — re-derivation: an over-deleted triple survives if it
-        # still has a one-step derivation from the remaining graph;
-        # re-insertions then propagate semi-naively and can only
-        # resurrect other over-deleted triples.
-        rederived: List[Triple] = []
-        for triple in overdeleted:
-            for __ in one_step_derivations(self.graph, triple, self.ruleset):
-                self.graph.add(triple)
-                rederived.append(triple)
-                break
-        delta = list(rederived)
-        while delta:
-            next_delta: List[Triple] = []
-            for rule in self.ruleset:
-                for conclusion in rule.fire_conclusions(self.graph, delta):
-                    if conclusion not in self.graph:
-                        self.graph.add(conclusion)
-                        rederived.append(conclusion)
-                        next_delta.append(conclusion)
-            delta = next_delta
+            # Phase 2 — re-derivation: an over-deleted triple survives if it
+            # still has a one-step derivation from the remaining graph;
+            # re-insertions then propagate semi-naively and can only
+            # resurrect other over-deleted triples.
+            with span("maintenance.rederive"):
+                rederived: List[Triple] = []
+                for triple in overdeleted:
+                    for __ in one_step_derivations(self.graph, triple,
+                                                   self.ruleset):
+                        self.graph.add(triple)
+                        rederived.append(triple)
+                        break
+                delta = list(rederived)
+                while delta:
+                    next_delta: List[Triple] = []
+                    for rule in self.ruleset:
+                        for conclusion in rule.fire_conclusions(self.graph, delta):
+                            if conclusion not in self.graph:
+                                self.graph.add(conclusion)
+                                rederived.append(conclusion)
+                                next_delta.append(conclusion)
+                    delta = next_delta
 
-        removed = len(overdeleted) - len(set(rederived) & overdeleted)
-        explicit_removed = sum(1 for t in seeds if t not in self.graph)
-        return MaintenanceResult(
-            operation="delete", algorithm=self.algorithm,
-            requested=len(batch), explicit_changed=explicit_changed,
-            implicit_removed=removed - explicit_removed,
-            overdeleted=len(overdeleted), rederived=len(set(rederived)),
-            seconds=time.perf_counter() - started,
-        )
+            removed = len(overdeleted) - len(set(rederived) & overdeleted)
+            explicit_removed = sum(1 for t in seeds if t not in self.graph)
+            sp.set(overdeleted=len(overdeleted), rederived=len(set(rederived)))
+            result = MaintenanceResult(
+                operation="delete", algorithm=self.algorithm,
+                requested=len(batch), explicit_changed=explicit_changed,
+                implicit_removed=removed - explicit_removed,
+                overdeleted=len(overdeleted), rederived=len(set(rederived)),
+            )
+            self._record_metrics(result)
+        result.seconds = sp.duration
+        return result
 
 
 class CountingReasoner(IncrementalReasoner):
@@ -312,55 +334,59 @@ class CountingReasoner(IncrementalReasoner):
         return len(self._justifications.get(triple, ()))
 
     def delete(self, triples: Iterable[Triple]) -> MaintenanceResult:
-        started = time.perf_counter()
-        self._ensure_acyclic()
         batch = set(triples)
-        explicit_changed = 0
-        queue: List[Triple] = []
-        for triple in batch:
-            if triple in self.explicit:
-                self.explicit.discard(triple)
-                explicit_changed += 1
-                if not self._justifications.get(triple):
-                    queue.append(triple)
+        with span("maintenance.delete", algorithm=self.algorithm,
+                  requested=len(batch)) as sp:
+            self._ensure_acyclic()
+            explicit_changed = 0
+            queue: List[Triple] = []
+            for triple in batch:
+                if triple in self.explicit:
+                    self.explicit.discard(triple)
+                    explicit_changed += 1
+                    if not self._justifications.get(triple):
+                        queue.append(triple)
 
-        implicit_removed = 0
-        explicit_seed_removed = 0
-        while queue:
-            triple = queue.pop()
-            if triple not in self.graph:
-                continue
-            if triple in self.explicit or self._justifications.get(triple):
-                continue
-            self.graph.remove(triple)
-            if triple in batch:
-                explicit_seed_removed += 1
-            else:
-                implicit_removed += 1
-            # invalidate every derivation this triple participates in
-            for derivation in self._uses.pop(triple, set()):
-                conclusion = derivation.conclusion
-                bucket = self._justifications.get(conclusion)
-                if bucket is None:
+            implicit_removed = 0
+            explicit_seed_removed = 0
+            while queue:
+                triple = queue.pop()
+                if triple not in self.graph:
                     continue
-                bucket.discard(derivation)
-                for premise in derivation.premises:
-                    if premise != triple:
-                        uses = self._uses.get(premise)
-                        if uses is not None:
-                            uses.discard(derivation)
-                if not bucket:
-                    del self._justifications[conclusion]
-                    if conclusion not in self.explicit:
-                        queue.append(conclusion)
-            self._justifications.pop(triple, None)
+                if triple in self.explicit or self._justifications.get(triple):
+                    continue
+                self.graph.remove(triple)
+                if triple in batch:
+                    explicit_seed_removed += 1
+                else:
+                    implicit_removed += 1
+                # invalidate every derivation this triple participates in
+                for derivation in self._uses.pop(triple, set()):
+                    conclusion = derivation.conclusion
+                    bucket = self._justifications.get(conclusion)
+                    if bucket is None:
+                        continue
+                    bucket.discard(derivation)
+                    for premise in derivation.premises:
+                        if premise != triple:
+                            uses = self._uses.get(premise)
+                            if uses is not None:
+                                uses.discard(derivation)
+                    if not bucket:
+                        del self._justifications[conclusion]
+                        if conclusion not in self.explicit:
+                            queue.append(conclusion)
+                self._justifications.pop(triple, None)
 
-        return MaintenanceResult(
-            operation="delete", algorithm=self.algorithm,
-            requested=len(batch), explicit_changed=explicit_changed,
-            implicit_removed=implicit_removed,
-            seconds=time.perf_counter() - started,
-        )
+            sp.set(implicit_removed=implicit_removed)
+            result = MaintenanceResult(
+                operation="delete", algorithm=self.algorithm,
+                requested=len(batch), explicit_changed=explicit_changed,
+                implicit_removed=implicit_removed,
+            )
+            self._record_metrics(result)
+        result.seconds = sp.duration
+        return result
 
     def _ensure_acyclic(self) -> None:
         schema = Schema.from_graph(self.graph)

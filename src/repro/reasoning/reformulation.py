@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterator, List, Optional, Set, Tuple
 
+from ..obs import get_metrics, span
 from ..rdf.namespaces import RDF, RDFS
 from ..rdf.terms import Literal, Term, Variable, fresh_variable
 from ..rdf.triples import TriplePattern
@@ -254,13 +255,23 @@ def reformulate(query: BGPQuery, schema: Schema) -> Reformulation:
     The contract (see module docstring): evaluating the result against
     a graph whose schema closure is materialized returns ``q(G∞)``.
     """
-    result = Reformulation(original=query, schema=schema)
-    for variant_query in _expand_bindings(query, schema):
-        alternatives = tuple(
-            tuple(atom_alternatives(atom, schema))
-            for atom in variant_query.patterns
-        )
-        result.variants.append(FactorizedVariant(variant_query, alternatives))
+    with span("reformulate", atoms=len(query.patterns)) as sp:
+        metrics = get_metrics()
+        fanout = metrics.histogram("reformulation.atom_fanout")
+        result = Reformulation(original=query, schema=schema)
+        for variant_query in _expand_bindings(query, schema):
+            alternatives = tuple(
+                tuple(atom_alternatives(atom, schema))
+                for atom in variant_query.patterns
+            )
+            for atom_set in alternatives:
+                fanout.observe(len(atom_set))
+            result.variants.append(FactorizedVariant(variant_query, alternatives))
+        ucq_size = result.ucq_size
+        sp.set(variants=result.variant_count, ucq_size=ucq_size)
+        metrics.counter("reformulation.calls").inc()
+        metrics.histogram("reformulation.variants").observe(result.variant_count)
+        metrics.histogram("reformulation.ucq_size").observe(ucq_size)
     return result
 
 
@@ -304,26 +315,29 @@ def reformulate_fixpoint(query: BGPQuery, schema: Schema,
 
     ``max_conjuncts`` guards runaway expansions in interactive use.
     """
-    conjuncts: List[BGPQuery] = []
-    seen: Set[tuple] = set()
-    frontier: List[BGPQuery] = []
-    for specialized in _expand_bindings(query, schema):
-        key = canonical_form(specialized)
-        if key not in seen:
-            seen.add(key)
-            conjuncts.append(specialized)
-            frontier.append(specialized)
-    while frontier:
-        if max_conjuncts is not None and len(conjuncts) > max_conjuncts:
-            raise RuntimeError(
-                f"reformulation exceeded {max_conjuncts} conjuncts")
-        next_frontier: List[BGPQuery] = []
-        for current in frontier:
-            for rewritten in _single_steps(current, schema):
-                key = canonical_form(rewritten)
-                if key not in seen:
-                    seen.add(key)
-                    conjuncts.append(rewritten)
-                    next_frontier.append(rewritten)
-        frontier = next_frontier
+    with span("reformulate.fixpoint", atoms=len(query.patterns)) as sp:
+        conjuncts: List[BGPQuery] = []
+        seen: Set[tuple] = set()
+        frontier: List[BGPQuery] = []
+        for specialized in _expand_bindings(query, schema):
+            key = canonical_form(specialized)
+            if key not in seen:
+                seen.add(key)
+                conjuncts.append(specialized)
+                frontier.append(specialized)
+        while frontier:
+            if max_conjuncts is not None and len(conjuncts) > max_conjuncts:
+                raise RuntimeError(
+                    f"reformulation exceeded {max_conjuncts} conjuncts")
+            next_frontier: List[BGPQuery] = []
+            for current in frontier:
+                for rewritten in _single_steps(current, schema):
+                    key = canonical_form(rewritten)
+                    if key not in seen:
+                        seen.add(key)
+                        conjuncts.append(rewritten)
+                        next_frontier.append(rewritten)
+            frontier = next_frontier
+        sp.set(ucq_size=len(conjuncts))
+        get_metrics().histogram("reformulation.ucq_size").observe(len(conjuncts))
     return conjuncts

@@ -22,10 +22,10 @@ Two engines are provided:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF, RDFS
 from ..rdf.terms import Literal, URI
@@ -106,33 +106,49 @@ def saturate(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT,
     """
     target = graph if in_place else graph.copy()
     base_size = len(target)
-    started = time.perf_counter()
 
     rhodf_rules = frozenset(RHO_DF.rules)
     is_rhodf = frozenset(ruleset.rules) == rhodf_rules
 
-    if engine == "auto":
-        engine = "schema-aware" if is_rhodf and not has_meta_schema(target) \
-            else "seminaive"
-    if engine in ("schema-aware", "set-at-a-time"):
-        if not is_rhodf:
-            raise ValueError(f"the {engine} engine only supports the "
-                             f"rhodf/rdfs-default rule set")
-        if has_meta_schema(target):
-            raise ValueError("graph constrains the RDFS vocabulary itself; "
-                             "use the semi-naive engine")
-        if engine == "schema-aware":
-            result = _saturate_schema_aware(target, base_size)
+    with span("saturate", ruleset=ruleset.name, base_size=base_size) as sp:
+        if engine == "auto":
+            engine = "schema-aware" if is_rhodf and not has_meta_schema(target) \
+                else "seminaive"
+        sp.set(engine=engine)
+        if engine in ("schema-aware", "set-at-a-time"):
+            if not is_rhodf:
+                raise ValueError(f"the {engine} engine only supports the "
+                                 f"rhodf/rdfs-default rule set")
+            if has_meta_schema(target):
+                raise ValueError("graph constrains the RDFS vocabulary itself; "
+                                 "use the semi-naive engine")
+            if engine == "schema-aware":
+                result = _saturate_schema_aware(target, base_size)
+            else:
+                result = _saturate_setwise(target, base_size)
+        elif engine == "seminaive":
+            result = _saturate_seminaive(target, ruleset, base_size, max_rounds)
         else:
-            result = _saturate_setwise(target, base_size)
-    elif engine == "seminaive":
-        result = _saturate_seminaive(target, ruleset, base_size, max_rounds)
-    else:
-        raise ValueError(f"unknown engine {engine!r}; expected 'auto', "
-                         f"'seminaive', 'schema-aware' or 'set-at-a-time'")
+            raise ValueError(f"unknown engine {engine!r}; expected 'auto', "
+                             f"'seminaive', 'schema-aware' or 'set-at-a-time'")
+        sp.set(inferred=result.inferred, rounds=result.rounds)
+        _record_saturation_metrics(result)
 
-    result.seconds = time.perf_counter() - started
+    # the summary's wall-clock figure IS the span's duration: one
+    # timing source, so the trace and the result can never disagree
+    result.seconds = sp.duration
     return result
+
+
+def _record_saturation_metrics(result: SaturationResult) -> None:
+    metrics = get_metrics()
+    metrics.counter("saturation.runs", engine=result.engine).inc()
+    metrics.counter("saturation.inferred").inc(result.inferred)
+    metrics.histogram("saturation.rounds").observe(result.rounds)
+    metrics.histogram("saturation.blowup").observe(result.blowup)
+    for rule, count in result.rule_counts.items():
+        if count:
+            metrics.counter("saturation.rule_fired", rule=rule).inc(count)
 
 
 def saturation_of(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT) -> Graph:
@@ -164,6 +180,7 @@ def is_saturated(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT) -> bool:
 def _saturate_seminaive(graph: Graph, ruleset: RuleSet, base_size: int,
                         max_rounds: Optional[int]) -> SaturationResult:
     rule_counts: Dict[str, int] = {rule.name: 0 for rule in ruleset}
+    round_deltas = get_metrics().histogram("saturation.round_delta")
     delta: List[Triple] = list(graph)
     rounds = 0
     while delta:
@@ -171,11 +188,18 @@ def _saturate_seminaive(graph: Graph, ruleset: RuleSet, base_size: int,
             break
         rounds += 1
         new_this_round: List[Triple] = []
-        for rule in ruleset:
-            for conclusion in rule.fire_conclusions(graph, delta):
-                if graph.add(conclusion):
-                    rule_counts[rule.name] += 1
-                    new_this_round.append(conclusion)
+        with span("saturate.round", round=rounds) as round_span:
+            for rule in ruleset:
+                # materialize before inserting: fire_conclusions scans
+                # the graph's indexes lazily, and adding while a scan
+                # is live corrupts the iteration (seen with rules whose
+                # head shares the body's predicate, e.g. symmetry)
+                for conclusion in list(rule.fire_conclusions(graph, delta)):
+                    if graph.add(conclusion):
+                        rule_counts[rule.name] += 1
+                        new_this_round.append(conclusion)
+            round_span.set(delta_in=len(delta), delta_out=len(new_this_round))
+        round_deltas.observe(len(new_this_round))
         delta = new_this_round
     return SaturationResult(
         graph=graph, base_size=base_size, inferred=len(graph) - base_size,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
+from ..obs import get_metrics
 from ..rdf.graph import Graph
 from ..rdf.triples import Substitution, TriplePattern
 from .ast import BGPQuery
@@ -41,14 +42,25 @@ def evaluate_bgp_bindings(graph: Graph, patterns: Sequence[TriplePattern],
     else:
         ordered = list(patterns)
 
+    # accounting is accumulated locally and flushed once (the join is a
+    # generator the caller may abandon early, hence the finally)
+    counts = [0, 0]  # [index lookups, intermediate bindings]
+
     def join(index: int, binding: Substitution) -> Iterator[Substitution]:
         if index == len(ordered):
             yield binding
             return
+        counts[0] += 1
         for extended in graph.match(ordered[index], binding):
+            counts[1] += 1
             yield from join(index + 1, extended)
 
-    yield from join(0, {})
+    try:
+        yield from join(0, {})
+    finally:
+        metrics = get_metrics()
+        metrics.counter("evaluator.index_lookups").inc(counts[0])
+        metrics.counter("evaluator.intermediate_bindings").inc(counts[1])
 
 
 def evaluate(graph: Graph, query: BGPQuery, optimize: bool = True) -> ResultSet:
@@ -122,6 +134,8 @@ def evaluate_factorized(graph: Graph, reformulation,
     data-aware pruning: a subclass with no instances costs nothing.
     Sound because a zero-cardinality scan contributes no bindings.
     """
+    metrics = get_metrics()
+    counts = [0, 0, 0]  # [index lookups, intermediate bindings, pruned]
     results: Optional[ResultSet] = None
     for variant in reformulation.variants:
         query = variant.query
@@ -140,6 +154,7 @@ def evaluate_factorized(graph: Graph, reformulation,
                 kept = tuple(
                     alt for alt in alternatives
                     if estimate_cardinality(graph, alt) > 0)
+                counts[2] += len(alternatives) - len(kept)
                 if not kept:
                     empty_atom = True
                     break
@@ -153,7 +168,9 @@ def evaluate_factorized(graph: Graph, reformulation,
                 yield binding
                 return
             for alternative in alternative_sets[index]:
+                counts[0] += 1
                 for extended in graph.match(alternative, binding):
+                    counts[1] += 1
                     yield from join(index + 1, extended)
 
         preset = query.preset
@@ -166,6 +183,9 @@ def evaluate_factorized(graph: Graph, reformulation,
                 raise ValueError(
                     f"unbound distinguished variable in {query.to_sparql()!r}")
             results.add(row)  # type: ignore[arg-type]
+    metrics.counter("evaluator.index_lookups").inc(counts[0])
+    metrics.counter("evaluator.intermediate_bindings").inc(counts[1])
+    metrics.counter("evaluator.pruned_alternatives").inc(counts[2])
     if results is None:
         raise ValueError("reformulation has no variants")
     return results

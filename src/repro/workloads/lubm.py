@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import Namespace, RDF, RDFS, XSD
@@ -188,7 +188,8 @@ class LUBMConfig:
 
 
 def generate_lubm(config: LUBMConfig = LUBMConfig(),
-                  include_schema: bool = True) -> Graph:
+                  include_schema: bool = True,
+                  seed: Optional[int] = None) -> Graph:
     """Generate a university graph according to ``config``.
 
     Mirrors the original LUBM's reliance on reasoning: individuals are
@@ -196,8 +197,11 @@ def generate_lubm(config: LUBMConfig = LUBMConfig(),
     membership is asserted through the most specific property
     (``headOf`` for chairs, ``worksFor`` for other staff), leaving
     ``memberOf`` and the superclasses implicit.
+
+    ``seed`` overrides ``config.seed``; a fixed (config, seed) pair
+    always produces the byte-identical graph.
     """
-    rng = Random(config.seed)
+    rng = Random(config.seed if seed is None else seed)
     graph = Graph()
     graph.namespaces.bind("univ", UNIV)
     if include_schema:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import Namespace, RDF, RDFS
@@ -79,9 +79,14 @@ def random_instance_triple(rng: Random, classes: Sequence[URI],
                   rng.choice(individuals))
 
 
-def random_graph(config: RandomGraphConfig = RandomGraphConfig()) -> Graph:
-    """A random graph with the requested schema/instance mix."""
-    rng = Random(config.seed)
+def random_graph(config: RandomGraphConfig = RandomGraphConfig(),
+                 seed: Optional[int] = None) -> Graph:
+    """A random graph with the requested schema/instance mix.
+
+    ``seed`` overrides ``config.seed``; the same (config, seed) pair
+    always produces the byte-identical graph.
+    """
+    rng = Random(config.seed if seed is None else seed)
     classes, properties, individuals = _vocabulary(config)
     graph = Graph()
     graph.namespaces.bind("rnd", RANDOM)

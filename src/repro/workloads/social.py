@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import List
+from typing import List, Optional
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import Namespace, RDF, RDFS, XSD
@@ -80,14 +80,16 @@ def social_schema(config: SocialConfig = SocialConfig()) -> List[Triple]:
 
 
 def generate_social(config: SocialConfig = SocialConfig(),
-                    include_schema: bool = True) -> Graph:
+                    include_schema: bool = True,
+                    seed: Optional[int] = None) -> Graph:
     """Generate the encyclopedia graph.
 
     Entities are typed with one leaf class each; link targets follow a
     power-law-ish skew (early entities are hubs); attribute values are
-    typed literals.  Deterministic for a fixed config.
+    typed literals.  Deterministic for a fixed config; ``seed``
+    overrides ``config.seed``.
     """
-    rng = Random(config.seed)
+    rng = Random(config.seed if seed is None else seed)
     graph = Graph()
     graph.namespaces.bind("soc", SOCIAL)
     if include_schema:

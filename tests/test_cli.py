@@ -170,3 +170,60 @@ class TestGenerateAndThresholds:
         out = capsys.readouterr().out
         assert out.startswith("query,")
         assert "threshold_saturation" in out
+
+
+class TestStats:
+    def test_text_report_has_rule_counts_and_spans(self, turtle_file,
+                                                   capsys):
+        assert main(["stats", turtle_file]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "saturation.rule_fired{rule=rdfs9}" in out
+        assert "spans:" in out
+        assert "saturate:" in out
+
+    def test_json_report(self, turtle_file, capsys):
+        import json
+
+        assert main(["stats", turtle_file, "--json", "-q", MAMMALS]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro-obs-report/1"
+        assert report["context"]["queries"] == 1
+        counters = report["metrics"]["counters"]
+        assert counters["saturation.rule_fired"]["rule=rdfs9"] >= 1
+        assert counters["db.queries"]["strategy=saturation"] == 1
+        assert any(node["name"] == "saturate" for node in report["spans"])
+
+    def test_report_file_output(self, turtle_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main(["stats", turtle_file, "-o", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro-obs-report/1"
+
+    def test_query_accounting(self, turtle_file, capsys):
+        assert main(["stats", turtle_file, "--strategy", "reformulation",
+                     "-q", MAMMALS]) == 0
+        out = capsys.readouterr().out
+        assert "reformulation.calls" in out
+        assert "evaluator.index_lookups" in out
+
+
+class TestTrace:
+    def test_trace_flag_prints_span_tree(self, turtle_file, capsys):
+        assert main(["--trace", "saturate", turtle_file]) == 0
+        captured = capsys.readouterr()
+        assert "derivations" in captured.out  # command output intact
+        assert "--- trace ---" in captured.err
+        assert "saturate:" in captured.err
+        assert "saturation.rule_fired" in captured.err
+
+    def test_trace_is_isolated_per_run(self, turtle_file, capsys):
+        main(["--trace", "saturate", turtle_file])
+        first = capsys.readouterr().err
+        main(["--trace", "saturate", turtle_file])
+        second = capsys.readouterr().err
+        # counters must not accumulate across traced runs
+        assert first.count("saturation.runs") == \
+            second.count("saturation.runs")

@@ -166,3 +166,143 @@ def test_backward_route_agrees_on_battery(prepared_cases):
         sparql = (f"ASK {{ {conclusion.s.n3()} {conclusion.p.n3()} "
                   f"{conclusion.o.n3()} }}")
         assert db.ask_query(sparql) == expected, name
+
+
+# ----------------------------------------------------------------------
+# RDFS-full: one hand-computed case per extra rule
+# ----------------------------------------------------------------------
+
+#: (case id, premise turtle, conclusion, should_be_entailed) under
+#: the RDFS_FULL rule set.
+FULL_CASES = [
+    ("rdf1: used property is an rdf:Property",
+     "ex:a ex:p ex:b .",
+     Triple(EX.p, RDF.type, RDF.Property), True),
+    ("rdfs4a: subject is an rdfs:Resource",
+     "ex:a ex:p ex:b .",
+     Triple(EX.a, RDF.type, RDFS.Resource), True),
+    ("rdfs4b: object is an rdfs:Resource",
+     "ex:a ex:p ex:b .",
+     Triple(EX.b, RDF.type, RDFS.Resource), True),
+    ("rdfs6: property reflexivity",
+     "ex:p a rdf:Property .",
+     Triple(EX.p, RDFS.subPropertyOf, EX.p), True),
+    ("rdfs6: derived property is also reflexive",
+     "ex:a ex:p ex:b .",
+     Triple(EX.p, RDFS.subPropertyOf, EX.p), True),
+    ("rdfs8: class is a subclass of rdfs:Resource",
+     "ex:C a rdfs:Class .",
+     Triple(EX.C, RDFS.subClassOf, RDFS.Resource), True),
+    ("rdfs10: class reflexivity",
+     "ex:C a rdfs:Class .",
+     Triple(EX.C, RDFS.subClassOf, EX.C), True),
+    ("rdfs12: membership property under rdfs:member",
+     "ex:m a rdfs:ContainerMembershipProperty .",
+     Triple(EX.m, RDFS.subPropertyOf, RDFS.member), True),
+    ("rdfs12-then-7: membership edge propagates to rdfs:member",
+     "ex:m a rdfs:ContainerMembershipProperty . ex:x ex:m ex:y .",
+     Triple(EX.x, RDFS.member, EX.y), True),
+    ("rdfs13: datatype is a subclass of rdfs:Literal",
+     "ex:D a rdfs:Datatype .",
+     Triple(EX.D, RDFS.subClassOf, RDFS.Literal), True),
+    ("rdfs13-then-9: datatype instance is a literal-class member",
+     "ex:D a rdfs:Datatype . ex:v a ex:D .",
+     Triple(EX.v, RDF.type, RDFS.Literal), True),
+    # the extra rules stay off in the default set
+    ("rdfs8 needs an rdfs:Class assertion",
+     "ex:C rdfs:subClassOf ex:D .",
+     Triple(EX.C, RDFS.subClassOf, RDFS.Resource), False),
+    ("rdfs6 needs a property assertion or use",
+     "ex:p rdfs:domain ex:C .",
+     Triple(EX.C, RDFS.subPropertyOf, EX.C), False),
+]
+
+FULL_IDS = [case[0] for case in FULL_CASES]
+
+
+@pytest.mark.parametrize("name,turtle,conclusion,expected", FULL_CASES,
+                         ids=FULL_IDS)
+def test_rdfs_full_rules(name, turtle, conclusion, expected):
+    from repro.reasoning import RDFS_FULL
+
+    graph = graph_from_turtle(PREFIX + turtle)
+    assert entails(graph, conclusion, RDFS_FULL) == expected
+
+
+@pytest.mark.parametrize("name,turtle,conclusion,expected", FULL_CASES,
+                         ids=FULL_IDS)
+def test_rdfs_full_datalog_route_agrees(name, turtle, conclusion, expected):
+    from repro.datalog import saturate_via_datalog
+    from repro.reasoning import RDFS_FULL
+
+    graph = graph_from_turtle(PREFIX + turtle)
+    assert (conclusion in saturate_via_datalog(graph, RDFS_FULL)) == expected
+
+
+def test_rdfs_full_exact_closure_of_single_triple():
+    """The complete hand-computed RDFS-full closure of { ex:a ex:p ex:b }.
+
+    Exactly 14 triples: the assertion, three rdf:Property typings
+    (rdf1 on ex:p, rdf:type and rdfs:subPropertyOf), an rdfs:Resource
+    typing for every mentioned term (rdfs4a/4b), and a reflexive
+    subPropertyOf edge per property (rdfs6)."""
+    from repro.reasoning import RDFS_FULL
+
+    graph = graph_from_turtle(PREFIX + "ex:a ex:p ex:b .")
+    closure = set(saturate(graph, RDFS_FULL).graph)
+    T, SPO = RDF.type, RDFS.subPropertyOf
+    expected = {
+        Triple(EX.a, EX.p, EX.b),
+        Triple(EX.p, T, RDF.Property),
+        Triple(T, T, RDF.Property),
+        Triple(SPO, T, RDF.Property),
+        Triple(EX.a, T, RDFS.Resource),
+        Triple(EX.b, T, RDFS.Resource),
+        Triple(EX.p, T, RDFS.Resource),
+        Triple(T, T, RDFS.Resource),
+        Triple(RDF.Property, T, RDFS.Resource),
+        Triple(RDFS.Resource, T, RDFS.Resource),
+        Triple(SPO, T, RDFS.Resource),
+        Triple(EX.p, SPO, EX.p),
+        Triple(T, SPO, T),
+        Triple(SPO, SPO, SPO),
+    }
+    assert closure == expected
+
+
+# ----------------------------------------------------------------------
+# meta-schema corner cases (RDFS vocabulary constrained by the graph)
+# ----------------------------------------------------------------------
+
+class TestMetaSchema:
+    META = ("ex:isA rdfs:subPropertyOf rdf:type . "
+            "ex:x ex:isA ex:C . ex:C rdfs:subClassOf ex:D .")
+
+    def test_detection(self):
+        from repro.reasoning import has_meta_schema
+
+        assert has_meta_schema(graph_from_turtle(PREFIX + self.META))
+        assert has_meta_schema(graph_from_turtle(
+            PREFIX + "rdfs:subClassOf rdfs:domain rdfs:Class ."))
+        assert not has_meta_schema(graph_from_turtle(
+            PREFIX + "ex:Cat rdfs:subClassOf ex:Mammal . ex:Tom a ex:Cat ."))
+
+    def test_auto_falls_back_to_seminaive(self):
+        graph = graph_from_turtle(PREFIX + self.META)
+        assert saturate(graph).engine == "seminaive"
+
+    def test_schema_aware_refuses_meta_schema(self):
+        graph = graph_from_turtle(PREFIX + self.META)
+        with pytest.raises(ValueError):
+            saturate(graph, engine="schema-aware")
+        with pytest.raises(ValueError):
+            saturate(graph, engine="set-at-a-time")
+
+    def test_meta_schema_closure_is_complete(self):
+        """Typings that only *emerge* through a subproperty of rdf:type
+        must still feed the subclass rule (the regime the single-pass
+        schema-aware engine cannot handle)."""
+        graph = graph_from_turtle(PREFIX + self.META)
+        saturated = saturate(graph).graph
+        assert Triple(EX.x, RDF.type, EX.C) in saturated
+        assert Triple(EX.x, RDF.type, EX.D) in saturated

@@ -132,3 +132,101 @@ class TestHostileInput:
         triples = "\n".join(
             f"<http://s{i}> <http://p> <http://o{i}> ." for i in range(5000))
         assert len(graph_from_ntriples(triples)) == 5000
+
+
+class TestNTriplesDiagnostics:
+    def test_error_reports_line_number_and_content(self):
+        text = ("<http://a> <http://p> <http://b> .\n"
+                "\n"
+                "# a comment\n"
+                "<http://a> <http://p> garbage .\n")
+        with pytest.raises(NTriplesError) as err:
+            graph_from_ntriples(text)
+        assert err.value.line_number == 4
+        assert "line 4" in str(err.value)
+        assert "garbage" in str(err.value)
+
+    def test_error_attributes_survive(self):
+        with pytest.raises(NTriplesError) as err:
+            graph_from_ntriples("<http://a> <http://p> .\n")
+        assert err.value.line_number == 1
+        assert err.value.line == "<http://a> <http://p> ."
+
+    def test_trailing_comment_after_triple(self):
+        g = graph_from_ntriples(
+            "<http://a> <http://p> <http://b> . # trailing comment\n")
+        assert len(g) == 1
+
+    def test_blank_node_labels(self):
+        from repro.rdf import BlankNode
+
+        t = parse_ntriples_line("_:b1 <http://p> _:b2.x .")
+        assert t.s == BlankNode("b1")
+        assert t.o == BlankNode("b2.x")
+
+    def test_blank_node_label_may_start_with_digit(self):
+        t = parse_ntriples_line("_:0against <http://p> <http://o> .")
+        assert t.s.label == "0against"
+
+    def test_unicode_escape_in_uri(self):
+        t = parse_ntriples_line("<http://x/caf\\u00e9> <http://p> <http://o> .")
+        assert t.s == URI("http://x/café")
+
+    def test_blank_and_comment_only_document(self):
+        assert len(graph_from_ntriples("\n\n# nothing here\n  \n")) == 0
+
+    @pytest.mark.parametrize("bad", [
+        '<http://a> <http://p> "unterminated .',
+        '<http://a> <http://p> "lit"@ .',        # empty language tag
+        '<http://a> <http://p> "lit"^^ .',       # missing datatype uri
+        "_:b:ad <http://p> <http://o> .",        # colon in blank label
+    ])
+    def test_more_garbage_rejected(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line(bad)
+
+
+class TestTurtleDiagnostics:
+    def test_error_reports_offset(self):
+        with pytest.raises(TurtleError) as err:
+            graph_from_turtle("@prefix ex: <http://x/> .\nex:a ex:p ??? .")
+        assert "offset" in str(err.value)
+
+    def test_comments_between_statements(self):
+        g = graph_from_turtle(
+            "# leading comment\n"
+            "@prefix ex: <http://x/> . # after directive\n"
+            "ex:a ex:p ex:b . # after triple\n"
+            "# trailing comment")
+        assert len(g) == 1
+
+    def test_sparql_style_prefix(self):
+        g = graph_from_turtle(
+            "PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .")
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_sparql_style_prefix_case_insensitive(self):
+        g = graph_from_turtle(
+            "prefix ex: <http://example.org/>\nex:a ex:p ex:b .")
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_unicode_escape_in_literal(self):
+        g = graph_from_turtle(
+            '@prefix ex: <http://example.org/> .\nex:a ex:p "caf\\u00e9" .')
+        assert Triple(EX.a, EX.p, Literal("café")) in g
+
+    def test_blank_nodes(self):
+        from repro.rdf import BlankNode
+
+        g = graph_from_turtle(
+            "@prefix ex: <http://example.org/> .\n_:x ex:p _:y .")
+        assert Triple(BlankNode("x"), EX.p, BlankNode("y")) in g
+
+    @pytest.mark.parametrize("bad", [
+        '@prefix ex: <http://x/> . ex:a ex:p "unterminated .',
+        "@prefix ex: <http://x/> . ex:a ex:p ex:b ,, ex:c .",
+        "@prefix ex: <http://x/> . ex:a ex:p ex:b ; ; .",
+    ])
+    def test_more_turtle_garbage_rejected(self, bad):
+        with pytest.raises(TurtleError):
+            graph_from_turtle(bad)

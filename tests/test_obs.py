@@ -1,0 +1,342 @@
+"""Unit tests for the observability layer (repro.obs) plus smoke tests
+that the instrumented engines actually report into it."""
+
+import json
+
+import pytest
+
+from repro.obs import (MetricsRegistry, REPORT_SCHEMA, Tracer,
+                       get_metrics, get_tracer, measurement_window,
+                       observability_report, pop_registry, pop_tracer,
+                       push_registry, push_tracer, render_report,
+                       report_to_json, span, write_report)
+from repro.obs.metrics import Histogram, _percentile
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_labeled_counters_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("fired", rule="rdfs9").inc(3)
+        registry.counter("fired", rule="rdfs7").inc(1)
+        assert registry.counter("fired", rule="rdfs9").value == 3
+        assert registry.counter("fired", rule="rdfs7").value == 1
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+        with pytest.raises(TypeError):
+            registry.histogram("thing", label="x")
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == 5
+        assert snap.total == 15.0
+        assert snap.minimum == 1.0 and snap.maximum == 5.0
+        assert snap.p50 == 3.0
+        assert snap.mean == 3.0
+
+    def test_empty_histogram(self):
+        snap = Histogram("h").snapshot()
+        assert snap.count == 0
+        assert snap.mean == 0.0
+
+    def test_percentile_interpolates(self):
+        assert _percentile([1.0, 2.0], 0.5) == 1.5
+        assert _percentile([10.0], 0.95) == 10.0
+
+    def test_downsampling_is_deterministic_and_bounded(self):
+        a = Histogram("a", max_samples=64)
+        b = Histogram("b", max_samples=64)
+        for i in range(1000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert len(a._samples) <= 64
+        assert a._samples == b._samples  # no randomness
+        assert a.count == 1000  # count/total keep full precision
+        assert a.total == b.total == sum(range(1000))
+
+
+class TestRegistry:
+    def test_snapshot_layout(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc(2)
+        registry.counter("labeled", kind="x").inc(1)
+        registry.gauge("size").set(7)
+        registry.histogram("dist").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["plain"] == 2
+        assert snap["counters"]["labeled"] == {"kind=x": 1}
+        assert snap["gauges"]["size"] == 7
+        assert snap["histograms"]["dist"]["count"] == 1
+
+    def test_snapshot_is_json_serializable_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", z="1", a="2").inc()
+        first = json.dumps(registry.snapshot(), sort_keys=True)
+        second = json.dumps(registry.snapshot(), sort_keys=True)
+        assert first == second
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        # after reset the name may be reused with a different kind
+        registry.gauge("x")
+
+    def test_push_pop_isolates(self):
+        outer = get_metrics()
+        inner = push_registry()
+        try:
+            assert get_metrics() is inner
+            get_metrics().counter("isolated").inc()
+        finally:
+            pop_registry()
+        assert get_metrics() is outer
+        assert inner.counter("isolated").value == 1
+
+
+class TestTracing:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", depth=1):
+                pass
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0] is outer
+        assert [c.name for c in outer.children] == ["inner"]
+
+    def test_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("op", size=10) as sp:
+            sp.set(result=3)
+        assert sp.ended is not None
+        assert sp.duration >= 0.0
+        assert sp.attributes == {"size": 10, "result": 3}
+
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("op", label="x"):
+            with tracer.span("child"):
+                pass
+        node = tracer.to_list()[0]
+        assert node["name"] == "op"
+        assert node["attributes"] == {"label": "x"}
+        assert node["children"][0]["name"] == "child"
+        assert node["seconds"] >= 0.0
+
+    def test_root_buffer_is_bounded(self):
+        tracer = Tracer(max_roots=8)
+        for i in range(50):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.roots) == 8
+        assert tracer.roots[-1].name == "s49"
+
+    def test_module_level_span_uses_pushed_tracer(self):
+        tracer = push_tracer()
+        try:
+            with span("measured"):
+                pass
+        finally:
+            pop_tracer()
+        assert get_tracer() is not tracer
+        assert [r.name for r in tracer.roots] == ["measured"]
+
+    def test_pretty_renders_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.pretty()
+        assert "outer:" in text
+        assert "\n  inner:" in text
+
+    def test_exception_still_finishes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].ended is not None
+
+
+class TestExport:
+    def test_report_shape_and_json(self):
+        with measurement_window() as (registry, tracer):
+            registry.counter("c").inc()
+            with tracer.span("op"):
+                pass
+        report = observability_report(registry, tracer, run="unit")
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["context"] == {"run": "unit"}
+        assert report["metrics"]["counters"]["c"] == 1
+        assert report["spans"][0]["name"] == "op"
+        json.loads(report_to_json(report))
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        with measurement_window() as (registry, tracer):
+            registry.counter("c").inc()
+        write_report(str(path), registry, tracer)
+        assert json.loads(path.read_text())["schema"] == REPORT_SCHEMA
+
+    def test_render_report_sections(self):
+        with measurement_window() as (registry, tracer):
+            registry.counter("hits", kind="a").inc(2)
+            registry.gauge("size").set(3)
+            registry.histogram("lat").observe(0.5)
+            with tracer.span("work"):
+                pass
+        text = render_report(observability_report(registry, tracer))
+        assert "counters:" in text and "hits{kind=a}: 2" in text
+        assert "gauges:" in text and "size: 3" in text
+        assert "histograms:" in text and "lat:" in text
+        assert "spans:" in text and "work:" in text
+
+    def test_empty_report_renders_placeholder(self):
+        with measurement_window() as (registry, tracer):
+            pass
+        text = render_report(observability_report(registry, tracer))
+        assert text == "(no measurements recorded)"
+
+    def test_measurement_window_isolates_both(self):
+        before_registry, before_tracer = get_metrics(), get_tracer()
+        with measurement_window() as (registry, tracer):
+            assert get_metrics() is registry
+            assert get_tracer() is tracer
+        assert get_metrics() is before_registry
+        assert get_tracer() is before_tracer
+
+
+class TestInstrumentationSmoke:
+    """The engines actually report: run each instrumented hot path in
+    a window and assert its signature metrics appear."""
+
+    def _graph(self):
+        from repro.rdf import graph_from_turtle
+
+        return graph_from_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:Cat rdfs:subClassOf ex:Mammal .\n"
+            "ex:hasFriend rdfs:domain ex:Person .\n"
+            "ex:Tom a ex:Cat .\n"
+            "ex:Anne ex:hasFriend ex:Marie .\n")
+
+    def test_saturation_reports(self):
+        from repro.reasoning import saturate
+
+        with measurement_window() as (registry, tracer):
+            result = saturate(self._graph(), engine="seminaive")
+        snap = registry.snapshot()
+        assert snap["counters"]["saturation.rule_fired"]["rule=rdfs9"] == 1
+        assert snap["counters"]["saturation.rule_fired"]["rule=rdfs2"] == 1
+        assert snap["counters"]["saturation.inferred"] == result.inferred
+        roots = [r["name"] for r in tracer.to_list()]
+        assert "saturate" in roots
+
+    def test_result_seconds_equals_span_duration(self):
+        from repro.reasoning import saturate
+
+        with measurement_window() as (registry, tracer):
+            result = saturate(self._graph())
+        saturate_span = [r for r in tracer.to_list()
+                         if r["name"] == "saturate"][0]
+        assert result.seconds == pytest.approx(saturate_span["seconds"],
+                                               abs=1e-6)
+
+    def test_maintenance_reports(self):
+        from repro.rdf import Triple
+        from repro.reasoning import DRedReasoner
+
+        from conftest import EX
+
+        with measurement_window() as (registry, tracer):
+            reasoner = DRedReasoner(self._graph())
+            batch = [Triple(EX.Rex, EX.term("a"), EX.Dog)]
+            reasoner.insert(batch)
+            reasoner.delete(batch)
+        counters = registry.snapshot()["counters"]
+        ops = counters["maintenance.operations"]
+        assert ops["algorithm=dred,operation=insert"] == 1
+        assert ops["algorithm=dred,operation=delete"] == 1
+        names = [r["name"] for r in tracer.to_list()]
+        assert "maintenance.insert" in names
+        assert "maintenance.delete" in names
+
+    def test_reformulation_reports(self):
+        from repro.reasoning import reformulate
+        from repro.schema import Schema
+        from repro.sparql import parse_query
+
+        graph = self._graph()
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a <http://example.org/Mammal> }")
+        with measurement_window() as (registry, __):
+            reformulate(query, Schema.from_graph(graph))
+        counters = registry.snapshot()["counters"]
+        assert counters["reformulation.calls"] == 1
+
+    def test_evaluator_reports(self):
+        from repro.sparql import evaluate, parse_query
+
+        graph = self._graph()
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a <http://example.org/Cat> }")
+        with measurement_window() as (registry, __):
+            evaluate(graph, query)
+        counters = registry.snapshot()["counters"]
+        assert counters["evaluator.index_lookups"] >= 1
+
+    def test_database_reports(self):
+        from repro.db import RDFDatabase, Strategy
+
+        with measurement_window() as (registry, __):
+            db = RDFDatabase(self._graph(), strategy=Strategy.REFORMULATION)
+            query = "SELECT ?x WHERE { ?x a <http://example.org/Mammal> }"
+            db.query(query)
+            db.query(query)
+        counters = registry.snapshot()["counters"]
+        assert counters["db.queries"]["strategy=reformulation"] == 2
+        assert counters["db.reformulation_cache_misses"] == 1
+        assert counters["db.reformulation_cache_hits"] == 1
+
+    def test_adaptive_reports(self):
+        from repro.db.adaptive import AdaptiveDatabase
+
+        with measurement_window() as (registry, __):
+            db = AdaptiveDatabase(self._graph(), review_interval=2)
+            for __unused in range(4):
+                db.query(
+                    "SELECT ?x WHERE { ?x a <http://example.org/Mammal> }")
+        counters = registry.snapshot()["counters"]
+        assert counters["adaptive.reviews"] == 2
