@@ -12,6 +12,8 @@ Subcommands mirror the paper's workflow:
 * ``generate``    — emit a seeded LUBM-style university graph;
 * ``stats``       — saturate (and optionally query), then print the
   observability report: per-rule fire counts, histograms, span trees.
+* ``lint``        — static analysis: Datalog program and rule-set
+  checks plus the engine-invariant lint; exits non-zero on errors.
 
 The global ``--trace`` flag wraps any subcommand in a fresh
 measurement window and prints the collected metrics and span tree to
@@ -156,6 +158,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-o", "--output",
                      help="also write the JSON report to this file")
 
+    sub = subparsers.add_parser(
+        "lint",
+        help="static analysis: Datalog/rule-set checks and engine-"
+             "invariant lint (exit 1 on error-severity findings)")
+    sub.add_argument("target", nargs="*",
+                     help="files or directories: *.py for the engine-"
+                          "invariant lint, *.dlg/*.dl/*.datalog for the "
+                          "Datalog program passes (directories are "
+                          "walked for both)")
+    sub.add_argument("--ruleset", action="append", default=[],
+                     dest="rulesets", metavar="NAME",
+                     help="analyze this entailment rule set "
+                          "(repeatable): recursion cliques, subsumed "
+                          "rules, and — with --graph — dead rules")
+    sub.add_argument("--graph", help="graph file whose schema grounds "
+                                     "the dead-rule and blow-up passes")
+    sub.add_argument("-q", "--query", action="append", default=[],
+                     help="SPARQL query for the reformulation blow-up "
+                          "estimate (repeatable, needs --graph)")
+    sub.add_argument("--max-ucq", type=int, default=1000,
+                     help="blow-up budget: predicted UCQ sizes above "
+                          "this raise SC106 to a warning (default 1000)")
+    sub.add_argument("--json", action="store_true",
+                     help="emit the repro-lint-report/1 JSON instead "
+                          "of the text rendering")
+    sub.add_argument("-o", "--output",
+                     help="also write the JSON report to this file")
+
     return parser
 
 
@@ -285,6 +315,30 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .staticcheck import run_lint
+
+    graph = _load_graph(args.graph) if args.graph else None
+    namespaces = graph.namespaces if graph is not None else None
+    queries = [(f"q{i + 1}", parse_query(text, namespaces))
+               for i, text in enumerate(args.query)]
+    if queries and graph is None:
+        raise SystemExit("--query needs --graph (the schema grounds "
+                         "the blow-up estimate)")
+    try:
+        report = run_lint(
+            paths=args.target,
+            rulesets=[get_ruleset(name) for name in args.rulesets],
+            graph=graph, queries=queries, ucq_budget=args.max_ucq)
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code()
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "saturate": _cmd_saturate,
@@ -295,6 +349,7 @@ _COMMANDS = {
     "thresholds": _cmd_thresholds,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 

@@ -8,6 +8,8 @@ into programs and BGP queries into query clauses.
 from .engine import Database, EvaluationStats, SemiNaiveEngine
 from .magic import MagicTransformation, magic_query, magic_transform
 from .program import Atom, Clause, Program, Relation, Var
+from .text import (BodyLiteral, DatalogSyntaxError, ParsedClause,
+                   ParsedProgram, parse_program_text)
 from .translate import (TRIPLE_PREDICATE, answer_query, graph_to_database,
                         query_to_clause, ruleset_to_program,
                         saturate_via_datalog)
@@ -18,4 +20,6 @@ __all__ = [
     "MagicTransformation", "magic_transform", "magic_query",
     "TRIPLE_PREDICATE", "graph_to_database", "ruleset_to_program",
     "query_to_clause", "saturate_via_datalog", "answer_query",
+    "BodyLiteral", "DatalogSyntaxError", "ParsedClause", "ParsedProgram",
+    "parse_program_text",
 ]

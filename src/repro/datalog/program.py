@@ -25,16 +25,19 @@ class Var:
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    name: str
+    _hash: int
+
+    def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("variable name must be non-empty")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_hash", hash(("datalog-var", name)))
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Var is immutable")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Var) and other.name == self.name
 
     def __hash__(self) -> int:
@@ -52,17 +55,21 @@ class Atom:
 
     __slots__ = ("predicate", "args", "_hash")
 
-    def __init__(self, predicate: str, args: Sequence[Hashable]):
+    predicate: str
+    args: Tuple[Hashable, ...]
+    _hash: int
+
+    def __init__(self, predicate: str, args: Sequence[Hashable]) -> None:
         if not predicate:
             raise ValueError("predicate name must be non-empty")
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", tuple(args))
         object.__setattr__(self, "_hash", hash((predicate, self.args)))
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Atom is immutable")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, Atom) and other.predicate == self.predicate
                 and other.args == self.args)
 
@@ -114,7 +121,11 @@ class Clause:
 
     __slots__ = ("head", "body", "_hash")
 
-    def __init__(self, head: Atom, body: Sequence[Atom] = ()):
+    head: Atom
+    body: Tuple[Atom, ...]
+    _hash: int
+
+    def __init__(self, head: Atom, body: Sequence[Atom] = ()) -> None:
         body_tuple = tuple(body)
         body_variables: Set[Var] = set()
         for atom in body_tuple:
@@ -128,10 +139,10 @@ class Clause:
         object.__setattr__(self, "body", body_tuple)
         object.__setattr__(self, "_hash", hash((head, body_tuple)))
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Clause is immutable")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, Clause) and other.head == self.head
                 and other.body == self.body)
 
@@ -158,11 +169,13 @@ class Relation:
 
     __slots__ = ("arity", "_tuples", "_indexes")
 
-    def __init__(self, arity: int):
+    def __init__(self, arity: int) -> None:
         self.arity = arity
         self._tuples: Set[Tuple[Hashable, ...]] = set()
         # mask (tuple of bound positions) -> key tuple -> set of tuples
-        self._indexes: Dict[Tuple[int, ...], Dict[tuple, Set[tuple]]] = {}
+        self._indexes: Dict[Tuple[int, ...],
+                            Dict[Tuple[Hashable, ...],
+                                 Set[Tuple[Hashable, ...]]]] = {}
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -214,7 +227,10 @@ class Program:
 
     __slots__ = ("clauses", "_by_predicate")
 
-    def __init__(self, clauses: Iterable[Clause]):
+    clauses: Tuple[Clause, ...]
+    _by_predicate: Dict[str, Tuple[Clause, ...]]
+
+    def __init__(self, clauses: Iterable[Clause]) -> None:
         clause_tuple = tuple(clauses)
         by_predicate: Dict[str, List[Clause]] = {}
         for clause in clause_tuple:
@@ -226,7 +242,7 @@ class Program:
         object.__setattr__(self, "_by_predicate",
                            {k: tuple(v) for k, v in by_predicate.items()})
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Program is immutable")
 
     def __iter__(self) -> Iterator[Clause]:

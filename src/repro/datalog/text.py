@@ -1,0 +1,329 @@
+"""A textual Datalog surface syntax, for rule files and the linter.
+
+The engine itself is programmatic (:class:`~repro.datalog.program.Program`
+objects built in code), but ahead-of-time analysis wants to read rule
+*files*: the ``repro lint`` subcommand accepts ``.dlg`` programs and
+reports on them before anything runs.  The grammar is the classic
+teaching dialect::
+
+    % comment (also '#')
+    .edb edge/2                       % declare an extensional predicate
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    reachable(a).                     % a ground fact
+    unwin(X) :- position(X), not win(X).
+
+Identifiers starting with an upper-case letter or ``_`` are variables;
+everything else (bare atoms, numbers, single/double-quoted strings,
+``<uri>`` brackets) is a constant.  ``not``/``!`` mark negated body
+literals.
+
+Parsing is deliberately *permissive*: unsafe clauses and negation are
+accepted and represented faithfully so :mod:`repro.staticcheck` can
+diagnose them with source positions.  :meth:`ParsedProgram.to_program`
+is the strict bridge into the executable engine — it raises on
+anything the positive, safe core cannot run.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from .program import Atom, Clause, Program, Var
+
+__all__ = ["BodyLiteral", "ParsedClause", "ParsedProgram",
+           "DatalogSyntaxError", "parse_program_text"]
+
+
+class DatalogSyntaxError(ValueError):
+    """A malformed statement, with its source line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class BodyLiteral:
+    """One body literal: an atom, possibly negated."""
+
+    __slots__ = ("atom", "negated")
+
+    def __init__(self, atom: Atom, negated: bool = False):
+        self.atom = atom
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return f"not {self.atom}" if self.negated else repr(self.atom)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BodyLiteral) and other.atom == self.atom
+                and other.negated == self.negated)
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.negated))
+
+
+class ParsedClause:
+    """A clause as written, with its source line; not yet safety-checked."""
+
+    __slots__ = ("head", "body", "line")
+
+    def __init__(self, head: Atom, body: Tuple[BodyLiteral, ...], line: int):
+        self.head = head
+        self.body = body
+        self.line = line
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def has_negation(self) -> bool:
+        return any(literal.negated for literal in self.body)
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        rendered = ", ".join(repr(literal) for literal in self.body)
+        return f"{self.head} :- {rendered}."
+
+
+class ParsedProgram:
+    """The parse result: clauses, facts and EDB declarations.
+
+    ``edb`` maps declared extensional predicates to their arity.  When
+    a file declares no EDB at all, the usual convention applies
+    downstream: every predicate without a defining clause is assumed
+    extensional.
+    """
+
+    __slots__ = ("clauses", "edb", "source")
+
+    def __init__(self, clauses: List[ParsedClause], edb: Dict[str, int],
+                 source: str = "<string>"):
+        self.clauses = clauses
+        self.edb = edb
+        self.source = source
+
+    def __iter__(self) -> Iterator[ParsedClause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def rules(self) -> List[ParsedClause]:
+        return [c for c in self.clauses if not c.is_fact()]
+
+    def facts(self) -> List[ParsedClause]:
+        return [c for c in self.clauses if c.is_fact()]
+
+    def predicates(self) -> Set[str]:
+        result: Set[str] = set(self.edb)
+        for clause in self.clauses:
+            result.add(clause.head.predicate)
+            for literal in clause.body:
+                result.add(literal.atom.predicate)
+        return result
+
+    def idb_predicates(self) -> Set[str]:
+        return {c.head.predicate for c in self.clauses if not c.is_fact()}
+
+    def edb_predicates(self) -> Set[str]:
+        """Declared EDB, or (absent declarations) the undefined ones."""
+        if self.edb:
+            return set(self.edb)
+        defined = self.idb_predicates()
+        fact_predicates = {c.head.predicate for c in self.clauses
+                           if c.is_fact()}
+        return (self.predicates() - defined) | fact_predicates
+
+    def to_program(self) -> Tuple[Program, List[Atom]]:
+        """The strict bridge to the engine: a :class:`Program` plus the
+        ground facts.  Raises ``ValueError`` on negation (the engine is
+        positive-only) and on unsafe clauses (via :class:`Clause`)."""
+        clauses: List[Clause] = []
+        facts: List[Atom] = []
+        for parsed in self.clauses:
+            if parsed.has_negation():
+                raise ValueError(
+                    f"{self.source}:{parsed.line}: the engine evaluates "
+                    f"positive programs only; negation is analysis-only")
+            if parsed.is_fact():
+                if not parsed.head.is_ground():
+                    raise ValueError(
+                        f"{self.source}:{parsed.line}: facts must be ground")
+                facts.append(parsed.head)
+            else:
+                clauses.append(Clause(parsed.head,
+                                      [lit.atom for lit in parsed.body]))
+        return Program(clauses), facts
+
+
+_TOKEN = re.compile(r"""
+    \s*(?:
+        (?P<lparen>\() | (?P<rparen>\)) | (?P<comma>,) |
+        (?P<implies>:-) | (?P<period>\.) | (?P<bang>!) |
+        (?P<uri><[^>\s]*>) |
+        (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*") |
+        (?P<number>-?\d+(?:\.\d+)?) |
+        (?P<ident>[A-Za-z_][A-Za-z0-9_:]*)
+    )""", re.VERBOSE)
+
+
+def _tokenize(text: str, line: int) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise DatalogSyntaxError(f"unexpected input {remainder!r}", line)
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+        position = match.end()
+    return tokens
+
+
+def _strip_comment(text: str) -> str:
+    for marker in ("%", "#"):
+        in_quote: Optional[str] = None
+        for i, ch in enumerate(text):
+            if in_quote:
+                if ch == in_quote:
+                    in_quote = None
+            elif ch in "'\"":
+                in_quote = ch
+            elif ch == marker:
+                text = text[:i]
+                break
+    return text
+
+
+class _ClauseParser:
+    """Recursive-descent parser over one statement's token list."""
+
+    def __init__(self, tokens: List[Tuple[str, str]], line: int):
+        self.tokens = tokens
+        self.position = 0
+        self.line = line
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, kind: str) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            found = token[1] if token else "end of statement"
+            raise DatalogSyntaxError(f"expected {kind}, found {found!r}",
+                                     self.line)
+        self.position += 1
+        return token[1]
+
+    def term(self) -> Hashable:
+        token = self.peek()
+        if token is None:
+            raise DatalogSyntaxError("expected a term", self.line)
+        kind, value = token
+        self.position += 1
+        if kind == "ident":
+            if value[0].isupper() or value[0] == "_":
+                return Var(value)
+            return value
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "uri":
+            return value
+        raise DatalogSyntaxError(f"unexpected token {value!r}", self.line)
+
+    def atom(self) -> Atom:
+        name = self.take("ident")
+        if name[0].isupper() or name[0] == "_":
+            raise DatalogSyntaxError(
+                f"predicate names must be constants, got variable {name!r}",
+                self.line)
+        self.take("lparen")
+        args: List[Hashable] = [self.term()]
+        while self.peek() is not None and self.peek()[0] == "comma":  # type: ignore[index]
+            self.take("comma")
+            args.append(self.term())
+        self.take("rparen")
+        return Atom(name, args)
+
+    def literal(self) -> BodyLiteral:
+        negated = False
+        token = self.peek()
+        if token is not None and (token[0] == "bang"
+                                  or (token[0] == "ident"
+                                      and token[1] == "not")):
+            self.position += 1
+            negated = True
+        return BodyLiteral(self.atom(), negated)
+
+    def clause(self) -> Tuple[Atom, Tuple[BodyLiteral, ...]]:
+        head = self.atom()
+        body: List[BodyLiteral] = []
+        token = self.peek()
+        if token is not None and token[0] == "implies":
+            self.take("implies")
+            body.append(self.literal())
+            while self.peek() is not None and self.peek()[0] == "comma":  # type: ignore[index]
+                self.take("comma")
+                body.append(self.literal())
+        self.take("period")
+        return head, tuple(body)
+
+
+_EDB_DIRECTIVE = re.compile(r"^\.edb\s+([a-z][A-Za-z0-9_:]*)\s*/\s*(\d+)\s*$")
+
+
+def parse_program_text(text: str, source: str = "<string>") -> ParsedProgram:
+    """Parse a textual Datalog program.
+
+    Statements may span lines; a ``.`` ends each clause.  Raises
+    :class:`DatalogSyntaxError` on malformed input; does *not* reject
+    unsafe clauses or negation (see module docstring).
+    """
+    clauses: List[ParsedClause] = []
+    edb: Dict[str, int] = {}
+    pending: List[Tuple[str, int]] = []  # accumulated lines of one statement
+
+    def flush() -> None:
+        if not pending:
+            return
+        statement = " ".join(part for part, _ in pending)
+        first_line = pending[0][1]
+        pending.clear()
+        if not statement.strip():
+            return
+        tokens = _tokenize(statement, first_line)
+        if not tokens:
+            return
+        parser = _ClauseParser(tokens, first_line)
+        while parser.peek() is not None:  # several clauses may share a line
+            head, body = parser.clause()
+            clauses.append(ParsedClause(head, body, first_line))
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw).strip()
+        if not stripped:
+            continue
+        directive = _EDB_DIRECTIVE.match(stripped)
+        if directive:
+            if pending:
+                raise DatalogSyntaxError(
+                    "directive inside an unterminated clause", number)
+            edb[directive.group(1)] = int(directive.group(2))
+            continue
+        pending.append((stripped, number))
+        if stripped.endswith("."):
+            flush()
+    if pending:
+        raise DatalogSyntaxError("unterminated clause (missing '.')",
+                                 pending[0][1])
+    return ParsedProgram(clauses, edb, source)

@@ -26,6 +26,7 @@ from ..sparql.evaluator import evaluate, evaluate_reformulation
 from ..workloads.updates import (instance_deletions, instance_insertions,
                                  schema_deletions, schema_insertions)
 from ..analysis.measure import best_of
+from ..obs import span
 from .database import Strategy
 
 __all__ = ["WorkloadProfile", "StrategyAdvice", "recommend_strategy"]
@@ -126,13 +127,12 @@ def recommend_strategy(graph: Graph, profile: WorkloadProfile,
         costs = []
         for __ in range(repeat):
             reasoner = DRedReasoner(graph, ruleset)
-            from time import perf_counter
-            started = perf_counter()
-            if kind.endswith("insert"):
-                reasoner.insert(update.triples)
-            else:
-                reasoner.delete(update.triples)
-            costs.append(perf_counter() - started)
+            with span("advisor.maintenance", kind=kind) as sp:
+                if kind.endswith("insert"):
+                    reasoner.insert(update.triples)
+                else:
+                    reasoner.delete(update.triples)
+            costs.append(sp.duration)
         maintenance[kind] = min(costs)
 
     period_costs: Dict[str, float] = {}

@@ -27,10 +27,10 @@ open problem is about.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Set, Tuple
 
+from ..obs import span
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
 from ..reasoning.rules import Rule
@@ -114,7 +114,14 @@ class DistributedSaturation:
 
     def run(self, graph: Graph) -> Tuple[Graph, DistributedStats]:
         """Saturate ``graph``; returns the merged result and the stats."""
-        started = time.perf_counter()
+        with span("distributed.saturate", workers=self.workers) as sp:
+            merged, stats = self._run(graph)
+            sp.set(rounds=stats.rounds, shipped=stats.shipped)
+        # wall clock comes from the span: one timing source of truth
+        stats.seconds = sp.duration
+        return merged, stats
+
+    def _run(self, graph: Graph) -> Tuple[Graph, DistributedStats]:
         partitioned = partition_graph(graph, self.workers)
         fragments = partitioned.fragments
         stats = DistributedStats(workers=self.workers)
@@ -173,7 +180,6 @@ class DistributedSaturation:
         stats.skew = partitioned.skew()
         merged = partitioned.merged()
         stats.derived = len(merged) - len(graph)
-        stats.seconds = time.perf_counter() - started
         return merged, stats
 
 

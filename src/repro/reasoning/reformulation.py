@@ -45,7 +45,7 @@ from ..schema import SCHEMA_PROPERTIES, Schema
 from ..sparql.ast import BGPQuery, canonical_form
 
 __all__ = ["Reformulation", "FactorizedVariant", "reformulate",
-           "reformulate_fixpoint", "atom_alternatives"]
+           "reformulate_fixpoint", "atom_alternatives", "expand_bindings"]
 
 
 # ----------------------------------------------------------------------
@@ -118,7 +118,7 @@ def _class_binding_candidates(schema: Schema) -> List[Term]:
     return candidates
 
 
-def _expand_bindings(query: BGPQuery, schema: Schema) -> List[BGPQuery]:
+def expand_bindings(query: BGPQuery, schema: Schema) -> List[BGPQuery]:
     """Specialize variable property/class positions to schema constants.
 
     An atom with a variable in property position only retrieves
@@ -259,7 +259,7 @@ def reformulate(query: BGPQuery, schema: Schema) -> Reformulation:
         metrics = get_metrics()
         fanout = metrics.histogram("reformulation.atom_fanout")
         result = Reformulation(original=query, schema=schema)
-        for variant_query in _expand_bindings(query, schema):
+        for variant_query in expand_bindings(query, schema):
             alternatives = tuple(
                 tuple(atom_alternatives(atom, schema))
                 for atom in variant_query.patterns
@@ -319,7 +319,7 @@ def reformulate_fixpoint(query: BGPQuery, schema: Schema,
         conjuncts: List[BGPQuery] = []
         seen: Set[tuple] = set()
         frontier: List[BGPQuery] = []
-        for specialized in _expand_bindings(query, schema):
+        for specialized in expand_bindings(query, schema):
             key = canonical_form(specialized)
             if key not in seen:
                 seen.add(key)

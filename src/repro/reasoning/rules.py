@@ -17,8 +17,9 @@ to Datalog.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, Optional, Sequence, Set, Tuple
 
+from ..rdf.graph import Graph
 from ..rdf.terms import Variable
 from ..rdf.triples import Substitution, Triple, TriplePattern
 
@@ -40,12 +41,18 @@ class Rule:
 
     __slots__ = ("name", "body", "head", "description", "_hash")
 
+    name: str
+    body: Tuple[TriplePattern, ...]
+    head: TriplePattern
+    description: str
+    _hash: int
+
     def __init__(self, name: str, body: Sequence[TriplePattern],
-                 head: TriplePattern, description: str = ""):
+                 head: TriplePattern, description: str = "") -> None:
         if not body:
             raise ValueError("rule body must contain at least one pattern")
         body_tuple = tuple(body)
-        body_variables: set = set()
+        body_variables: Set[Variable] = set()
         for pattern in body_tuple:
             body_variables |= pattern.variables()
         unsafe = head.variables() - body_variables
@@ -59,10 +66,10 @@ class Rule:
         object.__setattr__(self, "description", description)
         object.__setattr__(self, "_hash", hash((name, body_tuple, head)))
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Rule is immutable")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, Rule) and other.name == self.name
                 and other.body == self.body and other.head == self.head)
 
@@ -74,7 +81,7 @@ class Rule:
         return f"<Rule {self.name}: {body} => {self.head.n3().rstrip(' .')}>"
 
     def variables(self) -> FrozenSet[Variable]:
-        result: set = set(self.head.variables())
+        result: Set[Variable] = set(self.head.variables())
         for pattern in self.body:
             result |= pattern.variables()
         return frozenset(result)
@@ -87,7 +94,8 @@ class Rule:
     # evaluation helpers used by the saturation engines
     # ------------------------------------------------------------------
 
-    def match_body(self, graph, binding: Optional[Substitution] = None,
+    def match_body(self, graph: Graph,
+                   binding: Optional[Substitution] = None,
                    skip: int = -1) -> Iterator[Substitution]:
         """All substitutions making every body atom (except ``skip``)
         hold in ``graph``, extending ``binding``.
@@ -106,7 +114,8 @@ class Rule:
 
         yield from recurse(0, dict(binding) if binding else {})
 
-    def fire(self, graph, delta: Optional[Sequence[Triple]] = None
+    def fire(self, graph: Graph,
+             delta: Optional[Sequence[Triple]] = None
              ) -> Iterator["Derivation"]:
         """Yield the derivations of one immediate-entailment round.
 
@@ -116,7 +125,7 @@ class Rule:
         against the full graph.  Duplicate derivations (same rule, same
         ground body) are suppressed within the call.
         """
-        seen: set = set()
+        seen: Set[Derivation] = set()
         if delta is None:
             for binding in self.match_body(graph):
                 derivation = self._derive(binding)
@@ -135,7 +144,8 @@ class Rule:
                         seen.add(derivation)
                         yield derivation
 
-    def fire_conclusions(self, graph, delta: Optional[Sequence[Triple]] = None
+    def fire_conclusions(self, graph: Graph,
+                         delta: Optional[Sequence[Triple]] = None
                          ) -> Iterator[Triple]:
         """Like :meth:`fire` but yields bare conclusions.
 
@@ -197,17 +207,22 @@ class Derivation:
 
     __slots__ = ("rule_name", "premises", "conclusion", "_hash")
 
+    rule_name: str
+    premises: Tuple[Triple, ...]
+    conclusion: Triple
+    _hash: int
+
     def __init__(self, rule_name: str, premises: Tuple[Triple, ...],
-                 conclusion: Triple):
+                 conclusion: Triple) -> None:
         object.__setattr__(self, "rule_name", rule_name)
         object.__setattr__(self, "premises", premises)
         object.__setattr__(self, "conclusion", conclusion)
         object.__setattr__(self, "_hash", hash((rule_name, premises, conclusion)))
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Derivation is immutable")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, Derivation)
                 and other.rule_name == self.rule_name
                 and other.premises == self.premises

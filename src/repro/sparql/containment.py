@@ -25,7 +25,8 @@ from ..rdf.terms import PatternTerm, Variable
 from ..rdf.triples import TriplePattern
 from .ast import BGPQuery
 
-__all__ = ["find_homomorphism", "is_contained_in", "minimize_ucq"]
+__all__ = ["find_homomorphism", "find_pattern_homomorphism",
+           "is_contained_in", "minimize_ucq"]
 
 Mapping = Dict[Variable, PatternTerm]
 
@@ -55,16 +56,22 @@ def _map_atom(atom: TriplePattern, target: TriplePattern, frozen: frozenset,
     return current
 
 
-def find_homomorphism(source: BGPQuery,
-                      target: BGPQuery) -> Optional[Mapping]:
-    """A homomorphism from ``source``'s atoms into ``target``'s atoms,
-    identity on the distinguished variables; ``None`` if none exists.
+def find_pattern_homomorphism(source_atoms: Sequence[TriplePattern],
+                              target_atoms: Sequence[TriplePattern],
+                              frozen: frozenset = frozenset(),
+                              seed: Optional[Mapping] = None
+                              ) -> Optional[Mapping]:
+    """A mapping of ``source_atoms``'s variables into ``target_atoms``'s
+    terms sending every source atom onto *some* target atom; identity
+    on ``frozen`` variables, extending ``seed``; ``None`` if none
+    exists.
 
-    Backtracking over atom assignments, most-constrained atom first.
+    This is the working core of the homomorphism theorem, exposed at
+    the atom level so rule subsumption (a rule is a conjunctive query
+    whose head plays the distinguished part — see
+    :mod:`repro.staticcheck`) can reuse it.  Backtracking over atom
+    assignments, most-constrained atom first.
     """
-    if tuple(source.distinguished) != tuple(target.distinguished):
-        return None
-    frozen = frozenset(source.distinguished)
 
     # order source atoms by how constrained they are (more constants /
     # frozen variables first) to fail fast
@@ -75,8 +82,8 @@ def find_homomorphism(source: BGPQuery,
                 score += 1
         return -score
 
-    atoms = sorted(source.patterns, key=constrainedness)
-    targets = list(target.patterns)
+    atoms = sorted(source_atoms, key=constrainedness)
+    targets = list(target_atoms)
 
     def search(index: int, mapping: Mapping) -> Optional[Mapping]:
         if index == len(atoms):
@@ -89,7 +96,19 @@ def find_homomorphism(source: BGPQuery,
                     return result
         return None
 
-    return search(0, {})
+    return search(0, dict(seed) if seed else {})
+
+
+def find_homomorphism(source: BGPQuery,
+                      target: BGPQuery) -> Optional[Mapping]:
+    """A homomorphism from ``source``'s atoms into ``target``'s atoms,
+    identity on the distinguished variables; ``None`` if none exists.
+    """
+    if tuple(source.distinguished) != tuple(target.distinguished):
+        return None
+    frozen = frozenset(source.distinguished)
+    return find_pattern_homomorphism(source.patterns, target.patterns,
+                                     frozen)
 
 
 def is_contained_in(sub: BGPQuery, sup: BGPQuery) -> bool:

@@ -1,0 +1,50 @@
+"""Static analysis for rules, Datalog programs, and engine invariants.
+
+Two levels, one diagnostic model:
+
+* **Level 1 — program analysis** (:mod:`.ruleset_analysis`,
+  :mod:`.datalog_analysis`, :mod:`.depgraph`): safety /
+  range-restriction, stratification and recursion cliques, dead-rule
+  detection w.r.t. a schema, subsumed-rule detection via conjunctive-
+  query containment, and a reformulation blow-up estimator — the
+  ahead-of-time properties the paper's saturation/reformulation
+  trade-off rests on.
+* **Level 2 — engine-invariant lint** (:mod:`.engine_lint`): AST
+  checks over the ``repro`` source tree itself, encoding the project
+  invariants PR 1's differential suite learned the hard way.
+
+Findings share the :class:`Diagnostic` shape and aggregate into a
+:class:`LintReport` with a versioned, byte-stable JSON form
+(``repro-lint-report/1``).  The ``repro lint`` CLI subcommand is the
+front door; CI runs it over the repository on every push.
+"""
+
+from .datalog_analysis import analyze_program
+from .depgraph import (DependencyGraph, patterns_may_unify,
+                       program_dependency_graph, rule_dependency_graph)
+from .diagnostics import (DIAGNOSTIC_CODES, LINT_SCHEMA, Diagnostic,
+                          LintReport, Severity)
+from .engine_lint import (HOT_PATH_MODULES, TIMING_ALLOWED_MODULES,
+                          lint_file, lint_paths, lint_source)
+from .ruleset_analysis import (analyze_ruleset, check_reformulation_blowup,
+                               estimate_ucq_size, find_dead_rules,
+                               find_subsumed_rules)
+from .runner import DATALOG_EXTENSIONS, run_lint
+
+__all__ = [
+    # diagnostics
+    "Diagnostic", "LintReport", "Severity", "DIAGNOSTIC_CODES",
+    "LINT_SCHEMA",
+    # dependency graphs
+    "DependencyGraph", "patterns_may_unify", "rule_dependency_graph",
+    "program_dependency_graph",
+    # level 1
+    "analyze_program", "analyze_ruleset", "find_dead_rules",
+    "find_subsumed_rules", "estimate_ucq_size",
+    "check_reformulation_blowup",
+    # level 2
+    "lint_source", "lint_file", "lint_paths", "HOT_PATH_MODULES",
+    "TIMING_ALLOWED_MODULES",
+    # runner
+    "run_lint", "DATALOG_EXTENSIONS",
+]

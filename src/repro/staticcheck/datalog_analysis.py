@@ -1,0 +1,226 @@
+"""Level-1 analysis of textual Datalog programs.
+
+Everything here is decidable before a single fact is derived: safety
+(the property that keeps bottom-up evaluation finite), stratification
+(whether negation admits a coherent evaluation order at all),
+liveness w.r.t. the extensional base, duplicate clauses, and arity
+consistency.  Each pass returns :class:`~repro.staticcheck.
+diagnostics.Diagnostic` objects in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..datalog.program import Var
+from ..datalog.text import ParsedClause, ParsedProgram
+from .depgraph import program_dependency_graph
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["analyze_program"]
+
+
+def _check_safety(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC101: every head / negated-literal variable must occur in a
+    positive body literal (facts must be ground)."""
+    findings: List[Diagnostic] = []
+    for clause in program.clauses:
+        positive_vars: Set[Var] = set()
+        for literal in clause.body:
+            if not literal.negated:
+                positive_vars |= literal.atom.variables()
+        unsafe: Set[Var] = set(clause.head.variables()) - positive_vars
+        for literal in clause.body:
+            if literal.negated:
+                unsafe |= literal.atom.variables() - positive_vars
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            where = ("the fact is not ground" if clause.is_fact()
+                     else "not bound by any positive body literal")
+            findings.append(Diagnostic(
+                "SC101", Severity.ERROR,
+                f"unsafe clause: variable(s) {names} {where}",
+                file=file, line=clause.line,
+                target=clause.head.predicate,
+                hint="add a positive body literal binding the variable, "
+                     "or replace it with a constant"))
+    return findings
+
+
+def _check_negation(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC107 per negated literal (the engine is positive-only),
+    SC103 when negation additionally sits inside a recursive cycle."""
+    findings: List[Diagnostic] = []
+    for clause in program.rules():
+        for literal in clause.body:
+            if literal.negated:
+                findings.append(Diagnostic(
+                    "SC107", Severity.WARNING,
+                    f"negated literal 'not {literal.atom}' is analyzed "
+                    f"but not executable by the positive engine",
+                    file=file, line=clause.line,
+                    target=clause.head.predicate,
+                    hint="rewrite with an explicit complement relation, "
+                         "or keep the file analysis-only"))
+    graph = program_dependency_graph(program)
+    for component in sorted(graph.unstratifiable_cycles(),
+                            key=lambda c: sorted(map(str, c))):
+        members = ", ".join(sorted(map(str, component)))
+        line = min((c.line for c in program.rules()
+                    if c.head.predicate in component), default=None)
+        findings.append(Diagnostic(
+            "SC103", Severity.ERROR,
+            f"unstratifiable: negation inside the recursive clique "
+            f"{{{members}}}",
+            file=file, line=line, target=members,
+            hint="break the cycle or move the negated predicate to a "
+                 "lower stratum"))
+    return findings
+
+
+def _check_recursion(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC102: recursive predicate cliques (informational)."""
+    graph = program_dependency_graph(program)
+    findings: List[Diagnostic] = []
+    unstratifiable = set()
+    for component in graph.unstratifiable_cycles():
+        unstratifiable |= set(component)
+    for component in sorted(graph.cycles(),
+                            key=lambda c: sorted(map(str, c))):
+        if component & unstratifiable:
+            continue  # already reported as SC103
+        members = ", ".join(sorted(map(str, component)))
+        line = min((c.line for c in program.rules()
+                    if c.head.predicate in component), default=None)
+        findings.append(Diagnostic(
+            "SC102", Severity.INFO,
+            f"recursive predicate clique {{{members}}}: fixpoint "
+            f"evaluation will iterate",
+            file=file, line=line, target=members))
+    return findings
+
+
+def _check_liveness(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC104: clauses that can never fire because some body predicate
+    is neither extensional nor derivable."""
+    available: Set[str] = set(program.edb_predicates())
+    available |= {c.head.predicate for c in program.facts()}
+    rules = program.rules()
+    changed = True
+    fireable: Set[int] = set()
+    while changed:
+        changed = False
+        for index, clause in enumerate(rules):
+            if index in fireable:
+                continue
+            if all(literal.atom.predicate in available or literal.negated
+                   for literal in clause.body):
+                # a negated literal never *requires* facts: it holds
+                # vacuously when its predicate stays empty
+                fireable.add(index)
+                if clause.head.predicate not in available:
+                    available.add(clause.head.predicate)
+                changed = True
+    findings: List[Diagnostic] = []
+    for index, clause in enumerate(rules):
+        if index in fireable:
+            continue
+        missing = sorted(literal.atom.predicate for literal in clause.body
+                         if not literal.negated
+                         and literal.atom.predicate not in available)
+        findings.append(Diagnostic(
+            "SC104", Severity.WARNING,
+            f"dead clause: body predicate(s) {', '.join(missing)} have no "
+            f"facts and no live defining clause",
+            file=file, line=clause.line, target=clause.head.predicate,
+            hint="declare the predicate extensional (.edb name/arity), "
+                 "define it, or delete the clause"))
+    return findings
+
+
+def _check_duplicates(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC108: structurally identical clauses (after variable
+    normalization by first occurrence)."""
+
+    def canonical(clause: ParsedClause) -> Tuple[object, ...]:
+        renaming: Dict[Var, str] = {}
+
+        def term_key(term: object) -> Tuple[str, object]:
+            if isinstance(term, Var):
+                if term not in renaming:
+                    renaming[term] = f"_v{len(renaming)}"
+                return ("v", renaming[term])
+            return ("c", repr(term))
+
+        head_key = (clause.head.predicate,
+                    tuple(term_key(a) for a in clause.head.args))
+        body_key = tuple(
+            (literal.negated, literal.atom.predicate,
+             tuple(term_key(a) for a in literal.atom.args))
+            for literal in clause.body)
+        return (head_key, body_key)
+
+    seen: Dict[Tuple[object, ...], ParsedClause] = {}
+    findings: List[Diagnostic] = []
+    for clause in program.clauses:
+        key = canonical(clause)
+        original = seen.get(key)
+        if original is None:
+            seen[key] = clause
+            continue
+        findings.append(Diagnostic(
+            "SC108", Severity.WARNING,
+            f"duplicate clause: identical (up to variable renaming) to "
+            f"the clause at line {original.line}",
+            file=file, line=clause.line, target=clause.head.predicate,
+            hint="delete the duplicate"))
+    return findings
+
+
+def _check_arities(program: ParsedProgram, file: str) -> List[Diagnostic]:
+    """SC109: one predicate, several arities — a guaranteed runtime
+    rejection by :class:`~repro.datalog.program.Relation`."""
+    observed: Dict[str, Dict[int, int]] = {}  # predicate -> arity -> line
+
+    def record(predicate: str, arity: int, line: int) -> None:
+        arities = observed.setdefault(predicate, {})
+        arities.setdefault(arity, line)
+
+    for predicate, arity in sorted(program.edb.items()):
+        record(predicate, arity, 0)
+    for clause in program.clauses:
+        record(clause.head.predicate, clause.head.arity, clause.line)
+        for literal in clause.body:
+            record(literal.atom.predicate, literal.atom.arity, clause.line)
+
+    findings: List[Diagnostic] = []
+    for predicate in sorted(observed):
+        arities = observed[predicate]
+        if len(arities) <= 1:
+            continue
+        rendered = ", ".join(
+            f"/{a} ({'.edb' if arities[a] == 0 else f'line {arities[a]}'})"
+            for a in sorted(arities))
+        lines = [line for line in arities.values() if line]
+        findings.append(Diagnostic(
+            "SC109", Severity.ERROR,
+            f"predicate {predicate!r} used with inconsistent arities: "
+            f"{rendered}",
+            file=file, line=min(lines) if lines else None,
+            target=predicate,
+            hint="pick one arity; pad with a constant if a column is "
+                 "genuinely optional"))
+    return findings
+
+
+def analyze_program(program: ParsedProgram,
+                    file: str = "<string>") -> List[Diagnostic]:
+    """Run every Datalog-program pass; deterministic order."""
+    findings: List[Diagnostic] = []
+    findings.extend(_check_safety(program, file))
+    findings.extend(_check_arities(program, file))
+    findings.extend(_check_negation(program, file))
+    findings.extend(_check_recursion(program, file))
+    findings.extend(_check_liveness(program, file))
+    findings.extend(_check_duplicates(program, file))
+    return sorted(findings, key=Diagnostic.sort_key)

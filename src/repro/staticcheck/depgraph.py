@@ -1,0 +1,180 @@
+"""Predicate dependency graphs over rule sets and Datalog programs.
+
+The graph every Level-1 pass walks: one node per rule/clause (or per
+predicate, for Datalog), a signed edge ``producer -> consumer`` when
+the producer's head can feed one of the consumer's body literals.
+Recursion shows up as a strongly connected component, stratification
+as a topological order of the condensation, and reachability from the
+extensional base as liveness.
+
+The SCC computation reuses :func:`repro.schema.validation.
+strongly_connected_components` — Tarjan over an adjacency dict works
+just as well on rule names and predicate strings as on schema terms.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, FrozenSet, Hashable, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..datalog.text import ParsedProgram
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..reasoning.rules import Rule
+from ..schema.validation import strongly_connected_components
+
+__all__ = ["DependencyGraph", "patterns_may_unify", "rule_dependency_graph",
+           "program_dependency_graph"]
+
+Node = Hashable
+
+
+class DependencyGraph:
+    """A directed graph with optional negative-edge marking.
+
+    ``edges[a]`` holds the successors of ``a``; an edge present in
+    ``negative_edges`` carries at least one negated dependency (the
+    stratification obstruction when it sits inside a cycle).
+    """
+
+    __slots__ = ("nodes", "edges", "negative_edges")
+
+    def __init__(self) -> None:
+        self.nodes: Set[Node] = set()
+        self.edges: Dict[Node, Set[Node]] = {}
+        self.negative_edges: Set[Tuple[Node, Node]] = set()
+
+    def add_node(self, node: Node) -> None:
+        self.nodes.add(node)
+
+    def add_edge(self, source: Node, target: Node,
+                 negative: bool = False) -> None:
+        self.nodes.add(source)
+        self.nodes.add(target)
+        self.edges.setdefault(source, set()).add(target)
+        if negative:
+            self.negative_edges.add((source, target))
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self.edges.get(node, ()))
+
+    def cycles(self) -> List[FrozenSet[Node]]:
+        """Non-trivial SCCs (mutual recursion groups), plus self-loops."""
+        adjacency: Dict[Node, Set[Node]] = {n: set() for n in self.nodes}
+        for source, targets in self.edges.items():
+            adjacency[source] |= targets
+        return strongly_connected_components(adjacency)  # type: ignore[arg-type]
+
+    def unstratifiable_cycles(self) -> List[FrozenSet[Node]]:
+        """Cycles containing at least one negative edge: the classic
+        obstruction to a stratified evaluation order."""
+        offending: List[FrozenSet[Node]] = []
+        for component in self.cycles():
+            for source, target in self.negative_edges:
+                if source in component and target in component:
+                    offending.append(component)
+                    break
+        return offending
+
+    def stratify(self) -> Optional[Dict[Node, int]]:
+        """Stratum number per node, or ``None`` if unstratifiable.
+
+        Nodes in the same SCC share a stratum; a negative edge forces a
+        strictly higher stratum on the consumer side.  (Edges here run
+        producer -> consumer, so strata grow along edges.)
+        """
+        if self.unstratifiable_cycles():
+            return None
+        components = self.cycles()
+        component_of: Dict[Node, int] = {}
+        for index, component in enumerate(components):
+            for node in component:
+                component_of[node] = index
+        next_id = len(components)
+        for node in self.nodes:
+            if node not in component_of:
+                component_of[node] = next_id
+                next_id += 1
+
+        # longest-path strata over the condensation: negative edges
+        # bump the stratum, positive edges only propagate it
+        strata: Dict[Node, int] = {node: 0 for node in self.nodes}
+        changed = True
+        iterations = 0
+        limit = max(1, len(self.nodes)) ** 2 + len(self.nodes)
+        while changed and iterations <= limit:
+            changed = False
+            iterations += 1
+            for source, targets in self.edges.items():
+                for target in targets:
+                    if component_of[source] == component_of[target]:
+                        required = strata[source]
+                    elif (source, target) in self.negative_edges:
+                        required = strata[source] + 1
+                    else:
+                        required = strata[source]
+                    if strata[target] < required:
+                        strata[target] = required
+                        changed = True
+        return strata
+
+    def reachable_from(self, sources: Iterable[Node]) -> FrozenSet[Node]:
+        seen: Set[Node] = set()
+        stack = [s for s in sources if s in self.nodes]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return frozenset(seen)
+
+
+def patterns_may_unify(left: TriplePattern, right: TriplePattern) -> bool:
+    """True iff some ground triple matches both patterns.
+
+    Position-wise: two constants must be equal; a variable matches
+    anything.  This is the (sound, complete-for-our-patterns) test for
+    "the producer's head can feed this body atom".
+    """
+    for a, b in zip(left, right):
+        if isinstance(a, Variable) or isinstance(b, Variable):
+            continue
+        if a != b:
+            return False
+    return True
+
+
+def rule_dependency_graph(rules: Sequence[Rule]) -> DependencyGraph:
+    """Rule-level dependency graph: ``r1 -> r2`` when ``r1``'s head may
+    match some body atom of ``r2``.  Nodes are rule names.
+
+    An extra refinement for ``rdf:type`` atoms: a head typing into a
+    *constant* class only feeds body atoms typing the same class (or a
+    variable class), which keeps e.g. two unrelated class-membership
+    rules out of each other's dependency sets.
+    """
+    graph = DependencyGraph()
+    for rule in rules:
+        graph.add_node(rule.name)
+    for producer in rules:
+        for consumer in rules:
+            for atom in consumer.body:
+                if patterns_may_unify(producer.head, atom):
+                    graph.add_edge(producer.name, consumer.name)
+                    break
+    return graph
+
+
+def program_dependency_graph(program: ParsedProgram) -> DependencyGraph:
+    """Predicate-level dependency graph of a parsed Datalog program:
+    ``p -> q`` when some clause with head predicate ``q`` has ``p`` in
+    its body; negated body literals mark the edge negative."""
+    graph = DependencyGraph()
+    for predicate in sorted(program.predicates()):
+        graph.add_node(predicate)
+    for clause in program.rules():
+        for literal in clause.body:
+            graph.add_edge(literal.atom.predicate, clause.head.predicate,
+                           negative=literal.negated)
+    return graph

@@ -1,0 +1,189 @@
+"""The shared diagnostic model of the static-analysis subsystem.
+
+Every pass — program analysis over rule sets and Datalog files,
+engine-invariant lint over the source tree — reports through the same
+:class:`Diagnostic` shape (code, severity, location, fix hint), and
+every run aggregates into a :class:`LintReport` whose JSON form is
+versioned (``repro-lint-report/1``) and byte-stable: diagnostics are
+sorted by location and code, keys are sorted, so two runs over the
+same inputs serialize identically and CI can diff them.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "LINT_SCHEMA",
+           "DIAGNOSTIC_CODES"]
+
+#: bump on incompatible layout changes; diff tooling keys off this
+LINT_SCHEMA = "repro-lint-report/1"
+
+#: Every diagnostic code the subsystem can emit, with its one-line
+#: meaning.  ``docs/api.md`` renders this table; tests assert the two
+#: stay in sync.
+DIAGNOSTIC_CODES: Dict[str, str] = {
+    # Level 1 — program analysis (rule sets, Datalog programs, queries)
+    "SC101": "unsafe clause: a head (or negated-literal) variable does "
+             "not occur in any positive body literal",
+    "SC102": "recursive predicate clique (informational: recursion is "
+             "what makes saturation iterate)",
+    "SC103": "unstratifiable program: negation through a recursive cycle",
+    "SC104": "dead rule: a body atom can never match the given "
+             "schema/EDB, so the rule cannot fire",
+    "SC105": "subsumed rule: every derivation is already produced by "
+             "another rule",
+    "SC106": "reformulation blow-up: the predicted union-of-BGPs size "
+             "exceeds the configured budget",
+    "SC107": "negated literal: accepted for analysis, but the engine "
+             "evaluates positive programs only",
+    "SC108": "duplicate clause: textually identical clause appears "
+             "earlier in the program",
+    "SC109": "arity mismatch: a predicate is used with inconsistent "
+             "arities",
+    # Level 2 — engine-invariant lint (the repro source tree itself)
+    "SC201": "index mutation during a live scan: .add()/.remove() on a "
+             "collection while iterating one of its lazy scans",
+    "SC202": "hot-path class without __slots__",
+    "SC203": "direct time.* timing outside repro.obs spans",
+}
+
+
+class Severity(enum.Enum):
+    """Finding severity; ``error`` drives the CLI's non-zero exit."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+class Diagnostic:
+    """One finding: what, how bad, where, and how to fix it."""
+
+    __slots__ = ("code", "severity", "message", "file", "line", "target",
+                 "hint")
+
+    def __init__(self, code: str, severity: Severity, message: str,
+                 file: Optional[str] = None, line: Optional[int] = None,
+                 target: Optional[str] = None, hint: Optional[str] = None):
+        if code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.file = file
+        self.line = line
+        self.target = target
+        self.hint = hint
+
+    def sort_key(self) -> Tuple[str, int, str, str, str]:
+        return (self.file or "", self.line or 0, self.code,
+                self.target or "", self.message)
+
+    def location(self) -> str:
+        if self.file and self.line:
+            return f"{self.file}:{self.line}"
+        if self.file:
+            return self.file
+        if self.target:
+            return self.target
+        return "<input>"
+
+    def to_dict(self) -> Dict[str, object]:
+        node: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.file is not None:
+            node["file"] = self.file
+        if self.line is not None:
+            node["line"] = self.line
+        if self.target is not None:
+            node["target"] = self.target
+        if self.hint is not None:
+            node["hint"] = self.hint
+        return node
+
+    def render(self) -> str:
+        suffix = f" [{self.target}]" if self.target and self.file else ""
+        text = (f"{self.location()}: {self.severity.value}: "
+                f"{self.code}: {self.message}{suffix}")
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def __repr__(self) -> str:
+        return (f"<Diagnostic {self.code} {self.severity.value} "
+                f"at {self.location()}>")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Diagnostic)
+                and other.to_dict() == self.to_dict())
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.severity, self.message, self.file,
+                     self.line, self.target, self.hint))
+
+
+class LintReport:
+    """An ordered, aggregated collection of diagnostics."""
+
+    __slots__ = ("diagnostics", "targets")
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = (),
+                 targets: Iterable[str] = ()):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        self.targets: List[str] = list(targets)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def add_target(self, target: str) -> None:
+        self.targets.append(target)
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def exit_code(self) -> int:
+        return 1 if self.has_errors else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": LINT_SCHEMA,
+            "targets": sorted(self.targets),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+                "total": len(self.diagnostics),
+            },
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization (sorted keys, sorted findings)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.sorted()]
+        summary = (f"{self.count(Severity.ERROR)} error(s), "
+                   f"{self.count(Severity.WARNING)} warning(s), "
+                   f"{self.count(Severity.INFO)} note(s) "
+                   f"across {len(self.targets)} target(s)")
+        if lines:
+            return "\n".join(lines) + "\n" + summary
+        return summary

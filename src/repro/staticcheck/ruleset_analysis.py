@@ -1,0 +1,323 @@
+"""Level-1 analysis of entailment rule sets and queries.
+
+The paper's saturation/reformulation trade-off (§II) is governed by
+properties of the *rule set* that are knowable before any triple is
+derived.  These passes compute them:
+
+* recursion cliques (SC102) — which rules feed themselves/each other,
+  i.e. where the saturation fixpoint actually iterates;
+* dead rules w.r.t. a schema (SC104) — a rule whose body mentions,
+  say, ``rdfs:range`` can never fire against a schema with no range
+  constraints; pruning such rules ahead of time is exactly the kind
+  of program analysis View Selection and LiteMat lean on;
+* subsumed rules (SC105) — a rule is a conjunctive query (body = CQ,
+  head = distinguished part), so rule redundancy reduces to CQ
+  containment via the homomorphism theorem
+  (:mod:`repro.sparql.containment`);
+* reformulation blow-up (SC106) — the exact union-of-BGPs size a
+  query would rewrite into, computed arithmetically from the schema's
+  closure sizes without running the rewriter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.namespaces import RDF, RDFS
+from ..rdf.terms import Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from ..reasoning.reformulation import expand_bindings
+from ..reasoning.rules import Rule
+from ..reasoning.rulesets import RuleSet
+from ..schema import SCHEMA_PROPERTIES, Schema
+from ..sparql.ast import BGPQuery
+from ..sparql.containment import find_pattern_homomorphism
+from .depgraph import rule_dependency_graph
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["analyze_ruleset", "find_dead_rules", "find_subsumed_rules",
+           "estimate_ucq_size", "check_reformulation_blowup"]
+
+
+# ----------------------------------------------------------------------
+# the abstract "what kinds of triples can exist" domain
+# ----------------------------------------------------------------------
+
+#: abstract kinds: the four schema-constraint shapes, class-membership
+#: triples, per-property instance triples, and the "anything" element
+#: produced by variable-property rule heads.
+_KIND_SC = ("sc",)
+_KIND_SP = ("sp",)
+_KIND_DOM = ("dom",)
+_KIND_RNG = ("rng",)
+_KIND_TYPE = ("type",)
+_KIND_ANY = ("any",)
+#: "instance triples of any property may exist" — what an unknown
+#: graph contributes.  Unlike _KIND_ANY it does NOT cover the four
+#: schema-constraint kinds: the Schema argument is authoritative for
+#: those, which is what makes dead-rule detection useful at all.
+_KIND_INST_ANY = ("inst-any",)
+
+Kind = Tuple[object, ...]
+
+_SCHEMA_KINDS: Dict[Term, Kind] = {
+    RDFS.subClassOf: _KIND_SC,
+    RDFS.subPropertyOf: _KIND_SP,
+    RDFS.domain: _KIND_DOM,
+    RDFS.range: _KIND_RNG,
+}
+
+
+def _pattern_kind(pattern: TriplePattern) -> Kind:
+    prop = pattern.p
+    if isinstance(prop, Variable):
+        return _KIND_ANY
+    kind = _SCHEMA_KINDS.get(prop)
+    if kind is not None:
+        return kind
+    if prop == RDF.type:
+        return _KIND_TYPE
+    return ("inst", prop)
+
+
+def _initial_kinds(schema: Schema, graph: Optional[object]) -> Set[Kind]:
+    """What the extensional world can contain before any rule fires."""
+    available: Set[Kind] = set()
+    for triple in schema.triples():
+        available.add(_SCHEMA_KINDS[triple.p])
+    if graph is None:
+        # instance data unknown: assume class memberships and instance
+        # triples of any property may exist
+        available.add(_KIND_TYPE)
+        available.add(_KIND_INST_ANY)
+        return available
+    for prop in graph.predicates():  # type: ignore[attr-defined]
+        kind = _SCHEMA_KINDS.get(prop)
+        if kind is not None:
+            available.add(kind)
+        elif prop == RDF.type:
+            available.add(_KIND_TYPE)
+        else:
+            available.add(("inst", prop))
+    return available
+
+
+def _matchable(kind: Kind, available: Set[Kind]) -> bool:
+    if _KIND_ANY in available:
+        return True
+    if kind == _KIND_ANY:
+        return bool(available)
+    if kind[0] == "inst" and _KIND_INST_ANY in available:
+        return True
+    return kind in available
+
+
+def _head_kinds(rule: Rule, schema: Schema) -> Set[Kind]:
+    """The abstract kinds a rule's conclusions can take.
+
+    A variable property position usually means "anything", with one
+    refinement: when the head property variable is bound by a body
+    atom ``(p1, rdfs:subPropertyOf, p2)`` (the rdfs7 shape), the
+    derivable properties are exactly the schema's subproperty
+    *targets*, so their kinds are enumerable.
+    """
+    prop = rule.head.p
+    if not isinstance(prop, Variable):
+        return {_pattern_kind(rule.head)}
+    for atom in rule.body:
+        if atom.p == RDFS.subPropertyOf and atom.o == prop:
+            targets: Set[Term] = set()
+            for constraint in schema.triples():
+                if constraint.p == RDFS.subPropertyOf:
+                    targets.add(constraint.o)
+            kinds: Set[Kind] = set()
+            for target in targets:
+                kinds.add(_pattern_kind(
+                    TriplePattern(Variable("s"), target, Variable("o"))))
+            return kinds
+    return {_KIND_ANY}
+
+
+def find_dead_rules(ruleset: RuleSet, schema: Schema,
+                    graph: Optional[object] = None
+                    ) -> List[Tuple[Rule, List[TriplePattern]]]:
+    """Rules that can never fire against ``schema`` (and optionally the
+    instance predicates of ``graph``), with the unmatchable body atoms.
+
+    Sound in the no-false-positive direction: a reported rule truly
+    cannot fire on any graph with this schema (and these instance
+    predicates); unreported rules *may* still never fire.
+    """
+    available = _initial_kinds(schema, graph)
+    rules = list(ruleset)
+    fireable: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.name in fireable:
+                continue
+            if all(_matchable(_pattern_kind(atom), available)
+                   for atom in rule.body):
+                fireable.add(rule.name)
+                available |= _head_kinds(rule, schema)
+                changed = True
+    dead: List[Tuple[Rule, List[TriplePattern]]] = []
+    for rule in rules:
+        if rule.name in fireable:
+            continue
+        missing = [atom for atom in rule.body
+                   if not _matchable(_pattern_kind(atom), available)]
+        dead.append((rule, missing))
+    return dead
+
+
+# ----------------------------------------------------------------------
+# rule subsumption via the homomorphism theorem
+# ----------------------------------------------------------------------
+
+def _rule_subsumed_by(subsumed: Rule, general: Rule) -> bool:
+    """True iff every derivation of ``subsumed`` is also produced by
+    ``general``: a substitution of ``general``'s variables with
+    ``subsumed``'s terms maps its head onto ``subsumed``'s head and its
+    body into ``subsumed``'s body."""
+    seed = find_pattern_homomorphism((general.head,), (subsumed.head,))
+    if seed is None:
+        return False
+    return find_pattern_homomorphism(general.body, subsumed.body,
+                                     seed=seed) is not None
+
+
+def find_subsumed_rules(ruleset: RuleSet) -> List[Tuple[Rule, Rule]]:
+    """Pairs ``(redundant, by)``: the first rule's derivations are all
+    produced by the second.  For mutually-subsuming (equivalent) rules
+    the one appearing later in the set is reported, so the output is
+    deterministic for a deterministic rule order."""
+    rules = list(ruleset)
+    pairs: List[Tuple[Rule, Rule]] = []
+    for i, candidate in enumerate(rules):
+        for j, other in enumerate(rules):
+            if i == j:
+                continue
+            if not _rule_subsumed_by(candidate, other):
+                continue
+            if _rule_subsumed_by(other, candidate) and i < j:
+                continue  # equivalent: keep the earlier one
+            pairs.append((candidate, other))
+            break
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# reformulation blow-up estimation
+# ----------------------------------------------------------------------
+
+def _atom_fanout(atom: TriplePattern, schema: Schema) -> int:
+    """How many alternatives reformulation generates for one atom —
+    mirrors :func:`repro.reasoning.reformulation.atom_alternatives`
+    arithmetically, without materializing any pattern."""
+    prop = atom.p
+    if isinstance(prop, Variable):
+        return 1
+    if prop == RDF.type:
+        cls = atom.o
+        if isinstance(cls, Variable) or isinstance(cls, Literal):
+            return 1
+        count = 1 + len(schema.subclasses(cls) - {cls})
+        count += len(schema.properties_with_domain(cls))
+        count += len(schema.properties_with_range(cls))
+        return count
+    if prop in SCHEMA_PROPERTIES:
+        return 1
+    return 1 + len(schema.subproperties(prop) - {prop})
+
+
+def estimate_ucq_size(query: BGPQuery, schema: Schema) -> int:
+    """Predict ``reformulate(query, schema).ucq_size`` without running
+    the rewriter: enumerate the binding specializations, then multiply
+    per-atom fan-outs straight off the schema's cached closure sizes.
+    Exact by construction (the test suite asserts equality)."""
+    total = 0
+    for variant in expand_bindings(query, schema):
+        product = 1
+        for atom in variant.patterns:
+            product *= _atom_fanout(atom, schema)
+        total += product
+    return total
+
+
+def check_reformulation_blowup(query: BGPQuery, schema: Schema,
+                               budget: int = 1000,
+                               target: Optional[str] = None
+                               ) -> List[Diagnostic]:
+    """SC106 when the predicted UCQ size exceeds ``budget``; an info
+    diagnostic carrying the prediction otherwise."""
+    estimate = estimate_ucq_size(query, schema)
+    label = target or query.to_sparql()
+    if estimate > budget:
+        return [Diagnostic(
+            "SC106", Severity.WARNING,
+            f"predicted reformulation size {estimate} exceeds the "
+            f"budget of {budget} union conjuncts",
+            target=label,
+            hint="evaluate this query under the saturation strategy, "
+                 "or minimize the union (repro reformulate --minimize)")]
+    return [Diagnostic(
+        "SC106", Severity.INFO,
+        f"predicted reformulation size: {estimate} union conjunct(s) "
+        f"(budget {budget})",
+        target=label)]
+
+
+# ----------------------------------------------------------------------
+# the combined ruleset report
+# ----------------------------------------------------------------------
+
+def analyze_ruleset(ruleset: RuleSet, schema: Optional[Schema] = None,
+                    graph: Optional[object] = None,
+                    queries: Sequence[Tuple[str, BGPQuery]] = (),
+                    ucq_budget: int = 1000) -> List[Diagnostic]:
+    """Run every rule-set pass; deterministic order.
+
+    ``schema`` enables the dead-rule pass (without one there is no
+    fact base to be dead against); ``queries`` are (label, query)
+    pairs for the blow-up estimator.
+    """
+    findings: List[Diagnostic] = []
+    source = f"ruleset:{ruleset.name}"
+
+    graph_deps = rule_dependency_graph(list(ruleset))
+    for component in sorted(graph_deps.cycles(),
+                            key=lambda c: sorted(map(str, c))):
+        members = ", ".join(sorted(map(str, component)))
+        findings.append(Diagnostic(
+            "SC102", Severity.INFO,
+            f"recursive rule clique {{{members}}}: saturation iterates "
+            f"through these rules",
+            target=f"{source}:{members}"))
+
+    for redundant, by in find_subsumed_rules(ruleset):
+        findings.append(Diagnostic(
+            "SC105", Severity.WARNING,
+            f"rule {redundant.name!r} is subsumed by {by.name!r}: every "
+            f"derivation it produces is already produced there",
+            target=f"{source}:{redundant.name}",
+            hint=f"drop {redundant.name!r} from the rule set"))
+
+    if schema is not None:
+        for rule, missing in find_dead_rules(ruleset, schema, graph):
+            atoms = "; ".join(p.n3().rstrip(" .") for p in missing)
+            findings.append(Diagnostic(
+                "SC104", Severity.WARNING,
+                f"rule {rule.name!r} can never fire: body atom(s) "
+                f"[{atoms}] match nothing derivable from this schema",
+                target=f"{source}:{rule.name}",
+                hint="saturate/query with a smaller rule set to skip "
+                     "the wasted matching work"))
+
+    if queries and schema is not None:
+        for label, query in queries:
+            findings.extend(check_reformulation_blowup(
+                query, schema, budget=ucq_budget, target=label))
+
+    return sorted(findings, key=Diagnostic.sort_key)

@@ -1,0 +1,100 @@
+"""Target dispatch: what `repro lint` runs for each kind of input.
+
+* ``*.py`` files and directories — the Level-2 engine-invariant lint;
+* ``*.dlg`` / ``*.dl`` / ``*.datalog`` files — the Level-1 Datalog
+  program passes (a syntax error is itself reported as an SC101-class
+  error rather than crashing the run);
+* rule-set names (``--ruleset``) — the Level-1 rule-set passes,
+  against the schema of ``--graph`` when one is given;
+* queries (``--query``, with ``--graph``) — the reformulation
+  blow-up estimator.
+
+Everything aggregates into one :class:`~repro.staticcheck.diagnostics.
+LintReport` whose JSON rendering is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..datalog.text import DatalogSyntaxError, parse_program_text
+from ..rdf.graph import Graph
+from ..reasoning.rulesets import RuleSet
+from ..schema import Schema
+from ..sparql.ast import BGPQuery
+from .datalog_analysis import analyze_program
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine_lint import HOT_PATH_MODULES, lint_paths
+from .ruleset_analysis import analyze_ruleset
+
+__all__ = ["run_lint", "DATALOG_EXTENSIONS"]
+
+DATALOG_EXTENSIONS = (".dlg", ".dl", ".datalog")
+
+
+def _split_paths(paths: Sequence[str]) -> Tuple[List[str], List[str]]:
+    python_targets: List[str] = []
+    datalog_targets: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            python_targets.append(path)
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.lower().endswith(DATALOG_EXTENSIONS):
+                        datalog_targets.append(os.path.join(root, name))
+        elif path.lower().endswith(DATALOG_EXTENSIONS):
+            datalog_targets.append(path)
+        elif path.lower().endswith(".py"):
+            python_targets.append(path)
+        else:
+            raise ValueError(
+                f"unsupported lint target {path!r} (expected a directory, "
+                f"*.py, or {'/'.join(DATALOG_EXTENSIONS)})")
+    return python_targets, datalog_targets
+
+
+def run_lint(paths: Sequence[str] = (),
+             rulesets: Sequence[RuleSet] = (),
+             graph: Optional[Graph] = None,
+             queries: Sequence[Tuple[str, BGPQuery]] = (),
+             ucq_budget: int = 1000,
+             hot_paths: Sequence[str] = HOT_PATH_MODULES) -> LintReport:
+    """Run every applicable pass over every target; one sorted report."""
+    report = LintReport()
+    schema = Schema.from_graph(graph) if graph is not None else None
+
+    python_targets, datalog_targets = _split_paths(paths)
+    if python_targets:
+        report.extend(lint_paths(python_targets, hot_paths=hot_paths))
+        for target in sorted(python_targets):
+            report.add_target(target)
+    for path in sorted(datalog_targets):
+        report.add_target(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                program = parse_program_text(handle.read(), source=path)
+        except DatalogSyntaxError as error:
+            report.extend([Diagnostic(
+                "SC101", Severity.ERROR,
+                f"unparseable program: {error}",
+                file=path, line=error.line,
+                hint="fix the syntax error before any analysis can run")])
+            continue
+        report.extend(analyze_program(program, file=path))
+
+    for ruleset in rulesets:
+        report.add_target(f"ruleset:{ruleset.name}")
+        report.extend(analyze_ruleset(
+            ruleset, schema=schema, graph=graph,
+            queries=queries, ucq_budget=ucq_budget))
+    if queries and not rulesets and schema is not None:
+        # queries given without a ruleset: still run the estimator
+        from .ruleset_analysis import check_reformulation_blowup
+
+        for label, query in queries:
+            report.add_target(label)
+            report.extend(check_reformulation_blowup(
+                query, schema, budget=ucq_budget, target=label))
+
+    return report

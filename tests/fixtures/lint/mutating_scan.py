@@ -1,0 +1,31 @@
+"""Lint fixture: mutations during a live scan (SC201).
+
+This module is never imported; it exists so the test suite can assert
+the engine-invariant lint flags exactly these shapes.
+"""
+
+
+def grow_while_scanning(graph, pattern, derive):
+    # BAD: graph.add() while iterating graph.match() — the index the
+    # scan walks is being rewritten under it.
+    for triple in graph.match(pattern):
+        graph.add(derive(triple))
+
+
+def shrink_while_iterating(relation):
+    # BAD: direct iteration over the live collection, then .remove().
+    for fact in relation:
+        if fact[0] == fact[1]:
+            relation.remove(fact)
+
+
+def safe_materialized(graph, pattern, derive):
+    # GOOD: list() materializes the scan before any mutation.
+    for triple in list(graph.match(pattern)):
+        graph.add(derive(triple))
+
+
+def safe_different_collection(graph, other, pattern):
+    # GOOD: mutating a different collection than the one scanned.
+    for triple in graph.match(pattern):
+        other.add(triple)

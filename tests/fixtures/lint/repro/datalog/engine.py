@@ -1,0 +1,18 @@
+"""Lint fixture shadowing a hot-path module name (SC202).
+
+Its path ends in ``repro/datalog/engine.py``, so the __slots__ rule
+applies; the real engine lives under ``src/`` and stays clean.
+"""
+
+
+class SlotlessState:
+    # BAD: hot-path class, no __slots__ — every instance carries a dict.
+    def __init__(self, facts):
+        self.facts = facts
+
+
+class SlottedState:
+    __slots__ = ("facts",)
+
+    def __init__(self, facts):
+        self.facts = facts

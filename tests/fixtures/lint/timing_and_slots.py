@@ -1,0 +1,30 @@
+"""Lint fixture: direct timing (SC203) and slotless hot-path classes
+(SC202).  Never imported; the tests lint it under a hot-path name.
+"""
+
+import time
+from time import perf_counter as pc
+
+
+class SlotlessThing:
+    # BAD under a hot-path module name: no __slots__.
+    def __init__(self, value):
+        self.value = value
+
+
+class SlottedThing:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class FixtureError(Exception):
+    # exception types are exempt from the __slots__ rule
+    pass
+
+
+def measure(work):
+    started = time.perf_counter()  # BAD: timing outside repro.obs
+    work()
+    return pc() - started  # BAD: aliased from-import, still timing

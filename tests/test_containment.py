@@ -119,6 +119,38 @@ class TestMinimizeUCQ:
     def test_empty_input(self):
         assert minimize_ucq([]) == []
 
+    def test_single_conjunct_survives_self_comparison(self):
+        # a lone conjunct is trivially self-contained; it must not be
+        # dropped by comparing it against itself
+        q = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert minimize_ucq([q]) == [q]
+
+    def test_duplicate_conjuncts_keep_exactly_one(self):
+        q = BGPQuery([TP(X, EX.p, Y)], [X])
+        again = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert minimize_ucq([q, again, q]) == [q]
+
+    def test_renamed_duplicate_counts_as_duplicate(self):
+        # same query up to a bound-variable renaming: keep the first
+        q1 = BGPQuery([TP(X, EX.p, Y)], [X])
+        q2 = BGPQuery([TP(X, EX.p, Z)], [X])
+        assert minimize_ucq([q1, q2]) == [q1]
+
+    def test_conjunct_with_redundant_self_join_folds_onto_core(self):
+        # q1's second atom is a renamed copy of its first (a redundant
+        # self-join): q1 is equivalent to the core q2, so one survives
+        redundant = BGPQuery([TP(X, EX.p, Y), TP(X, EX.p, Z)], [X])
+        core = BGPQuery([TP(X, EX.p, Y)], [X])
+        assert minimize_ucq([redundant, core]) == [redundant]
+        assert minimize_ucq([core, redundant]) == [core]
+
+    def test_mixed_duplicates_and_containment(self):
+        general = BGPQuery([TP(X, EX.p, Y)], [X])
+        special = BGPQuery([TP(X, EX.p, EX.a)], [X])
+        other = BGPQuery([TP(X, RDF.type, EX.C1)], [X])
+        result = minimize_ucq([special, general, special, other])
+        assert result == [general, other]
+
     def test_reformulation_minimization_preserves_answers(self, lubm_small):
         """to_minimized_ucq() must answer exactly like to_ucq()."""
         schema = Schema.from_graph(lubm_small)

@@ -195,6 +195,42 @@ class TestDiagnostics:
         chain = {EX.term(f"N{i}"): {EX.term(f"N{i + 1}")} for i in range(3000)}
         assert strongly_connected_components(chain) == []
 
+    def test_property_cycle_detection(self):
+        s = Schema()
+        s.add(Triple(EX.p, RDFS.subPropertyOf, EX.q))
+        s.add(Triple(EX.q, RDFS.subPropertyOf, EX.p))
+        report = validate_schema(s)
+        assert report.property_cycles == [frozenset({EX.p, EX.q})]
+        assert report.has_cycles
+        assert "subproperty cycles: 1" in report.summary()
+
+    def test_disjoint_cycles_reported_separately(self):
+        s = Schema()
+        for a, b in [(EX.A, EX.B), (EX.B, EX.A), (EX.C, EX.D), (EX.D, EX.C)]:
+            s.add(Triple(a, RDFS.subClassOf, b))
+        report = validate_schema(s)
+        assert sorted(report.class_cycles, key=sorted) == [
+            frozenset({EX.A, EX.B}), frozenset({EX.C, EX.D})]
+
+    def test_cycle_summary_mentions_count(self):
+        s = Schema()
+        s.add(Triple(EX.A, RDFS.subClassOf, EX.B))
+        s.add(Triple(EX.B, RDFS.subClassOf, EX.A))
+        assert "subclass cycles: 1" in validate_schema(s).summary()
+
+    def test_dual_use_via_domain_constraint(self):
+        # X is a property (it has a domain) and also a class (something
+        # is declared a subclass of it)
+        s = Schema()
+        s.add(Triple(EX.X, RDFS.domain, EX.C))
+        s.add(Triple(EX.D, RDFS.subClassOf, EX.X))
+        report = validate_schema(s)
+        assert EX.X in report.dual_use_terms
+        assert "both class and property" in report.summary()
+
+    def test_no_dual_use_in_clean_schema(self, schema):
+        assert validate_schema(schema).dual_use_terms == frozenset()
+
     def test_summary_mentions_counts(self, schema):
         text = validate_schema(schema).summary()
         assert "classes: 3" in text
