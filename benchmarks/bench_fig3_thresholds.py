@@ -35,15 +35,20 @@ def report(lubm_2dept):
     return analyze_thresholds(lubm_2dept, QUERIES, repeat=2, update_size=10)
 
 
-def test_saturation_cost(benchmark, lubm_2dept):
+@pytest.mark.parametrize("backend", ["hash", "columnar"])
+def test_saturation_cost(benchmark, backend, request):
     """The fixed cost every threshold amortizes: full saturation."""
-    result = benchmark(lambda: saturate(lubm_2dept))
+    suffix = "_columnar" if backend == "columnar" else ""
+    graph = request.getfixturevalue(f"lubm_2dept{suffix}")
+    result = benchmark(lambda: saturate(graph))
     assert result.inferred > 0
 
 
-def test_saturated_evaluation_cost(benchmark, lubm_2dept):
+@pytest.mark.parametrize("backend", ["hash", "columnar"])
+def test_saturated_evaluation_cost(benchmark, backend, request):
     """Per-run cost on the saturation side: q(G∞) for the widest query."""
-    saturated = saturate(lubm_2dept).graph
+    suffix = "_columnar" if backend == "columnar" else ""
+    saturated = saturate(request.getfixturevalue(f"lubm_2dept{suffix}")).graph
     query = workload_query("Q1")
     rows = benchmark(lambda: evaluate(saturated, query))
     assert len(rows) > 0

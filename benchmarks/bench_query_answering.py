@@ -30,12 +30,14 @@ def prepared(lubm_2dept):
     schema = Schema.from_graph(lubm_2dept)
     closed = lubm_2dept.copy()
     closed.update(schema.closure_triples())
-    return saturated, schema, closed
+    return {"hash": saturated, "columnar": saturated.to_backend("columnar"),
+            "schema": schema, "closed": closed}
 
 
+@pytest.mark.parametrize("backend", ["hash", "columnar"])
 @pytest.mark.parametrize("qid", list(WORKLOAD_QUERIES))
-def test_saturation_side(benchmark, qid, prepared):
-    saturated, __, __closed = prepared
+def test_saturation_side(benchmark, qid, backend, prepared):
+    saturated = prepared[backend]
     query = workload_query(qid)
     rows = benchmark(lambda: evaluate(saturated, query))
     assert len(rows) > 0
@@ -43,7 +45,7 @@ def test_saturation_side(benchmark, qid, prepared):
 
 @pytest.mark.parametrize("qid", list(WORKLOAD_QUERIES))
 def test_reformulation_side(benchmark, qid, prepared):
-    __, schema, closed = prepared
+    schema, closed = prepared["schema"], prepared["closed"]
     query = workload_query(qid)
 
     def answer():
@@ -55,26 +57,30 @@ def test_reformulation_side(benchmark, qid, prepared):
 
 def test_query_answering_report(benchmark, prepared):
     """Winner-and-factor table per query, plus the agreement check."""
-    saturated, schema, closed = prepared
+    saturated, columnar = prepared["hash"], prepared["columnar"]
+    schema, closed = prepared["schema"], prepared["closed"]
 
     def build() -> str:
         lines = ["EXP-QA — per-run query answering cost "
-                 "(saturated eval vs reformulated eval)",
+                 "(saturated eval, hash vs columnar, vs reformulated eval)",
                  f"{'query':>6} {'ucq':>5} {'answers':>8} {'sat ms':>8} "
-                 f"{'ref ms':>8} {'winner':>7} {'factor':>7}",
-                 "-" * 58]
+                 f"{'col ms':>8} {'ref ms':>8} {'winner':>7} {'factor':>7}",
+                 "-" * 66]
         for qid, (__, query) in WORKLOAD_QUERIES.items():
             sat = best_of(lambda: evaluate(saturated, query), repeat=3)
+            col = best_of(lambda: evaluate(columnar, query), repeat=3)
             reformulation = reformulate(query, schema)
             ref = best_of(lambda: evaluate_reformulation(
                 closed, reformulate(query, schema)), repeat=3)
             assert sat.result.to_set() == ref.result.to_set(), qid
+            assert col.result.to_set() == sat.result.to_set(), qid
             winner = "sat" if sat.seconds <= ref.seconds else "ref"
             slow, fast = max(sat.seconds, ref.seconds), \
                 min(sat.seconds, ref.seconds)
             factor = slow / fast if fast > 0 else float("inf")
             lines.append(f"{qid:>6} {reformulation.ucq_size:5} "
                          f"{len(sat.result):8} {sat.millis:8.2f} "
+                         f"{col.millis:8.2f} "
                          f"{ref.millis:8.2f} {winner:>7} {factor:7.1f}x")
         return "\n".join(lines)
 

@@ -16,28 +16,36 @@ from conftest import save_report
 RULESETS = {"rhodf": RHO_DF, "rdfs-full": RDFS_FULL, "rdfs-plus": RDFS_PLUS}
 
 
+@pytest.mark.parametrize("backend", ["hash", "columnar"])
 @pytest.mark.parametrize("scale", [1, 2, 4])
-def test_saturation_scaling(benchmark, scale, request):
+def test_saturation_scaling(benchmark, scale, backend, request):
     """Saturation time vs graph size (ρdf rule set, both engines auto)."""
-    graph = request.getfixturevalue(f"lubm_{scale}dept")
+    suffix = "_columnar" if backend == "columnar" else ""
+    graph = request.getfixturevalue(f"lubm_{scale}dept{suffix}")
     result = benchmark(lambda: saturate(graph))
     assert result.inferred > 0
 
 
+@pytest.mark.parametrize("backend", ["hash", "columnar"])
 @pytest.mark.parametrize("ruleset_name", list(RULESETS))
-def test_saturation_by_ruleset(benchmark, ruleset_name, lubm_1dept):
+def test_saturation_by_ruleset(benchmark, ruleset_name, backend, request):
     """Saturation time vs rule-set expressive power."""
+    suffix = "_columnar" if backend == "columnar" else ""
+    graph = request.getfixturevalue(f"lubm_1dept{suffix}")
     ruleset = RULESETS[ruleset_name]
-    result = benchmark(lambda: saturate(lubm_1dept, ruleset))
+    result = benchmark(lambda: saturate(graph, ruleset))
     assert result.inferred > 0
 
 
-@pytest.mark.parametrize("engine",
-                         ["schema-aware", "set-at-a-time", "seminaive"])
-def test_engine_comparison(benchmark, engine, lubm_1dept):
+@pytest.mark.parametrize("engine", ["schema-aware", "set-at-a-time",
+                                    "seminaive", "seminaive-batch"])
+def test_engine_comparison(benchmark, engine, lubm_1dept, lubm_1dept_columnar):
     """Tuple-at-a-time fast path vs set-at-a-time in-memory engine
-    (the §II-D [28] style) vs the generic semi-naive engine."""
-    result = benchmark(lambda: saturate(lubm_1dept, RHO_DF, engine=engine))
+    (the §II-D [28] style) vs the generic semi-naive engine vs the
+    columnar set-at-a-time batch engine (on its native backend)."""
+    graph = (lubm_1dept_columnar if engine == "seminaive-batch"
+             else lubm_1dept)
+    result = benchmark(lambda: saturate(graph, RHO_DF, engine=engine))
     assert result.engine == engine
 
 

@@ -61,3 +61,21 @@ def lubm_2dept():
 def lubm_4dept():
     """~2.8k-triple university graph (scaling points)."""
     return generate_lubm(LUBMConfig(departments=4))
+
+
+@pytest.fixture(scope="session")
+def lubm_1dept_columnar(lubm_1dept):
+    """The 1-department graph on the columnar backend."""
+    return lubm_1dept.to_backend("columnar")
+
+
+@pytest.fixture(scope="session")
+def lubm_2dept_columnar(lubm_2dept):
+    """The 2-department graph on the columnar backend."""
+    return lubm_2dept.to_backend("columnar")
+
+
+@pytest.fixture(scope="session")
+def lubm_4dept_columnar(lubm_4dept):
+    """The 4-department graph on the columnar backend."""
+    return lubm_4dept.to_backend("columnar")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` files and print per-benchmark speedups.
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_pr3.json BENCH_new.json
+
+For every benchmark present in both files the table shows the old and
+new "after" timings and the old→new speedup (>1 means the new run is
+faster); benchmarks present in only one file are listed as added or
+removed.  ``--fail-below R`` exits non-zero when any shared benchmark
+regressed below speedup ``R`` (CI uses 0.5 as a coarse tripwire —
+shared-runner noise, not a microbenchmark gate).
+
+Files must be in the ``repro-bench/1`` format written by
+``scripts/record_benchmarks.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("format") != "repro-bench/1":
+        raise SystemExit(f"{path}: not a repro-bench/1 file "
+                         f"(format={data.get('format')!r})")
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="R",
+                        help="exit 1 if any shared benchmark's old->new "
+                             "speedup drops below R")
+    args = parser.parse_args(argv)
+
+    old, new = load(args.old), load(args.new)
+    old_benches, new_benches = old["benchmarks"], new["benchmarks"]
+    shared = [n for n in old_benches if n in new_benches]
+    if old.get("quick") != new.get("quick"):
+        print("note: comparing a quick run against a full run — "
+              "timings are not at the same workload scale\n")
+
+    width = max((len(n) for n in {*old_benches, *new_benches}), default=9)
+    width = max(width, len("benchmark"))
+    print(f"{'benchmark':<{width}} {'old s':>10} {'new s':>10} "
+          f"{'old->new':>9} {'internal':>9}")
+    worst = None
+    for name in shared:
+        old_s = old_benches[name]["after_s"]
+        new_s = new_benches[name]["after_s"]
+        ratio = old_s / new_s if new_s else float("inf")
+        if worst is None or ratio < worst:
+            worst = ratio
+        internal = new_benches[name].get("speedup")
+        internal_text = f"{internal:.2f}x" if internal else "-"
+        print(f"{name:<{width}} {old_s:>10.4f} {new_s:>10.4f} "
+              f"{ratio:>8.2f}x {internal_text:>9}")
+    for name in old_benches:
+        if name not in new_benches:
+            print(f"{name:<{width}} (removed in {args.new})")
+    for name in new_benches:
+        if name not in old_benches:
+            print(f"{name:<{width}} (added in {args.new})")
+
+    if not shared:
+        print("no shared benchmarks to compare")
+        return 0
+    print(f"\nworst old->new speedup: {worst:.2f}x over "
+          f"{len(shared)} shared benchmark(s)")
+    if args.fail_below is not None and worst < args.fail_below:
+        print(f"FAIL: below --fail-below {args.fail_below}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Record before/after benchmark numbers into a ``BENCH_*.json`` file.
+
+"Before" is the hash backend driven by the existing engines (generic
+semi-naive saturation, index-nested-loop evaluation); "after" is the
+columnar backend driven by the set-at-a-time engines (sorted-run
+merge/leapfrog joins, batch semi-naive saturation).  Three benchmark
+families mirror the timed costs of the pytest benchmark suite:
+
+* ``saturation/*``        — bench_saturation's scaling points;
+* ``query_answering/*``   — bench_query_answering's saturated side;
+* ``thresholds/*``        — bench_fig3_thresholds' cost probes (the
+  fixed saturation cost and the widest query's per-run cost).
+
+The output is diffable with ``scripts/bench_compare.py``.  ``--quick``
+shrinks every workload for CI smoke runs; committed baselines should
+be recorded without it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import best_of                      # noqa: E402
+from repro.reasoning import RDFS_FULL, saturate         # noqa: E402
+from repro.sparql import evaluate                       # noqa: E402
+from repro.workloads import (LUBMConfig, WORKLOAD_QUERIES,  # noqa: E402
+                             generate_lubm, workload_query)
+
+FORMAT = "repro-bench/1"
+
+
+def _entry(before_s: float, after_s: float, **extra) -> dict:
+    return {
+        "before_s": round(before_s, 6),
+        "after_s": round(after_s, 6),
+        "speedup": round(before_s / after_s, 3) if after_s else None,
+        **extra,
+    }
+
+
+def record(quick: bool, repeat: int) -> dict:
+    scales = [1] if quick else [1, 2, 4]
+    qa_scale = 1 if quick else 4
+    threshold_scale = 1 if quick else 2
+    graphs = {s: generate_lubm(LUBMConfig(departments=s))
+              for s in sorted({*scales, qa_scale, threshold_scale})}
+    columnar = {s: g.to_backend("columnar") for s, g in graphs.items()}
+    benchmarks: dict = {}
+
+    # -- saturation: generic semi-naive vs columnar batch engine -------
+    for scale in scales:
+        before = best_of(lambda: saturate(graphs[scale], RDFS_FULL,
+                                          engine="seminaive"), repeat=repeat)
+        after = best_of(lambda: saturate(columnar[scale], RDFS_FULL,
+                                         engine="seminaive-batch"),
+                        repeat=repeat)
+        assert after.result.inferred == before.result.inferred
+        benchmarks[f"saturation/lubm_{scale}dept/rdfs-full"] = _entry(
+            before.seconds, after.seconds,
+            base_size=before.result.base_size,
+            inferred=before.result.inferred)
+
+    # -- query answering: the saturated side of every workload query --
+    saturated = saturate(graphs[qa_scale], RDFS_FULL).graph
+    saturated_columnar = saturated.to_backend("columnar")
+    total_before = total_after = 0.0
+    for qid in WORKLOAD_QUERIES:
+        query = workload_query(qid)
+        before = best_of(lambda: evaluate(saturated, query), repeat=repeat)
+        after = best_of(lambda: evaluate(saturated_columnar, query),
+                        repeat=repeat)
+        assert after.result.to_set() == before.result.to_set(), qid
+        total_before += before.seconds
+        total_after += after.seconds
+        benchmarks[f"query_answering/lubm_{qa_scale}dept/{qid}"] = _entry(
+            before.seconds, after.seconds, answers=len(before.result))
+    benchmarks[f"query_answering/lubm_{qa_scale}dept/aggregate"] = _entry(
+        total_before, total_after, queries=len(WORKLOAD_QUERIES))
+
+    # -- thresholds: the two cost probes of the Figure 3 benchmark ----
+    scale = threshold_scale
+    before = best_of(lambda: saturate(graphs[scale], RDFS_FULL,
+                                      engine="seminaive"), repeat=repeat)
+    after = best_of(lambda: saturate(columnar[scale], RDFS_FULL,
+                                     engine="seminaive-batch"), repeat=repeat)
+    benchmarks[f"thresholds/lubm_{scale}dept/saturation_cost"] = _entry(
+        before.seconds, after.seconds)
+    sat_hash = before.result.graph
+    sat_columnar = after.result.graph
+    query = workload_query("Q1")
+    before = best_of(lambda: evaluate(sat_hash, query), repeat=repeat)
+    after = best_of(lambda: evaluate(sat_columnar, query), repeat=repeat)
+    assert after.result.to_set() == before.result.to_set()
+    benchmarks[f"thresholds/lubm_{scale}dept/q1_evaluation_cost"] = _entry(
+        before.seconds, after.seconds, answers=len(before.result))
+
+    return {
+        "format": FORMAT,
+        "label": "pr3-columnar",
+        "quick": quick,
+        "repeat": repeat,
+        "before": "hash backend, tuple-at-a-time engines",
+        "after": "columnar backend, set-at-a-time sorted-run engines",
+        "workloads": {f"lubm_{s}dept": len(g) for s, g in graphs.items()},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO / "BENCH_pr3.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads / CI smoke mode")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of repetitions per measurement")
+    args = parser.parse_args(argv)
+    report = record(args.quick, args.repeat)
+    pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    width = max(len(name) for name in report["benchmarks"])
+    print(f"{'benchmark':<{width}} {'before s':>10} {'after s':>10} "
+          f"{'speedup':>8}")
+    for name, entry in report["benchmarks"].items():
+        print(f"{name:<{width}} {entry['before_s']:>10.4f} "
+              f"{entry['after_s']:>10.4f} {entry['speedup']:>7.2f}x")
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,18 +40,23 @@ from .sparql import parse_query
 __all__ = ["main", "build_parser"]
 
 
-def _load_graph(path: str) -> Graph:
+def _load_graph(path: str, backend: str = "hash") -> Graph:
     if path == "-":
-        return graph_from_turtle(sys.stdin.read())
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    lowered = path.lower()
-    if lowered.endswith((".nt", ".ntriples")):
-        return graph_from_ntriples(text)
-    if lowered.endswith((".ttl", ".turtle")):
-        return graph_from_turtle(text)
-    raise SystemExit(f"unsupported file extension: {path} "
-                     f"(expected .ttl/.turtle/.nt/.ntriples)")
+        graph = graph_from_turtle(sys.stdin.read())
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        lowered = path.lower()
+        if lowered.endswith((".nt", ".ntriples")):
+            graph = graph_from_ntriples(text)
+        elif lowered.endswith((".ttl", ".turtle")):
+            graph = graph_from_turtle(text)
+        else:
+            raise SystemExit(f"unsupported file extension: {path} "
+                             f"(expected .ttl/.turtle/.nt/.ntriples)")
+    if backend != graph.backend:
+        graph = graph.to_backend(backend)
+    return graph
 
 
 def _dump_graph(graph: Graph, path: str) -> None:
@@ -74,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="print collected metrics and span tree to "
                              "stderr after the command finishes")
+    parser.add_argument("--backend", default="hash",
+                        choices=("hash", "columnar"),
+                        help="index layout for loaded graphs: hash "
+                             "(default) or columnar sorted runs")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_argument(sub: argparse.ArgumentParser) -> None:
@@ -190,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     schema = Schema.from_graph(graph)
     instance = len(graph) - len(schema)
     print(f"triples: {len(graph)} ({len(schema)} schema, {instance} instance)")
@@ -200,7 +209,7 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_saturate(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     result = saturate(graph, get_ruleset(args.ruleset), engine=args.engine)
     print(result.summary())
     for rule, count in sorted(result.rule_counts.items()):
@@ -213,7 +222,7 @@ def _cmd_saturate(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     db = RDFDatabase(graph, strategy=Strategy(args.strategy),
                      ruleset=get_ruleset(args.ruleset))
     results = db.query(args.query)
@@ -223,7 +232,7 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_ask(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     db = RDFDatabase(graph, strategy=Strategy(args.strategy),
                      ruleset=get_ruleset(args.ruleset))
     answer = db.ask_query(args.query)
@@ -232,7 +241,7 @@ def _cmd_ask(args) -> int:
 
 
 def _cmd_reformulate(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     schema = Schema.from_graph(graph)
     query = parse_query(args.query, graph.namespaces)
     reformulation = reformulate(query, schema)
@@ -247,7 +256,7 @@ def _cmd_reformulate(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     triple = Triple(URI(args.subject), URI(args.property), URI(args.object))
     proof = explain(graph, triple, get_ruleset(args.ruleset))
     if proof is None:
@@ -263,7 +272,7 @@ def _cmd_thresholds(args) -> int:
     from .analysis import analyze_thresholds
     from .workloads import WORKLOAD_QUERIES
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     if args.query:
         queries = [(f"q{i + 1}", parse_query(text, graph.namespaces))
                    for i, text in enumerate(args.query)]
@@ -298,7 +307,7 @@ def _cmd_stats(args) -> int:
     from .obs import (measurement_window, observability_report,
                       render_report, report_to_json)
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, args.backend)
     with measurement_window() as (registry, tracer):
         db = RDFDatabase(graph, strategy=Strategy(args.strategy),
                          ruleset=get_ruleset(args.ruleset))
@@ -318,7 +327,7 @@ def _cmd_stats(args) -> int:
 def _cmd_lint(args) -> int:
     from .staticcheck import run_lint
 
-    graph = _load_graph(args.graph) if args.graph else None
+    graph = _load_graph(args.graph, args.backend) if args.graph else None
     namespaces = graph.namespaces if graph is not None else None
     queries = [(f"q{i + 1}", parse_query(text, namespaces))
                for i, text in enumerate(args.query)]

@@ -86,10 +86,18 @@ class RDFDatabase:
     def __init__(self, graph: Optional[Graph] = None,
                  strategy: Strategy = Strategy.SATURATION,
                  ruleset: RuleSet = RDFS_DEFAULT,
-                 maintenance: str = "dred"):
+                 maintenance: str = "dred",
+                 backend: Optional[str] = None):
         if maintenance not in ("dred", "counting"):
             raise ValueError("maintenance must be 'dred' or 'counting'")
-        self._explicit: Graph = graph.copy() if graph is not None else Graph()
+        # backend defaults to the given graph's layout (hash otherwise);
+        # an explicit choice converts the snapshot on the way in
+        if graph is None:
+            self._explicit: Graph = Graph(backend=backend or "hash")
+        elif backend is None or backend == graph.backend:
+            self._explicit = graph.copy()
+        else:
+            self._explicit = graph.to_backend(backend)
         self._strategy = strategy
         self._ruleset = ruleset
         self._maintenance = maintenance
@@ -114,6 +122,11 @@ class RDFDatabase:
     @property
     def ruleset(self) -> RuleSet:
         return self._ruleset
+
+    @property
+    def backend(self) -> str:
+        """Index layout of the store (``"hash"`` or ``"columnar"``)."""
+        return self._explicit.backend
 
     def switch_strategy(self, strategy: Strategy) -> None:
         """Change the reasoning regime; derived state is rebuilt."""
@@ -353,6 +366,7 @@ class RDFDatabase:
             "strategy": self._strategy.value,
             "ruleset": self._ruleset.name,
             "maintenance": self._maintenance,
+            "backend": self._explicit.backend,
             "triples": len(self._explicit),
         }
         with open(os.path.join(directory, "meta.json"), "w",
@@ -378,7 +392,8 @@ class RDFDatabase:
             graph = graph_from_ntriples(handle.read())
         return cls(graph, strategy=Strategy(meta["strategy"]),
                    ruleset=get_ruleset(meta["ruleset"]),
-                   maintenance=meta.get("maintenance", "dred"))
+                   maintenance=meta.get("maintenance", "dred"),
+                   backend=meta.get("backend", "hash"))
 
     # ------------------------------------------------------------------
     # introspection
@@ -389,6 +404,7 @@ class RDFDatabase:
         info: Dict[str, object] = {
             "strategy": self._strategy.value,
             "ruleset": self._ruleset.name,
+            "backend": self._explicit.backend,
             "explicit_triples": len(self._explicit),
             "queries_answered": len(self._log),
         }

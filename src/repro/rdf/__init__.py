@@ -6,8 +6,9 @@ a dictionary-encoded, hash-indexed in-memory graph, with N-Triples and
 Turtle-subset I/O.
 """
 
+from .columnar import ColumnarTripleIndex
 from .dictionary import TermDictionary
-from .graph import Graph
+from .graph import BACKENDS, Graph
 from .index import ALL_ORDERS, DEFAULT_ORDERS, TripleIndex
 from .isomorphism import (blank_node_bijection, canonical_signatures,
                           is_lean, isomorphic)
@@ -26,7 +27,8 @@ __all__ = [
     "Substitution", "Triple", "TriplePattern",
     "Namespace", "NamespaceManager", "DEFAULT_PREFIXES",
     "RDF", "RDFS", "XSD", "OWL", "REPRO",
-    "TermDictionary", "TripleIndex", "ALL_ORDERS", "DEFAULT_ORDERS",
+    "TermDictionary", "TripleIndex", "ColumnarTripleIndex",
+    "ALL_ORDERS", "DEFAULT_ORDERS", "BACKENDS",
     "Graph",
     "isomorphic", "blank_node_bijection", "canonical_signatures", "is_lean",
     "NTriplesError", "parse_ntriples", "parse_ntriples_line",

@@ -13,15 +13,22 @@ encoded triples (see :mod:`repro.rdf.index`); the public API speaks
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from .columnar import ColumnarTripleIndex
 from .dictionary import TermDictionary
 from .index import DEFAULT_ORDERS, TripleIndex
 from .namespaces import NamespaceManager
 from .terms import BlankNode, PatternTerm, RDFTerm, Term, URI, Variable
 from .triples import Substitution, Triple, TriplePattern
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "BACKENDS"]
+
+#: Selectable index layouts: ``"hash"`` (nested hash maps, the
+#: default) and ``"columnar"`` (sorted runs; see repro.rdf.columnar).
+BACKENDS: Tuple[str, ...] = ("hash", "columnar")
+
+AnyIndex = Union[TripleIndex, ColumnarTripleIndex]
 
 
 class Graph:
@@ -35,15 +42,24 @@ class Graph:
     1
     """
 
-    __slots__ = ("_dictionary", "_index", "namespaces", "_version")
+    __slots__ = ("_dictionary", "_index", "namespaces", "_version",
+                 "_backend", "_derived")
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None,
                  index_orders: Iterable[str] = DEFAULT_ORDERS,
-                 namespaces: Optional[NamespaceManager] = None):
+                 namespaces: Optional[NamespaceManager] = None,
+                 backend: str = "hash"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {', '.join(BACKENDS)}")
         self._dictionary = TermDictionary()
-        self._index = TripleIndex(index_orders)
+        self._backend = backend
+        self._index: AnyIndex = (
+            ColumnarTripleIndex(index_orders) if backend == "columnar"
+            else TripleIndex(index_orders))
         self.namespaces = namespaces if namespaces is not None else NamespaceManager()
         self._version = 0
+        self._derived: Dict[str, Tuple[int, object]] = {}
         if triples is not None:
             self.update(triples)
 
@@ -217,10 +233,79 @@ class Graph:
         """
         return self._version
 
+    @property
+    def backend(self) -> str:
+        """The index layout this graph runs on: ``"hash"`` or
+        ``"columnar"``."""
+        return self._backend
+
+    @property
+    def index(self) -> AnyIndex:
+        """The triple index over encoded identifiers (backend-specific).
+
+        Read-only use by the join operators and saturation engines;
+        mutating it directly bypasses version tracking.
+        """
+        return self._index
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary backing this graph's encoded triples."""
+        return self._dictionary
+
+    def cached_derived(self, key: str,
+                       compute: Callable[["Graph"], object]) -> object:
+        """A graph-derived value cached until the next mutation.
+
+        ``compute(self)`` runs at most once per graph version per key;
+        layers use this for pure-function-of-the-graph results they
+        re-ask for on hot paths (e.g. the meta-schema check gating
+        engine selection in ``saturate``).
+        """
+        entry = self._derived.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        value = compute(self)
+        self._derived[key] = (self._version, value)
+        return value
+
+    def add_encoded(self, triples: Iterable[Tuple[int, int, int]]
+                    ) -> List[Tuple[int, int, int]]:
+        """Insert already-encoded triples in one batch.
+
+        The set-at-a-time engines derive conclusions in identifier
+        space; this lets them land a whole delta relation without a
+        decode/re-encode round-trip.  Identifiers must come from this
+        graph's dictionary.  Returns the triples actually new.
+        """
+        fresh = self._index.add_batch(triples)
+        if fresh:
+            self._version += 1
+        return fresh
+
     def copy(self) -> "Graph":
+        """An independent copy sharing no mutable state.
+
+        Copies the dictionary and indexes structurally — no decode/
+        re-encode per triple — so identifiers stay stable between a
+        graph and its copies.
+        """
         clone = Graph(index_orders=self._index.order_names,
-                      namespaces=self.namespaces.copy())
-        clone.update(self)
+                      namespaces=self.namespaces.copy(),
+                      backend=self._backend)
+        clone._dictionary = self._dictionary.copy()
+        clone._index = self._index.copy()
+        return clone
+
+    def to_backend(self, backend: str) -> "Graph":
+        """A copy of this graph on the given index backend."""
+        if backend == self._backend:
+            return self.copy()
+        clone = Graph(index_orders=self._index.order_names,
+                      namespaces=self.namespaces.copy(),
+                      backend=backend)
+        clone._dictionary = self._dictionary.copy()
+        clone._index.add_batch(iter(self._index))
         return clone
 
     def terms(self) -> Iterator[Term]:
@@ -237,7 +322,8 @@ class Graph:
         from .namespaces import REPRO
 
         clone = Graph(index_orders=self._index.order_names,
-                      namespaces=self.namespaces.copy())
+                      namespaces=self.namespaces.copy(),
+                      backend=self._backend)
 
         def skolem(term: RDFTerm) -> RDFTerm:
             if isinstance(term, BlankNode):

@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
-__all__ = ["TripleIndex", "IndexOrder", "ALL_ORDERS", "DEFAULT_ORDERS"]
+__all__ = ["TripleIndex", "IndexOrder", "ALL_ORDERS", "DEFAULT_ORDERS",
+           "ORDER_PERMUTATIONS", "invert_order"]
 
 #: An index order: a permutation of the positions (0=s, 1=p, 2=o).
 IndexOrder = Tuple[int, int, int]
 
-_ORDER_BY_NAME: Dict[str, IndexOrder] = {
+#: Permutation for each of the six order names (shared with the
+#: columnar layout in :mod:`repro.rdf.columnar`).
+ORDER_PERMUTATIONS: Dict[str, IndexOrder] = {
     "spo": (0, 1, 2),
     "sop": (0, 2, 1),
     "pso": (1, 0, 2),
@@ -25,6 +28,8 @@ _ORDER_BY_NAME: Dict[str, IndexOrder] = {
     "osp": (2, 0, 1),
     "ops": (2, 1, 0),
 }
+
+_ORDER_BY_NAME = ORDER_PERMUTATIONS
 
 ALL_ORDERS: Tuple[str, ...] = ("spo", "sop", "pso", "pos", "osp", "ops")
 DEFAULT_ORDERS: Tuple[str, ...] = ("spo", "pos", "osp")
@@ -100,6 +105,10 @@ class TripleIndex:
         if inserted:
             self._size += 1
         return inserted
+
+    def add_batch(self, triples: Iterable[EncodedTriple]) -> list:
+        """Insert many triples; return the ones actually new, in order."""
+        return [t for t in triples if self.add(t)]
 
     def discard(self, triple: EncodedTriple) -> bool:
         """Remove ``triple``; return True iff it was present."""
@@ -228,8 +237,12 @@ class TripleIndex:
         return clone
 
 
-def _invert(permutation: IndexOrder) -> IndexOrder:
+def invert_order(permutation: IndexOrder) -> IndexOrder:
+    """The inverse permutation (permuted position -> original position)."""
     inverse = [0, 0, 0]
     for position, original in enumerate(permutation):
         inverse[original] = position
     return (inverse[0], inverse[1], inverse[2])
+
+
+_invert = invert_order

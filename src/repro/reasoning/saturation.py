@@ -81,7 +81,16 @@ def has_meta_schema(graph: Graph) -> bool:
     declared as a super-property of ``rdf:type``.  In that regime the
     schema changes while instance rules fire, so the single-pass
     schema-aware engine is not complete and the generic engine is used.
+
+    The answer is cached on the graph (keyed by its version counter):
+    ``saturate`` asks up to three times per run, incremental
+    maintenance once per update batch, and the scan itself touches
+    dozens of index lookups.
     """
+    return bool(graph.cached_derived("has_meta_schema", _compute_meta_schema))
+
+
+def _compute_meta_schema(graph: Graph) -> bool:
     special = set(SCHEMA_PROPERTIES) | {RDF.type}
     for term in special:
         for p in SCHEMA_PROPERTIES:
@@ -98,7 +107,9 @@ def saturate(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT,
     """Compute the saturation ``G∞`` of ``graph`` under ``ruleset``.
 
     ``engine`` is ``"auto"`` (schema-aware when the rule set is ρdf and
-    the graph has no meta-schema, else semi-naive), ``"seminaive"`` or
+    the graph has no meta-schema; otherwise the set-at-a-time
+    ``seminaive-batch`` engine on columnar graphs and ``seminaive`` on
+    hash graphs), ``"seminaive"``, ``"seminaive-batch"`` or
     ``"schema-aware"``.  With ``in_place=False`` (default) the input
     graph is left untouched and a saturated copy is returned.
     ``max_rounds`` optionally caps semi-naive iterations (for tests and
@@ -112,8 +123,12 @@ def saturate(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT,
 
     with span("saturate", ruleset=ruleset.name, base_size=base_size) as sp:
         if engine == "auto":
-            engine = "schema-aware" if is_rhodf and not has_meta_schema(target) \
-                else "seminaive"
+            if is_rhodf and not has_meta_schema(target):
+                engine = "schema-aware"
+            elif target.backend == "columnar":
+                engine = "seminaive-batch"
+            else:
+                engine = "seminaive"
         sp.set(engine=engine)
         if engine in ("schema-aware", "set-at-a-time"):
             if not is_rhodf:
@@ -128,9 +143,13 @@ def saturate(graph: Graph, ruleset: RuleSet = RDFS_DEFAULT,
                 result = _saturate_setwise(target, base_size)
         elif engine == "seminaive":
             result = _saturate_seminaive(target, ruleset, base_size, max_rounds)
+        elif engine == "seminaive-batch":
+            from .batch import saturate_batch
+            result = saturate_batch(target, ruleset, base_size, max_rounds)
         else:
             raise ValueError(f"unknown engine {engine!r}; expected 'auto', "
-                             f"'seminaive', 'schema-aware' or 'set-at-a-time'")
+                             f"'seminaive', 'seminaive-batch', "
+                             f"'schema-aware' or 'set-at-a-time'")
         sp.set(inferred=result.inferred, rounds=result.rounds)
         _record_saturation_metrics(result)
 

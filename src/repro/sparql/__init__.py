@@ -12,6 +12,7 @@ from .containment import find_homomorphism, is_contained_in, minimize_ucq
 from .evaluator import (evaluate, evaluate_ask, evaluate_bgp_bindings,
                         evaluate_factorized, evaluate_reformulation,
                         evaluate_ucq)
+from .joins import BGPPlan, compile_bgp, evaluate_columnar
 from .optimizer import (PlanStep, estimate_cardinality, explain_plan,
                         order_patterns)
 from .parser import SPARQLSyntaxError, parse_query
@@ -24,6 +25,7 @@ __all__ = [
     "evaluate", "evaluate_ask", "evaluate_bgp_bindings", "evaluate_ucq",
     "find_homomorphism", "is_contained_in", "minimize_ucq",
     "evaluate_factorized", "evaluate_reformulation",
+    "BGPPlan", "compile_bgp", "evaluate_columnar",
     "estimate_cardinality", "order_patterns", "explain_plan", "PlanStep",
     "parse_query", "SPARQLSyntaxError", "UnionQuery",
     "parse_update", "UpdateOperation",

@@ -13,6 +13,11 @@ indexes in the optimizer's order; reformulated queries can be
 evaluated either conjunct-by-conjunct (explicit UCQ) or directly on
 the factorized form, where each atom scans its alternative patterns —
 the far cheaper strategy the ABL-JOIN ablation quantifies.
+
+On graphs with the ``"columnar"`` backend, plain BGP evaluation is
+routed to the set-at-a-time pipeline in :mod:`repro.sparql.joins`
+(merge/leapfrog intersections over sorted runs); semantics are
+identical, only the execution strategy changes.
 """
 
 from __future__ import annotations
@@ -35,6 +40,10 @@ def evaluate_bgp_bindings(graph: Graph, patterns: Sequence[TriplePattern],
     """Stream every substitution satisfying all ``patterns`` in ``graph``."""
     if not patterns:
         yield {}
+        return
+    if graph.backend == "columnar":
+        from .joins import iter_bindings
+        yield from iter_bindings(graph, patterns, optimize)
         return
     if optimize:
         order = order_patterns(graph, patterns)
@@ -70,6 +79,9 @@ def evaluate(graph: Graph, query: BGPQuery, optimize: bool = True) -> ResultSet:
     invisible unless the graph has been saturated or the query
     reformulated.
     """
+    if graph.backend == "columnar":
+        from .joins import evaluate_columnar
+        return evaluate_columnar(graph, query, optimize)
     results = ResultSet(query.distinguished, distinct=query.distinct)
     preset = query.preset
     for binding in evaluate_bgp_bindings(graph, query.patterns, optimize):

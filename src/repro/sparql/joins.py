@@ -1,0 +1,527 @@
+"""Set-at-a-time join operators over encoded triple indexes.
+
+The classic evaluator (:mod:`repro.sparql.evaluator`) is an
+object-at-a-time index nested-loop join: every intermediate row costs
+a decoded :class:`~repro.rdf.triples.Triple`, a pattern match and two
+dictionary copies.  This module compiles a BGP once into a *plan over
+identifier space* — variables become integer slots, constants become
+dictionary identifiers — and executes it with three operators:
+
+* **scan** — an index range lookup extending the current binding; the
+  universal fallback, correct on every backend and index layout;
+* **merge intersection** — two patterns whose only free variable is
+  the same ``?v`` and whose bound positions form a sorted-run prefix
+  are answered by merging the two sorted suffix runs;
+* **leapfrog intersection** — the k-ary generalization (leapfrog
+  triejoin's unary core): k sorted cursors gallop to their next
+  common value via binary-search seeks.
+
+Operator selection uses the existing optimizer statistics:
+:func:`~repro.sparql.optimizer.order_patterns` fixes the join order,
+then every maximal group of order-compatible single-free-variable
+patterns becomes one intersection step.  Patterns that are not
+order-compatible (ablated index layouts, repeated variables) fall
+back to scans, so plans exist for every query on every layout.
+
+Only terms leaving the pipeline are decoded; intermediate bindings
+are flat integer lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..obs import get_metrics, span
+from ..rdf.columnar import ColumnarTripleIndex
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import Substitution, TriplePattern
+from .ast import BGPQuery
+from .bindings import ResultSet
+from .optimizer import order_patterns
+
+__all__ = ["BGPPlan", "compile_bgp", "iter_bindings", "evaluate_columnar",
+           "leapfrog"]
+
+#: An encoded binding: one integer (or None) per variable slot.
+EncodedBinding = List[Optional[int]]
+
+#: Compiled atom position: (is_variable, identifier-or-slot).
+_Position = Tuple[bool, int]
+
+
+class _ScanStep:
+    """Index-nested-loop step: range-scan one atom, extend the binding.
+
+    Backend-generic — drives the index's eight-shape ``match``.
+    """
+
+    __slots__ = ("template", "bound", "assigns", "dup_checks", "pattern")
+
+    def __init__(self, positions: Sequence[_Position], bound_slots: frozenset,
+                 pattern: TriplePattern):
+        template: List[Optional[int]] = [None, None, None]
+        bound: List[Tuple[int, int]] = []       # (position, slot)
+        assigns: List[Tuple[int, int]] = []     # (position, slot)
+        dup_checks: List[Tuple[int, int]] = []  # (position, slot)
+        seen: set = set()
+        for position, (is_var, value) in enumerate(positions):
+            if not is_var:
+                template[position] = value
+            elif value in bound_slots:
+                bound.append((position, value))
+            elif value in seen:
+                dup_checks.append((position, value))
+            else:
+                seen.add(value)
+                assigns.append((position, value))
+        self.template = template
+        self.bound = bound
+        self.assigns = assigns
+        self.dup_checks = dup_checks
+        self.pattern = pattern
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        args = list(self.template)
+        for position, slot in self.bound:
+            args[position] = binding[slot]
+        counts[0] += 1
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        for triple in graph.index.match(args[0], args[1], args[2]):
+            extended = binding[:]
+            for position, slot in assigns:
+                extended[slot] = triple[position]
+            if dup_checks and any(triple[position] != extended[slot]
+                                  for position, slot in dup_checks):
+                continue
+            counts[3] += 1
+            yield extended
+
+
+class _SortedScanStep:
+    """Range-scan step specialized to one sorted run.
+
+    On columnar graphs the scan order depends only on which positions
+    are bound — known at compile time — so the order choice, the
+    permutation and the residual checks are all resolved here once,
+    and the inner loop works directly on permuted triples from the
+    run: one binary-searched range per execution, no per-lookup order
+    selection and no back-permutation of components nobody reads.
+    """
+
+    __slots__ = ("order_index", "prefix_spec", "const_checks",
+                 "bound_checks", "assigns", "dup_checks", "value_slot",
+                 "pattern")
+
+    def __init__(self, index: ColumnarTripleIndex,
+                 positions: Sequence[_Position], bound_slots: frozenset,
+                 pattern: TriplePattern):
+        bound_positions = frozenset(
+            i for i, (is_var, value) in enumerate(positions)
+            if not is_var or value in bound_slots)
+        order_index, prefix_len = index.best_order(bound_positions)
+        permutation = index.permutation(order_index)
+        self.order_index = order_index
+        # prefix components in permuted order: constants or bound slots
+        self.prefix_spec = tuple(positions[permutation[j]]
+                                 for j in range(prefix_len))
+        const_checks: List[Tuple[int, int]] = []  # (permuted pos, id)
+        bound_checks: List[Tuple[int, int]] = []  # (permuted pos, slot)
+        assigns: List[Tuple[int, int]] = []       # (permuted pos, slot)
+        dup_checks: List[Tuple[int, int]] = []    # (permuted pos, slot)
+        seen: set = set()
+        for j in range(prefix_len, 3):
+            is_var, value = positions[permutation[j]]
+            if not is_var:
+                const_checks.append((j, value))
+            elif value in bound_slots:
+                bound_checks.append((j, value))
+            elif value in seen:
+                dup_checks.append((j, value))
+            else:
+                seen.add(value)
+                assigns.append((j, value))
+        self.const_checks = const_checks
+        self.bound_checks = bound_checks
+        self.assigns = assigns
+        self.dup_checks = dup_checks
+        # the dominant rule-engine shape — two bound prefix positions,
+        # one free suffix value — runs through the index's value scan
+        self.value_slot = (assigns[0][1]
+                           if (prefix_len == 2 and len(assigns) == 1
+                               and not const_checks and not bound_checks
+                               and not dup_checks)
+                           else None)
+        self.pattern = pattern
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        counts[0] += 1
+        prefix = tuple(binding[value] if is_var else value
+                       for is_var, value in self.prefix_spec)
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        slot = self.value_slot
+        if slot is not None:
+            bindings = 0
+            for value in index.values_order(self.order_index,
+                                            prefix[0], prefix[1]):
+                extended = binding[:]
+                extended[slot] = value
+                bindings += 1
+                yield extended
+            counts[3] += bindings
+            return
+        checks = self.const_checks
+        if self.bound_checks:
+            checks = checks + [(j, binding[slot])
+                               for j, slot in self.bound_checks]
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        for t in index.scan_order(self.order_index, prefix):
+            if checks and any(t[j] != value for j, value in checks):
+                continue
+            extended = binding[:]
+            for j, slot in assigns:
+                extended[slot] = t[j]
+            if dup_checks and any(t[j] != extended[slot]
+                                  for j, slot in dup_checks):
+                continue
+            counts[3] += 1
+            yield extended
+
+
+class _IntersectStep:
+    """Merge (k=2) / leapfrog (k>2) intersection of sorted suffix runs.
+
+    Each cursor is one atom reduced to a sorted stream of candidate
+    values for the shared variable; the leapfrog loop emits exactly
+    the values on which all streams agree.
+    """
+
+    __slots__ = ("slot", "cursors", "patterns")
+
+    def __init__(self, slot: int,
+                 cursors: Sequence[Tuple[int, Tuple[_Position, _Position]]],
+                 patterns: Sequence[TriplePattern]):
+        self.slot = slot
+        self.cursors = tuple(cursors)
+        self.patterns = tuple(patterns)
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        counts[1] += 1
+        seeks: List[Callable[[int], Optional[int]]] = []
+        for order_index, prefix_spec in self.cursors:
+            (a_var, a_val), (b_var, b_val) = prefix_spec
+            prefix = (binding[a_val] if a_var else a_val,
+                      binding[b_val] if b_var else b_val)
+            runs_seek = index.seek_in
+            seeks.append(
+                lambda v, oi=order_index, pre=prefix: runs_seek(oi, pre, v))
+        slot = self.slot
+        for value in leapfrog(seeks, counts):
+            extended = binding[:]
+            extended[slot] = value
+            counts[3] += 1
+            yield extended
+
+
+def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
+             counts: Optional[List[int]] = None) -> Iterator[int]:
+    """Values common to every sorted cursor (identifiers are >= 0).
+
+    Each ``seeks[i](v)`` returns the cursor's smallest value ``>= v``
+    or ``None`` when exhausted.  Classic leapfrog: chase the current
+    maximum around the cursor ring until all agree.
+    """
+    if counts is None:
+        counts = [0, 0, 0, 0, 0]
+    k = len(seeks)
+    counts[2] += 1
+    current = seeks[0](0)
+    counts[4] += 1
+    if current is None:
+        return
+    if k == 1:
+        while current is not None:
+            yield current
+            current = seeks[0](current + 1)
+            counts[4] += 1
+        return
+    cursor = 0
+    agreeing = 1
+    while True:
+        cursor = (cursor + 1) % k
+        value = seeks[cursor](current)
+        counts[4] += 1
+        if value is None:
+            return
+        if value == current:
+            agreeing += 1
+            if agreeing == k:
+                yield current
+                value = seeks[cursor](current + 1)
+                counts[4] += 1
+                if value is None:
+                    return
+                current = value
+                agreeing = 1
+        else:
+            current = value
+            agreeing = 1
+
+
+_Step = Union[_ScanStep, _SortedScanStep, _IntersectStep]
+
+
+class BGPPlan:
+    """A BGP compiled to identifier space: slots, steps, execution."""
+
+    __slots__ = ("graph", "steps", "slot_of", "nslots", "empty")
+
+    def __init__(self, graph: Graph, steps: Sequence[_Step],
+                 slot_of: Dict[Variable, int], empty: bool):
+        self.graph = graph
+        self.steps = tuple(steps)
+        self.slot_of = slot_of
+        self.nslots = len(slot_of)
+        self.empty = empty
+
+    def scan_steps(self) -> int:
+        return sum(1 for s in self.steps
+                   if not isinstance(s, _IntersectStep))
+
+    def intersect_steps(self) -> int:
+        return sum(1 for s in self.steps if isinstance(s, _IntersectStep))
+
+    def run(self, initial: Optional[EncodedBinding] = None
+            ) -> Iterator[EncodedBinding]:
+        """Stream every satisfying encoded binding.
+
+        ``initial`` pre-binds slots; it is not mutated.
+        """
+        start = list(initial) if initial is not None else [None] * self.nslots
+        return self.run_seeds((start,))
+
+    def run_seeds(self, seeds: Iterable[EncodedBinding]
+                  ) -> Iterator[EncodedBinding]:
+        """Stream the satisfying extensions of every seed binding.
+
+        The set-at-a-time entry point: the semi-naive engines push a
+        whole delta relation of pivot bindings through the plan in one
+        call, so per-execution bookkeeping (metrics flush, closure
+        setup) is paid once per batch rather than once per seed.
+        Seeds are never mutated (every step extends by copy).
+        """
+        if self.empty:
+            return
+        # [scans, intersections, leapfrogs, bindings, seeks]
+        counts = [0, 0, 0, 0, 0]
+        graph = self.graph
+        steps = self.steps
+        depth = len(steps)
+
+        def descend(at: int, binding: EncodedBinding
+                    ) -> Iterator[EncodedBinding]:
+            if at == depth:
+                yield binding
+                return
+            for extended in steps[at].run(graph, binding, counts):
+                yield from descend(at + 1, extended)
+
+        try:
+            if depth == 0:
+                yield from seeds
+                return
+            first = steps[0]
+            if depth == 1:
+                # flat loop: no recursion for the 1-step plans the
+                # rule engine compiles for 2-atom rule bodies
+                for seed in seeds:
+                    yield from first.run(graph, seed, counts)
+                return
+            for seed in seeds:
+                for extended in first.run(graph, seed, counts):
+                    yield from descend(1, extended)
+        finally:
+            metrics = get_metrics()
+            metrics.counter("joins.scan_steps").inc(counts[0])
+            metrics.counter("joins.intersect_steps").inc(counts[1])
+            metrics.counter("joins.leapfrog_seeks").inc(counts[4])
+            metrics.counter("joins.intermediate_bindings").inc(counts[3])
+
+
+def _compile_positions(pattern: TriplePattern, slot_of: Dict[Variable, int],
+                       lookup: Callable[[Term], Optional[int]]
+                       ) -> Optional[Tuple[_Position, _Position, _Position]]:
+    """Encode one atom; None when a constant is unknown (no matches)."""
+    compiled: List[_Position] = []
+    for term in pattern:
+        if isinstance(term, Variable):
+            slot = slot_of.setdefault(term, len(slot_of))
+            compiled.append((True, slot))
+        else:
+            identifier = lookup(term)
+            if identifier is None:
+                return None
+            compiled.append((False, identifier))
+    return (compiled[0], compiled[1], compiled[2])
+
+
+def _intersect_cursor(index: ColumnarTripleIndex,
+                      positions: Sequence[_Position],
+                      bound_slots: frozenset, slot: int
+                      ) -> Optional[Tuple[int, Tuple[_Position, _Position]]]:
+    """Reduce an atom to a sorted cursor over ``slot``'s candidates,
+    or None when the atom is not order-compatible."""
+    free_positions = [i for i, (is_var, value) in enumerate(positions)
+                      if is_var and value == slot]
+    if len(free_positions) != 1:
+        return None  # repeated free variable: scan-and-filter instead
+    free = free_positions[0]
+    bound_positions = [i for i in range(3) if i != free]
+    order_index = index.order_for(bound_positions, free)
+    if order_index is None:
+        return None  # ablated layout: no run has the needed prefix
+    permutation = index.permutation(order_index)
+    prefix_spec = (positions[permutation[0]], positions[permutation[1]])
+    return (order_index, prefix_spec)
+
+
+def _free_slots(positions: Sequence[_Position],
+                bound_slots: frozenset) -> frozenset:
+    return frozenset(value for is_var, value in positions
+                     if is_var and value not in bound_slots)
+
+
+def compile_bgp(graph: Graph, patterns: Sequence[TriplePattern],
+                optimize: bool = True,
+                pre_bound: Sequence[Variable] = ()) -> BGPPlan:
+    """Compile ``patterns`` into an executable identifier-space plan.
+
+    ``pre_bound`` names variables the caller will bind in the initial
+    binding (their slots come first, in the given order).  Join order
+    comes from the optimizer's statistics; on columnar backends,
+    order-compatible groups become merge/leapfrog intersection steps.
+    """
+    slot_of: Dict[Variable, int] = {}
+    for variable in pre_bound:
+        slot_of.setdefault(variable, len(slot_of))
+    lookup = graph.dictionary.lookup
+
+    if optimize and len(patterns) > 1:
+        order = order_patterns(graph, patterns, pre_bound=pre_bound)
+    else:
+        order = list(range(len(patterns)))
+
+    compiled: List[Tuple[Tuple[_Position, ...], TriplePattern]] = []
+    empty = False
+    for i in order:
+        positions = _compile_positions(patterns[i], slot_of, lookup)
+        if positions is None:
+            empty = True
+            break
+        compiled.append((positions, patterns[i]))
+
+    steps: List[_Step] = []
+    if not empty:
+        index = graph.index
+        columnar = isinstance(index, ColumnarTripleIndex)
+        bound: frozenset = frozenset(slot_of[v] for v in pre_bound)
+        queue = list(compiled)
+        while queue:
+            positions, pattern = queue.pop(0)
+            free = _free_slots(positions, bound)
+            if columnar and len(free) == 1:
+                (slot,) = free
+                first = _intersect_cursor(index, positions, bound, slot)
+                if first is not None:
+                    cursors = [first]
+                    group_patterns = [pattern]
+                    rest: List[Tuple[Tuple[_Position, ...], TriplePattern]] = []
+                    for other_positions, other_pattern in queue:
+                        cursor = None
+                        if _free_slots(other_positions, bound) == free:
+                            cursor = _intersect_cursor(
+                                index, other_positions, bound, slot)
+                        if cursor is not None:
+                            cursors.append(cursor)
+                            group_patterns.append(other_pattern)
+                        else:
+                            rest.append((other_positions, other_pattern))
+                    if len(cursors) >= 2:
+                        steps.append(_IntersectStep(slot, cursors,
+                                                    group_patterns))
+                        bound = bound | free
+                        queue = rest
+                        continue
+            if columnar:
+                steps.append(_SortedScanStep(index, positions, bound,
+                                             pattern))
+            else:
+                steps.append(_ScanStep(positions, bound, pattern))
+            bound = bound | free
+    return BGPPlan(graph, steps, slot_of, empty)
+
+
+# ----------------------------------------------------------------------
+# decoded front-ends
+# ----------------------------------------------------------------------
+
+def iter_bindings(graph: Graph, patterns: Sequence[TriplePattern],
+                  optimize: bool = True) -> Iterator[Substitution]:
+    """Decoded substitutions for every solution of the BGP (the
+    columnar counterpart of the evaluator's binding stream)."""
+    plan = compile_bgp(graph, patterns, optimize)
+    decode = graph.dictionary.decode
+    variables = list(plan.slot_of.items())
+    for binding in plan.run():
+        yield {variable: decode(binding[slot])
+               for variable, slot in variables
+               if binding[slot] is not None}
+
+
+def evaluate_columnar(graph: Graph, query: BGPQuery,
+                      optimize: bool = True) -> ResultSet:
+    """Evaluate a BGP query through the set-at-a-time pipeline.
+
+    Semantics are identical to :func:`repro.sparql.evaluator.evaluate`
+    (projection, preset fallback, DISTINCT, LIMIT); only the final
+    projected rows are decoded.
+    """
+    with span("joins.evaluate", atoms=len(query.patterns)) as sp:
+        plan = compile_bgp(graph, query.patterns, optimize)
+        sp.set(scan_steps=plan.scan_steps(),
+               intersect_steps=plan.intersect_steps())
+        results = ResultSet(query.distinguished, distinct=query.distinct)
+        decode = graph.dictionary.decode
+        preset = query.preset
+        # per distinguished variable: its slot, or its preset constant,
+        # or None (diagnosed on the first produced row, as in evaluate)
+        projection: List[Tuple[Optional[int], Optional[Term]]] = []
+        for variable in query.distinguished:
+            projection.append((plan.slot_of.get(variable),
+                               preset.get(variable)))
+        limit = query.limit
+        for binding in plan.run():
+            row: List[Term] = []
+            for slot, constant in projection:
+                value = binding[slot] if slot is not None else None
+                if value is not None:
+                    row.append(decode(value))
+                elif constant is not None:
+                    row.append(constant)
+                else:
+                    raise ValueError(
+                        f"unbound distinguished variable in "
+                        f"{query.to_sparql()!r}")
+            results.add(tuple(row))
+            if limit is not None and len(results) >= limit:
+                break
+        sp.set(answers=len(results))
+    return results

@@ -45,8 +45,10 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/rdf/terms.py",
     "repro/rdf/triples.py",
     "repro/rdf/index.py",
+    "repro/rdf/columnar.py",
     "repro/rdf/graph.py",
     "repro/rdf/dictionary.py",
+    "repro/sparql/joins.py",
     "repro/datalog/program.py",
     "repro/datalog/engine.py",
     "repro/reasoning/rules.py",
