@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Record serving-layer benchmark numbers into ``BENCH_pr4.json``.
+
+Drives the in-process closed-loop load generator
+(:mod:`repro.server.loadgen`) against a :class:`ServingDatabase` for
+each backend (hash and columnar): mixed Q1–Q10 + ``INSERT DATA``
+traffic, reporting throughput and p50/p95/p99 latency, plus the
+version-keyed cache's hit statistics for the run.
+
+A second pass per backend runs with the cache disabled-in-effect
+(capacity 1 with >1 distinct queries in flight barely ever hits) to
+show what the cache buys under this mix.
+
+``--quick`` shrinks the run for CI smoke jobs; committed baselines
+should be recorded without it.  ``--baseline BENCH_pr4.json`` prints a
+diff against a previous recording instead of failing silently on
+regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.db import RDFDatabase, Strategy                   # noqa: E402
+from repro.server import LoadgenConfig, ServingDatabase, run_load  # noqa: E402
+from repro.workloads import LUBMConfig, generate_lubm        # noqa: E402
+
+FORMAT = "repro-serving-bench/1"
+
+
+def _run(graph, backend: str, config: LoadgenConfig,
+         cache_size: int = 256) -> dict:
+    db = RDFDatabase(graph, strategy=Strategy.SATURATION, backend=backend)
+    service = ServingDatabase(db, cache_size=cache_size)
+    report = run_load(service, config)
+    cache = service.cache.stats()
+    entry = report.to_dict()
+    entry["cache"] = {
+        "capacity": cache.capacity, "hits": cache.hits,
+        "misses": cache.misses, "evictions": cache.evictions,
+        "hit_rate": round(cache.hit_rate, 6),
+    }
+    entry["graph_version_final"] = db.graph.version
+    return entry
+
+
+def record(quick: bool) -> dict:
+    departments = 1 if quick else 2
+    config = LoadgenConfig(
+        clients=2 if quick else 4,
+        requests_per_client=20 if quick else 100,
+        update_every=10, update_size=3, timeout=30.0)
+    graph = generate_lubm(LUBMConfig(departments=departments))
+    document = {
+        "format": FORMAT,
+        "label": "pr4-serving",
+        "quick": quick,
+        "workload": {
+            "graph": f"lubm_{departments}dept",
+            "triples": len(graph),
+            "clients": config.clients,
+            "requests_per_client": config.requests_per_client,
+            "update_every": config.update_every,
+            "queries": "Q1-Q10 uniform",
+        },
+        "benchmarks": {},
+    }
+    for backend in ("hash", "columnar"):
+        document["benchmarks"][f"serving/{backend}/cached"] = _run(
+            graph, backend, config)
+        document["benchmarks"][f"serving/{backend}/cache_starved"] = _run(
+            graph, backend, config, cache_size=1)
+    return document
+
+
+def diff(current: dict, baseline: dict) -> int:
+    """Print throughput/latency movement vs a previous recording."""
+    status = 0
+    for name, entry in sorted(current["benchmarks"].items()):
+        old = baseline.get("benchmarks", {}).get(name)
+        if old is None:
+            print(f"{name}: new benchmark (no baseline)")
+            continue
+        now_rps = entry["throughput_rps"]
+        then_rps = old["throughput_rps"]
+        ratio = now_rps / then_rps if then_rps else float("inf")
+        now_p95 = entry["latency_all_seconds"]["p95"]
+        then_p95 = old["latency_all_seconds"]["p95"]
+        print(f"{name}: {then_rps:.0f} -> {now_rps:.0f} rps "
+              f"({ratio:.2f}x), p95 {then_p95 * 1e3:.2f} -> "
+              f"{now_p95 * 1e3:.2f} ms")
+        if ratio < 0.5:
+            print(f"  WARNING: throughput halved vs baseline")
+            status = 1
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke jobs")
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_pr4.json"))
+    parser.add_argument("--baseline",
+                        help="previous BENCH_pr4.json to diff against")
+    args = parser.parse_args()
+
+    document = record(args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, entry in sorted(document["benchmarks"].items()):
+        lat = entry["latency_all_seconds"]
+        print(f"  {name}: {entry['throughput_rps']:.0f} rps, "
+              f"p50 {lat['p50'] * 1e3:.2f} ms, "
+              f"p95 {lat['p95'] * 1e3:.2f} ms, "
+              f"p99 {lat['p99'] * 1e3:.2f} ms, "
+              f"cache hit-rate {entry['cache']['hit_rate']:.2f}")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        return diff(document, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Cooperative cancellation: deadlines threaded through engine loops.
+
+A long-lived server (see :mod:`repro.server`) cannot afford a query
+that holds a worker — and a read lock — forever: per-request deadlines
+only work if the engines *under* the request give the time back.  This
+module provides the token the serving layer arms and the inner loops
+of :mod:`repro.sparql.evaluator`, :mod:`repro.sparql.joins` and the
+saturation engines poll.
+
+The design is cooperative and allocation-free on the fast path:
+
+* a :class:`CancellationToken` carries an optional deadline (seconds
+  from creation) and a manual :meth:`~CancellationToken.cancel` switch;
+* :func:`cancellation_scope` installs it in a thread-local slot for
+  the duration of one operation — engine code reaches it through
+  :func:`current_token` without any API changes rippling through the
+  call graph;
+* engine loops call :meth:`~CancellationToken.raise_if_cancelled`
+  every few dozen bindings; when no scope is active,
+  :func:`current_token` returns ``None`` and the loops skip the checks
+  entirely (the common, non-served path pays one thread-local read).
+
+The clock is an unregistered :class:`~repro.obs.tracing.Span` — spans
+are the project's single timing source (see lint rule SC203), and a
+span constructed outside a tracer is just a started stopwatch.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .obs.tracing import Span
+
+__all__ = ["OperationCancelled", "CancellationToken", "cancellation_scope",
+           "current_token"]
+
+
+class OperationCancelled(RuntimeError):
+    """The operation's token was cancelled or its deadline passed.
+
+    ``reason`` is ``"deadline"`` (the budget ran out) or
+    ``"cancelled"`` (an explicit :meth:`CancellationToken.cancel`);
+    the serving layer maps the former to HTTP 504.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(f"operation {reason}"
+                         if reason == "cancelled"
+                         else "operation exceeded its deadline")
+        self.reason = reason
+
+
+class CancellationToken:
+    """One operation's cancellation state: deadline + manual switch.
+
+    Tokens are created at *admission* (before any queueing), so time
+    spent waiting for a worker counts against the request's budget.
+    """
+
+    __slots__ = ("timeout", "_clock", "_cancelled")
+
+    def __init__(self, timeout: Optional[float] = None):
+        #: seconds of total budget, or None for no deadline
+        self.timeout = timeout
+        self._clock = Span("cancellation.clock")
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Flip the manual switch (thread-safe: a one-way bool)."""
+        self._cancelled = True
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the token was created."""
+        return self._clock.duration
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Seconds of budget left (never negative), or ``None``."""
+        if self.timeout is None:
+            return None
+        left = self.timeout - self._clock.duration
+        return left if left > 0.0 else 0.0
+
+    @property
+    def expired(self) -> bool:
+        """True once cancelled or past the deadline (monotone)."""
+        if self._cancelled:
+            return True
+        return self.timeout is not None and self._clock.duration >= self.timeout
+
+    def raise_if_cancelled(self) -> None:
+        """The polling primitive engine loops call."""
+        if self._cancelled:
+            raise OperationCancelled("cancelled")
+        if self.timeout is not None and self._clock.duration >= self.timeout:
+            raise OperationCancelled("deadline")
+
+
+_current = threading.local()
+
+
+def current_token() -> Optional[CancellationToken]:
+    """The token installed on this thread, or ``None``.
+
+    Engine loops fetch it once per operation and skip all polling when
+    it is ``None``, so un-served callers pay nothing per binding.
+    """
+    return getattr(_current, "token", None)
+
+
+@contextmanager
+def cancellation_scope(token: Optional[CancellationToken]
+                       ) -> Iterator[Optional[CancellationToken]]:
+    """Install ``token`` as this thread's current token.
+
+    Scopes nest (the previous token is restored on exit); passing
+    ``None`` runs the body unpolled — convenient for callers that take
+    an ``Optional[CancellationToken]`` straight through.
+    """
+    previous = getattr(_current, "token", None)
+    _current.token = token
+    try:
+        yield token
+    finally:
+        _current.token = previous

@@ -14,6 +14,8 @@ Subcommands mirror the paper's workflow:
   observability report: per-rule fire counts, histograms, span trees.
 * ``lint``        — static analysis: Datalog program and rule-set
   checks plus the engine-invariant lint; exits non-zero on errors.
+* ``serve``       — long-lived SPARQL endpoint over HTTP: concurrent
+  queries and updates, version-keyed result cache, admission control.
 
 The global ``--trace`` flag wraps any subcommand in a fresh
 measurement window and prints the collected metrics and span tree to
@@ -110,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--strategy", default="reformulation",
                      choices=[s.value for s in Strategy])
     sub.add_argument("--max-rows", type=int, default=25)
+    sub.add_argument("--format", default="table",
+                     choices=("table", "json", "csv"),
+                     help="output: human table (default), W3C SPARQL "
+                          "results JSON, or W3C results CSV")
 
     sub = subparsers.add_parser("ask", help="boolean (ASK) query")
     add_graph_argument(sub)
@@ -195,6 +201,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-o", "--output",
                      help="also write the JSON report to this file")
 
+    sub = subparsers.add_parser(
+        "serve",
+        help="serve the graph over HTTP: GET/POST /sparql, POST "
+             "/update, GET /healthz, GET /stats")
+    add_graph_argument(sub)
+    add_ruleset_argument(sub)
+    sub.add_argument("--strategy", default="saturation",
+                     choices=[s.value for s in Strategy])
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8000,
+                     help="TCP port; 0 binds an ephemeral port and "
+                          "prints the assignment (default 8000)")
+    sub.add_argument("--workers", type=int, default=4,
+                     help="worker threads executing requests (default 4)")
+    sub.add_argument("--queue-depth", type=int, default=16,
+                     help="admission queue bound; a full queue answers "
+                          "503 (default 16)")
+    sub.add_argument("--timeout", type=float, default=10.0,
+                     help="default per-request deadline in seconds; "
+                          "exceeded deadlines answer 504 (default 10; "
+                          "0 disables)")
+    sub.add_argument("--cache-size", type=int, default=256,
+                     help="query-result cache entries (default 256)")
+
     return parser
 
 
@@ -226,8 +256,15 @@ def _cmd_query(args) -> int:
     db = RDFDatabase(graph, strategy=Strategy(args.strategy),
                      ruleset=get_ruleset(args.ruleset))
     results = db.query(args.query)
-    print(results.pretty(max_rows=args.max_rows))
-    print(f"({len(results)} row(s), strategy={args.strategy})")
+    if args.format == "json":
+        from .sparql.results import results_to_json
+        print(results_to_json(results))
+    elif args.format == "csv":
+        from .sparql.results import results_to_csv
+        sys.stdout.write(results_to_csv(results))
+    else:
+        print(results.pretty(max_rows=args.max_rows))
+        print(f"({len(results)} row(s), strategy={args.strategy})")
     return 0
 
 
@@ -348,6 +385,30 @@ def _cmd_lint(args) -> int:
     return report.exit_code()
 
 
+def _cmd_serve(args) -> int:
+    from .server import ServerConfig, serve
+
+    graph = _load_graph(args.graph, args.backend)
+    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
+                     ruleset=get_ruleset(args.ruleset))
+    config = ServerConfig(
+        workers=args.workers, queue_depth=args.queue_depth,
+        timeout=args.timeout if args.timeout > 0 else None,
+        cache_size=args.cache_size, host=args.host, port=args.port)
+    server = serve(db, config)
+    # the port line is machine-read by the smoke harness; keep it first
+    print(f"serving {len(db)} triples on {server.base_url} "
+          f"(strategy={args.strategy}, backend={db.backend}, "
+          f"workers={config.workers})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "saturate": _cmd_saturate,
@@ -359,6 +420,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
 }
 
 

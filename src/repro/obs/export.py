@@ -92,6 +92,7 @@ def render_report(report: Dict[str, object]) -> str:
                 lines.append(
                     f"  {name}{suffix}: n={summary['count']} "
                     f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                    f"p99={summary.get('p99', 0.0):.6g} "
                     f"max={summary['max']:.6g}")
     spans = report.get("spans", [])
     if spans:

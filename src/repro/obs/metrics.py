@@ -86,16 +86,17 @@ class Gauge:
 class HistogramSnapshot:
     """Summary statistics of a histogram at one point in time."""
 
-    __slots__ = ("count", "total", "minimum", "maximum", "p50", "p95")
+    __slots__ = ("count", "total", "minimum", "maximum", "p50", "p95", "p99")
 
     def __init__(self, count: int, total: float, minimum: float,
-                 maximum: float, p50: float, p95: float):
+                 maximum: float, p50: float, p95: float, p99: float = 0.0):
         self.count = count
         self.total = total
         self.minimum = minimum
         self.maximum = maximum
         self.p50 = p50
         self.p95 = p95
+        self.p99 = p99
 
     @property
     def mean(self) -> float:
@@ -104,7 +105,7 @@ class HistogramSnapshot:
     def to_dict(self) -> Dict[str, float]:
         return {"count": self.count, "sum": self.total, "min": self.minimum,
                 "max": self.maximum, "mean": self.mean,
-                "p50": self.p50, "p95": self.p95}
+                "p50": self.p50, "p95": self.p95, "p99": self.p99}
 
 
 class Histogram:
@@ -141,12 +142,13 @@ class Histogram:
 
     def snapshot(self) -> HistogramSnapshot:
         if not self._samples:
-            return HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(self._samples)
         return HistogramSnapshot(
             count=self.count, total=self.total,
             minimum=ordered[0], maximum=ordered[-1],
             p50=_percentile(ordered, 0.50), p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
         )
 
     def __repr__(self) -> str:

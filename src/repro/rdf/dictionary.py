@@ -7,10 +7,19 @@ operate on integers.  This module provides that mapping.
 
 Identifiers are dense, start at 0 and are never reused, so they can
 double as array offsets in statistics structures.
+
+Allocation is thread-safe: the serving layer runs concurrent readers,
+and although readers go through :meth:`lookup` (never allocating), the
+unlocked check-then-allocate of a naive :meth:`encode` could hand two
+threads the same identifier for different terms and silently break
+the bijection.  Reads stay lock-free — CPython list/dict reads are
+atomic, identifiers are published only after the term is appended,
+and allocated entries are never mutated.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from .terms import Term
@@ -21,11 +30,12 @@ __all__ = ["TermDictionary"]
 class TermDictionary:
     """A bijective mapping between :class:`Term` objects and dense ints."""
 
-    __slots__ = ("_term_to_id", "_id_to_term")
+    __slots__ = ("_term_to_id", "_id_to_term", "_lock")
 
     def __init__(self):
         self._term_to_id: Dict[Term, int] = {}
         self._id_to_term: List[Term] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._id_to_term)
@@ -37,9 +47,14 @@ class TermDictionary:
         """Return the identifier for ``term``, allocating one if new."""
         term_id = self._term_to_id.get(term)
         if term_id is None:
-            term_id = len(self._id_to_term)
-            self._term_to_id[term] = term_id
-            self._id_to_term.append(term)
+            with self._lock:
+                # double-checked: another thread may have allocated it
+                # between the lock-free probe and lock acquisition
+                term_id = self._term_to_id.get(term)
+                if term_id is None:
+                    term_id = len(self._id_to_term)
+                    self._id_to_term.append(term)
+                    self._term_to_id[term] = term_id
         return term_id
 
     def lookup(self, term: Term) -> Optional[int]:
@@ -64,6 +79,7 @@ class TermDictionary:
 
     def copy(self) -> "TermDictionary":
         clone = TermDictionary()
-        clone._term_to_id = dict(self._term_to_id)
-        clone._id_to_term = list(self._id_to_term)
+        with self._lock:
+            clone._term_to_id = dict(self._term_to_id)
+            clone._id_to_term = list(self._id_to_term)
         return clone

@@ -257,16 +257,22 @@ class Graph:
                        compute: Callable[["Graph"], object]) -> object:
         """A graph-derived value cached until the next mutation.
 
-        ``compute(self)`` runs at most once per graph version per key;
-        layers use this for pure-function-of-the-graph results they
-        re-ask for on hot paths (e.g. the meta-schema check gating
-        engine selection in ``saturate``).
+        ``compute(self)`` runs at most once per graph version per key
+        *and uncontended reader* — concurrent readers may duplicate the
+        computation, but never publish a stale value: the version is
+        snapshotted *before* ``compute`` runs and published atomically
+        with the value, so an entry written by a reader that raced a
+        mutation is keyed to the pre-mutation version and simply misses
+        afterwards.  Layers use this for pure-function-of-the-graph
+        results they re-ask for on hot paths (e.g. the meta-schema
+        check gating engine selection in ``saturate``).
         """
+        version = self._version  # snapshot before compute (thread safety)
         entry = self._derived.get(key)
-        if entry is not None and entry[0] == self._version:
+        if entry is not None and entry[0] == version:
             return entry[1]
         value = compute(self)
-        self._derived[key] = (self._version, value)
+        self._derived[key] = (version, value)
         return value
 
     def add_encoded(self, triples: Iterable[Tuple[int, int, int]]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..cancellation import current_token
 from ..obs import get_metrics, span
 from ..rdf.dictionary import TermDictionary
 from ..rdf.graph import Graph
@@ -192,11 +193,16 @@ def saturate_batch(graph: Graph, ruleset: RuleSet, base_size: int,
     # delta logs up front puts the whole round's scans on the
     # single-run fast path (a no-op on the hash backend)
     compact = getattr(graph.index, "compact", None)
+    token = current_token()  # serving deadline, if one is armed
     delta: List[EncodedTriple] = list(graph.index)
     rounds = 0
     while delta:
         if max_rounds is not None and rounds >= max_rounds:
             break
+        if token is not None:
+            # round boundaries are the engine's safe cancellation
+            # points: the graph is consistent between rounds
+            token.raise_if_cancelled()
         rounds += 1
         if compact is not None:
             compact()

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..cancellation import current_token
 from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF, RDFS
@@ -200,11 +201,16 @@ def _saturate_seminaive(graph: Graph, ruleset: RuleSet, base_size: int,
                         max_rounds: Optional[int]) -> SaturationResult:
     rule_counts: Dict[str, int] = {rule.name: 0 for rule in ruleset}
     round_deltas = get_metrics().histogram("saturation.round_delta")
+    token = current_token()  # serving deadline, if one is armed
     delta: List[Triple] = list(graph)
     rounds = 0
     while delta:
         if max_rounds is not None and rounds >= max_rounds:
             break
+        if token is not None:
+            # round boundaries are the engine's safe cancellation
+            # points: the graph is consistent between rounds
+            token.raise_if_cancelled()
         rounds += 1
         new_this_round: List[Triple] = []
         with span("saturate.round", round=rounds) as round_span:

@@ -1,0 +1,39 @@
+"""The serving layer: :class:`RDFDatabase` as a long-lived concurrent
+service.
+
+After PR 1–3 every query entered through a one-shot, single-threaded
+CLI; this package turns the store into the system the ROADMAP aims at
+— one that "serves heavy traffic" — without leaving the stdlib:
+
+* :mod:`repro.server.rwlock` — a readers–writer lock so SPARQL
+  updates serialize against in-flight queries (the online variant of
+  the paper's update/maintenance problem);
+* :mod:`repro.server.cache` — a version-keyed LRU result cache:
+  keys embed ``Graph.version``, so any effective update invalidates
+  every prior entry *by construction* (no invalidation protocol to
+  get wrong);
+* :mod:`repro.server.pool` — a bounded worker pool with admission
+  control: a full queue rejects instead of buffering without bound
+  (HTTP 503), per-request deadlines cancel in-flight work through
+  :mod:`repro.cancellation` (HTTP 504);
+* :mod:`repro.server.service` — :class:`ServingDatabase`, the
+  transport-free core tying the above together (usable in-process);
+* :mod:`repro.server.http` — the stdlib HTTP endpoint speaking a
+  SPARQL-protocol subset (``GET/POST /sparql``, ``POST /update``,
+  ``GET /healthz``, ``GET /stats``);
+* :mod:`repro.server.loadgen` — a closed-loop load generator driving
+  mixed Q1–Q10 + update traffic for the serving benchmarks.
+"""
+
+from .cache import CacheStats, QueryResultCache
+from .http import ReproHTTPServer, serve
+from .loadgen import LoadgenConfig, LoadReport, run_load
+from .pool import AdmissionError, WorkerPool
+from .rwlock import ReadWriteLock
+from .service import ServerConfig, ServingDatabase
+
+__all__ = [
+    "AdmissionError", "CacheStats", "LoadReport", "LoadgenConfig",
+    "QueryResultCache", "ReadWriteLock", "ReproHTTPServer", "ServerConfig",
+    "ServingDatabase", "WorkerPool", "run_load", "serve",
+]

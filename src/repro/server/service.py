@@ -1,0 +1,230 @@
+""":class:`ServingDatabase`: the concurrent, transport-free serving core.
+
+Everything the HTTP layer does that is *not* HTTP lives here, so tests
+and the in-process load generator exercise the real serving semantics
+without sockets:
+
+* every query runs under the shared side of a
+  :class:`~repro.server.rwlock.ReadWriteLock`, every update under the
+  exclusive side — updates serialize against in-flight queries, and a
+  query always sees one consistent graph version;
+* query answers are cached in a version-keyed LRU
+  (:class:`~repro.server.cache.QueryResultCache`); because the graph
+  version is part of the key, a hit is *provably* current;
+* per-request deadlines arm a
+  :class:`~repro.cancellation.CancellationToken` that the lock
+  acquisition, the evaluator loops and the saturation rounds all honor
+  — a slow query gives its worker (and its read lock) back.
+
+Updates are deliberately *not* cancelled mid-flight: the incremental
+reasoners mutate derived state in place, and tearing that down halfway
+would corrupt the store.  A deadline can reject an update before it
+starts (queued too long, writer lock contended); once the mutation
+begins it runs to completion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cancellation import (CancellationToken, OperationCancelled,
+                            cancellation_scope)
+from ..db import RDFDatabase
+from ..obs import get_metrics, span
+from ..sparql.bindings import ResultSet
+from .cache import CacheKey, QueryResultCache
+from .rwlock import ReadWriteLock
+
+__all__ = ["ServerConfig", "QueryOutcome", "UpdateOutcome",
+           "ServingDatabase"]
+
+#: ASK detection: prefix declarations, then the ASK keyword.  The AST
+#: does not distinguish ASK from SELECT (an ASK parses to a LIMIT-1
+#: BGP), so the protocol layer keys off the request text.
+_ASK_RE = re.compile(r"^\s*(?:PREFIX\s+\S*\s*<[^>]*>\s*)*ASK\b",
+                     re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Admission-control and cache knobs for one serving instance."""
+
+    workers: int = 4            #: worker threads executing requests
+    queue_depth: int = 16       #: admission queue bound (full -> 503)
+    timeout: Optional[float] = 10.0  #: default per-request deadline (s)
+    cache_size: int = 256       #: query-result cache entries (LRU)
+    host: str = "127.0.0.1"
+    port: int = 8000            #: 0 picks an ephemeral port
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One answered query, with the serving metadata tests assert on."""
+
+    kind: str                        #: "select" | "boolean"
+    version: int                     #: graph version the answer is for
+    cached: bool
+    results: Optional[ResultSet] = None
+    boolean: Optional[bool] = None
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """One applied update batch."""
+
+    removed: int
+    added: int
+    version: int                     #: graph version after the update
+    seconds: float = 0.0
+
+
+@dataclass
+class _UpdateLogEntry:
+    """The serialized-order update history (differential testing)."""
+
+    version: int
+    text: str
+    removed: int = 0
+    added: int = 0
+
+
+@dataclass
+class ServingDatabase:
+    """A thread-safe serving wrapper around one :class:`RDFDatabase`."""
+
+    db: RDFDatabase
+    cache_size: int = 256
+    lock: ReadWriteLock = field(default_factory=ReadWriteLock)
+
+    def __post_init__(self) -> None:
+        self.cache = QueryResultCache(self.cache_size)
+        self._update_log: List[_UpdateLogEntry] = []
+        self._served_queries = 0
+        self._served_updates = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, text: str, version: int) -> CacheKey:
+        return (text, self.db.ruleset.name, self.db.backend,
+                self.db.strategy.value, version)
+
+    def query(self, text: str,
+              timeout: Optional[float] = None,
+              token: Optional[CancellationToken] = None) -> QueryOutcome:
+        """Answer SPARQL ``text`` under the read lock, through the cache.
+
+        ``token`` (armed at admission) takes precedence over
+        ``timeout``; both absent means no deadline.  Raises
+        :class:`OperationCancelled` when the deadline fires — whether
+        while waiting for the lock or mid-evaluation.
+        """
+        if token is None:
+            token = CancellationToken(timeout)
+        metrics = get_metrics()
+        try:
+            with span("server.query") as sp:
+                token.raise_if_cancelled()
+                with self.lock.read(timeout=token.remaining):
+                    version = self.db.graph.version
+                    is_ask = _ASK_RE.match(text) is not None
+                    if is_ask:
+                        # ASK answers are one LIMIT-1 probe; not cached
+                        with cancellation_scope(token):
+                            answer = self.db.ask_query(text)
+                        outcome = QueryOutcome(
+                            kind="boolean", version=version, cached=False,
+                            boolean=answer, seconds=sp.duration)
+                    else:
+                        key = self._cache_key(text, version)
+                        hit = self.cache.get(key)
+                        if hit is not None:
+                            outcome = QueryOutcome(
+                                kind="select", version=version, cached=True,
+                                results=hit, seconds=sp.duration)
+                        else:
+                            with cancellation_scope(token):
+                                results = self.db.query(text)
+                            self.cache.put(key, results)
+                            outcome = QueryOutcome(
+                                kind="select", version=version, cached=False,
+                                results=results, seconds=sp.duration)
+                sp.set(version=outcome.version, cached=outcome.cached)
+        except OperationCancelled as cancelled:
+            if cancelled.reason == "deadline":
+                metrics.counter("server.deadline_exceeded").inc()
+            raise
+        self._served_queries += 1
+        metrics.counter("server.requests", endpoint="sparql").inc()
+        metrics.histogram("server.query_seconds").observe(outcome.seconds)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def update(self, text: str,
+               timeout: Optional[float] = None,
+               token: Optional[CancellationToken] = None) -> UpdateOutcome:
+        """Apply a SPARQL Update request under the write lock.
+
+        The deadline (if any) covers admission and lock acquisition
+        only — see the module docstring for why the mutation itself is
+        never cancelled.
+        """
+        if token is None:
+            token = CancellationToken(timeout)
+        metrics = get_metrics()
+        try:
+            with span("server.update") as sp:
+                token.raise_if_cancelled()
+                with self.lock.write(timeout=token.remaining):
+                    removed, added = self.db.update(text)
+                    version = self.db.graph.version
+                    self._update_log.append(_UpdateLogEntry(
+                        version=version, text=text,
+                        removed=removed, added=added))
+                    outcome = UpdateOutcome(removed=removed, added=added,
+                                            version=version,
+                                            seconds=sp.duration)
+                sp.set(removed=removed, added=added, version=version)
+        except OperationCancelled as cancelled:
+            if cancelled.reason == "deadline":
+                metrics.counter("server.deadline_exceeded").inc()
+            raise
+        self._served_updates += 1
+        metrics.counter("server.requests", endpoint="update").inc()
+        metrics.histogram("server.update_seconds").observe(outcome.seconds)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def update_log(self) -> List[Tuple[int, str]]:
+        """The applied updates in serialization order, as
+        ``(version_after, text)`` — the differential tests replay this
+        against a single-threaded mirror."""
+        return [(entry.version, entry.text) for entry in self._update_log]
+
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics for ``GET /stats`` and dashboards."""
+        cache = self.cache.stats()
+        info: Dict[str, object] = dict(self.db.stats())
+        info.update({
+            "graph_version": self.db.graph.version,
+            "served_queries": self._served_queries,
+            "served_updates": self._served_updates,
+            "active_readers": self.lock.active_readers,
+            "cache": {
+                "size": cache.size, "capacity": cache.capacity,
+                "hits": cache.hits, "misses": cache.misses,
+                "evictions": cache.evictions,
+                "hit_rate": round(cache.hit_rate, 6),
+            },
+        })
+        return info

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
+from ..cancellation import current_token
 from ..obs import get_metrics
 from ..rdf.graph import Graph
 from ..rdf.triples import Substitution, TriplePattern
@@ -54,6 +55,7 @@ def evaluate_bgp_bindings(graph: Graph, patterns: Sequence[TriplePattern],
     # accounting is accumulated locally and flushed once (the join is a
     # generator the caller may abandon early, hence the finally)
     counts = [0, 0]  # [index lookups, intermediate bindings]
+    token = current_token()  # serving deadline, if one is armed
 
     def join(index: int, binding: Substitution) -> Iterator[Substitution]:
         if index == len(ordered):
@@ -62,6 +64,8 @@ def evaluate_bgp_bindings(graph: Graph, patterns: Sequence[TriplePattern],
         counts[0] += 1
         for extended in graph.match(ordered[index], binding):
             counts[1] += 1
+            if token is not None and counts[1] & 0x3F == 0:
+                token.raise_if_cancelled()
             yield from join(index + 1, extended)
 
     try:
@@ -148,6 +152,7 @@ def evaluate_factorized(graph: Graph, reformulation,
     """
     metrics = get_metrics()
     counts = [0, 0, 0]  # [index lookups, intermediate bindings, pruned]
+    token = current_token()  # serving deadline, if one is armed
     results: Optional[ResultSet] = None
     for variant in reformulation.variants:
         query = variant.query
@@ -183,6 +188,8 @@ def evaluate_factorized(graph: Graph, reformulation,
                 counts[0] += 1
                 for extended in graph.match(alternative, binding):
                     counts[1] += 1
+                    if token is not None and counts[1] & 0x3F == 0:
+                        token.raise_if_cancelled()
                     yield from join(index + 1, extended)
 
         preset = query.preset

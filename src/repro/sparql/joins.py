@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..cancellation import current_token
 from ..obs import get_metrics, span
 from ..rdf.columnar import ColumnarTripleIndex
 from ..rdf.graph import Graph
@@ -325,6 +326,7 @@ class BGPPlan:
         graph = self.graph
         steps = self.steps
         depth = len(steps)
+        token = current_token()  # serving deadline, if one is armed
 
         def descend(at: int, binding: EncodedBinding
                     ) -> Iterator[EncodedBinding]:
@@ -332,6 +334,8 @@ class BGPPlan:
                 yield binding
                 return
             for extended in steps[at].run(graph, binding, counts):
+                if token is not None and counts[3] & 0x3F == 0:
+                    token.raise_if_cancelled()
                 yield from descend(at + 1, extended)
 
         try:
@@ -343,6 +347,8 @@ class BGPPlan:
                 # flat loop: no recursion for the 1-step plans the
                 # rule engine compiles for 2-atom rule bodies
                 for seed in seeds:
+                    if token is not None:
+                        token.raise_if_cancelled()
                     yield from first.run(graph, seed, counts)
                 return
             for seed in seeds:

@@ -1,0 +1,204 @@
+"""W3C SPARQL 1.1 query-results serializers: JSON and CSV.
+
+A serving layer (:mod:`repro.server`) needs wire formats, not Python
+objects; these are the two from the SPARQL 1.1 recommendation the
+endpoint speaks:
+
+* **JSON** (`SPARQL 1.1 Query Results JSON Format`): lossless —
+  the term kind, datatype and language tag survive, so
+  ``results_from_json(results_to_json(r))`` reproduces ``r`` exactly
+  (an invariant the test suite checks);
+* **CSV** (`SPARQL 1.1 Query Results CSV and TSV Formats`): lossy by
+  specification — every term is reduced to its lexical form.  The
+  parser applies the W3C-sanctioned heuristic on the way back
+  (``_:``-prefixed fields become blank nodes, fields that look like
+  absolute IRIs become URIs, everything else a plain literal), which
+  round-trips graphs of URIs/blank nodes/plain literals but forgets
+  datatypes and language tags.
+
+Boolean (ASK) results use the JSON ``{"head": {}, "boolean": b}``
+form; the CSV rendering follows the de-facto convention of a single
+``bool`` column.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from typing import Dict, List, Optional, Sequence
+
+from ..rdf.terms import BlankNode, Literal, Term, URI, Variable
+from .bindings import ResultSet
+
+__all__ = ["results_to_json", "results_from_json", "results_to_csv",
+           "results_from_csv", "boolean_to_json", "boolean_from_json",
+           "boolean_to_csv"]
+
+
+# ----------------------------------------------------------------------
+# JSON (lossless)
+# ----------------------------------------------------------------------
+
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, URI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        node = {"type": "literal", "value": term.lexical}
+        if term.datatype is not None:
+            node["datatype"] = term.datatype.value
+        elif term.language is not None:
+            node["xml:lang"] = term.language
+        return node
+    raise TypeError(f"cannot serialize {term!r} as a result term")
+
+
+def _term_from_json(node: Dict[str, str]) -> Term:
+    kind = node.get("type")
+    value = node.get("value")
+    if value is None:
+        raise ValueError(f"result term without a value: {node!r}")
+    if kind == "uri":
+        return URI(value)
+    if kind == "bnode":
+        return BlankNode(value)
+    if kind in ("literal", "typed-literal"):  # the latter: SPARQL 1.0 form
+        datatype = node.get("datatype")
+        language = node.get("xml:lang")
+        if datatype is not None:
+            return Literal(value, datatype=URI(datatype))
+        return Literal(value, language=language)
+    raise ValueError(f"unknown result term type: {kind!r}")
+
+
+def results_to_json(results: ResultSet) -> str:
+    """Serialize a SELECT result set in the W3C JSON results format."""
+    bindings: List[Dict[str, Dict[str, str]]] = []
+    for row in results:
+        bindings.append({variable.name: _term_to_json(term)
+                         for variable, term in zip(results.variables, row)})
+    document = {
+        "head": {"vars": [v.name for v in results.variables]},
+        "results": {"bindings": bindings},
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def results_from_json(text: str) -> ResultSet:
+    """Parse a W3C JSON results document back into a :class:`ResultSet`.
+
+    Every binding must cover every head variable (the engine never
+    produces partial rows; OPTIONAL is outside the supported dialect).
+    """
+    document = json.loads(text)
+    head = document.get("head", {})
+    if "boolean" in document:
+        raise ValueError("boolean result document; use boolean_from_json")
+    variables = [Variable(name) for name in head.get("vars", [])]
+    results = ResultSet(variables)
+    for binding in document.get("results", {}).get("bindings", []):
+        row = []
+        for variable in variables:
+            node = binding.get(variable.name)
+            if node is None:
+                raise ValueError(
+                    f"binding missing variable ?{variable.name}: {binding!r}")
+            row.append(_term_from_json(node))
+        results.add(tuple(row))
+    return results
+
+
+def boolean_to_json(answer: bool) -> str:
+    """Serialize an ASK answer in the W3C JSON results format."""
+    return json.dumps({"head": {}, "boolean": bool(answer)},
+                      indent=2, sort_keys=True)
+
+
+def boolean_from_json(text: str) -> bool:
+    """Parse a W3C boolean results document."""
+    document = json.loads(text)
+    answer = document.get("boolean")
+    if not isinstance(answer, bool):
+        raise ValueError("not a boolean result document")
+    return answer
+
+
+# ----------------------------------------------------------------------
+# CSV (lossy lexical forms, per the W3C CSV results format)
+# ----------------------------------------------------------------------
+
+#: an absolute IRI: a scheme, a colon, no whitespace (RFC 3986 scheme)
+_IRI_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*:\S*$")
+
+#: schemes we accept as "this field is an IRI" when parsing CSV back;
+#: bare words like "true:" should stay literals
+_IRI_SCHEMES = ("http:", "https:", "urn:", "mailto:", "ftp:", "file:",
+                "tag:", "did:", "ws:", "wss:")
+
+
+def _term_to_csv(term: Term) -> str:
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    if isinstance(term, URI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.lexical
+    raise TypeError(f"cannot serialize {term!r} as a result term")
+
+
+def _term_from_csv(field: str) -> Term:
+    if field.startswith("_:") and len(field) > 2:
+        return BlankNode(field[2:])
+    if field.lower().startswith(_IRI_SCHEMES) and _IRI_RE.match(field):
+        return URI(field)
+    return Literal(field)
+
+
+def results_to_csv(results: ResultSet) -> str:
+    """Serialize a SELECT result set in the W3C CSV results format.
+
+    CRLF row endings and minimal quoting, as the recommendation
+    specifies; terms are reduced to lexical forms (lossy — use the
+    JSON format when fidelity matters).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\r\n",
+                        quoting=csv.QUOTE_MINIMAL)
+    writer.writerow([v.name for v in results.variables])
+    for row in results:
+        writer.writerow([_term_to_csv(term) for term in row])
+    return buffer.getvalue()
+
+
+def results_from_csv(text: str,
+                     variables: Optional[Sequence[Variable]] = None
+                     ) -> ResultSet:
+    """Parse a W3C CSV results document (heuristically — see module
+    docstring).  ``variables`` overrides the header row's order/names
+    when the caller knows the original query."""
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        raise ValueError("empty CSV results document (missing header)")
+    header = rows[0]
+    parsed_variables = (list(variables) if variables is not None
+                        else [Variable(name) for name in header])
+    if len(parsed_variables) != len(header):
+        raise ValueError(f"expected {len(header)} variables, "
+                         f"got {len(parsed_variables)}")
+    results = ResultSet(parsed_variables)
+    for row in rows[1:]:
+        if not row:
+            continue  # trailing blank line
+        if len(row) != len(header):
+            raise ValueError(f"row arity {len(row)} != header arity "
+                             f"{len(header)}: {row!r}")
+        results.add(tuple(_term_from_csv(field) for field in row))
+    return results
+
+
+def boolean_to_csv(answer: bool) -> str:
+    """The de-facto single-column CSV rendering of an ASK answer."""
+    return "bool\r\n" + ("true" if answer else "false") + "\r\n"

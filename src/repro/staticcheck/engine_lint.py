@@ -54,6 +54,8 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/reasoning/rules.py",
     "repro/sparql/ast.py",
     "repro/sparql/bindings.py",
+    "repro/server/",           # every serving-layer class is hot-path
+    "repro/cancellation.py",
 )
 
 #: module path fragments allowed to call time.* directly

@@ -1,0 +1,149 @@
+"""W3C SPARQL results serializers (repro.sparql.results): JSON is a
+lossless round-trip, CSV is the specified lossy lexical rendering with
+the sanctioned heuristic parse-back."""
+
+import json
+
+import pytest
+
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import BlankNode, Literal, URI, Variable
+from repro.sparql.bindings import ResultSet
+from repro.sparql.results import (boolean_from_json, boolean_to_csv,
+                                  boolean_to_json, results_from_csv,
+                                  results_from_json, results_to_csv,
+                                  results_to_json)
+
+
+def _mixed_results() -> ResultSet:
+    """One row per term kind the engine can bind."""
+    x, y = Variable("x"), Variable("y")
+    results = ResultSet([x, y])
+    results.add((URI("http://example.org/alice"), Literal("Alice")))
+    results.add((BlankNode("b0"), Literal("42", datatype=XSD.integer)))
+    results.add((URI("urn:uuid:1234"), Literal("chat", language="fr")))
+    return results
+
+
+class TestJSON:
+    def test_round_trip_is_lossless(self):
+        original = _mixed_results()
+        restored = results_from_json(results_to_json(original))
+        assert restored == original
+
+    def test_document_shape_follows_the_w3c_format(self):
+        document = json.loads(results_to_json(_mixed_results()))
+        assert document["head"]["vars"] == ["x", "y"]
+        bindings = document["results"]["bindings"]
+        assert len(bindings) == 3
+        kinds = {node["type"] for row in bindings for node in row.values()}
+        assert kinds == {"uri", "bnode", "literal"}
+
+    def test_datatype_and_language_survive(self):
+        document = json.loads(results_to_json(_mixed_results()))
+        nodes = [row["y"] for row in document["results"]["bindings"]]
+        datatypes = {node.get("datatype") for node in nodes}
+        languages = {node.get("xml:lang") for node in nodes}
+        assert XSD.integer.value in datatypes
+        assert "fr" in languages
+
+    def test_empty_result_set_round_trips(self):
+        empty = ResultSet([Variable("x")])
+        restored = results_from_json(results_to_json(empty))
+        assert restored == empty
+        assert restored.variables == (Variable("x"),)
+
+    def test_sparql10_typed_literal_form_is_accepted(self):
+        text = json.dumps({
+            "head": {"vars": ["x"]},
+            "results": {"bindings": [
+                {"x": {"type": "typed-literal", "value": "7",
+                       "datatype": XSD.integer.value}}]}})
+        restored = results_from_json(text)
+        assert restored.rows() == [(Literal("7", datatype=XSD.integer),)]
+
+    def test_partial_binding_is_rejected(self):
+        text = json.dumps({
+            "head": {"vars": ["x", "y"]},
+            "results": {"bindings": [
+                {"x": {"type": "uri", "value": "http://example.org/a"}}]}})
+        with pytest.raises(ValueError, match="missing variable"):
+            results_from_json(text)
+
+    def test_boolean_document_rejected_by_select_parser(self):
+        with pytest.raises(ValueError, match="boolean"):
+            results_from_json(boolean_to_json(True))
+
+    def test_boolean_round_trip(self):
+        assert boolean_from_json(boolean_to_json(True)) is True
+        assert boolean_from_json(boolean_to_json(False)) is False
+        with pytest.raises(ValueError):
+            boolean_from_json(results_to_json(_mixed_results()))
+
+
+class TestCSV:
+    def test_header_then_crlf_rows(self):
+        text = results_to_csv(_mixed_results())
+        lines = text.split("\r\n")
+        assert lines[0] == "x,y"
+        assert len([line for line in lines if line]) == 4  # header + 3
+
+    def test_round_trip_of_plain_terms(self):
+        x = Variable("x")
+        original = ResultSet([x])
+        original.add((URI("http://example.org/alice"),))
+        original.add((BlankNode("b1"),))
+        original.add((Literal("plain words"),))
+        restored = results_from_csv(results_to_csv(original))
+        assert restored == original
+
+    def test_quoting_of_fields_with_commas_and_quotes(self):
+        x = Variable("x")
+        original = ResultSet([x])
+        original.add((Literal('say "hi", then leave'),))
+        restored = results_from_csv(results_to_csv(original))
+        assert restored == original
+
+    def test_csv_is_lossy_for_datatypes(self):
+        x = Variable("x")
+        original = ResultSet([x])
+        original.add((Literal("42", datatype=XSD.integer),))
+        restored = results_from_csv(results_to_csv(original))
+        # the lexical form survives; the datatype does not (per spec)
+        assert restored.rows() == [(Literal("42"),)]
+
+    def test_heuristic_distinguishes_iris_from_words(self):
+        restored = results_from_csv(
+            "x\r\nhttp://example.org/a\r\n_:b7\r\nhello world\r\n")
+        rows = restored.rows()
+        assert rows[0] == (URI("http://example.org/a"),)
+        assert BlankNode("b7") in {row[0] for row in rows}
+        assert (Literal("hello world"),) in rows
+
+    def test_explicit_variables_override_header(self):
+        restored = results_from_csv("a\r\nhello\r\n", [Variable("z")])
+        assert restored.variables == (Variable("z"),)
+
+    def test_empty_document_is_rejected(self):
+        with pytest.raises(ValueError, match="empty CSV"):
+            results_from_csv("")
+
+    def test_ragged_row_is_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            results_from_csv("x,y\r\nonly-one\r\n")
+
+    def test_boolean_csv(self):
+        assert boolean_to_csv(True) == "bool\r\ntrue\r\n"
+        assert boolean_to_csv(False) == "bool\r\nfalse\r\n"
+
+
+class TestEngineIntegration:
+    def test_live_query_results_round_trip(self, lubm_small):
+        from repro.db import RDFDatabase, Strategy
+        from repro.workloads import WORKLOAD_QUERIES
+
+        db = RDFDatabase(lubm_small, strategy=Strategy.SATURATION)
+        results = db.query(WORKLOAD_QUERIES["Q2"][1].to_sparql())
+        assert len(results) > 0
+        assert results_from_json(results_to_json(results)) == results
+        assert len(results_from_csv(results_to_csv(results))) == len(results)
