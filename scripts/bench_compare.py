@@ -8,9 +8,13 @@ Usage::
 For every benchmark present in both files the table shows the old and
 new "after" timings and the old→new speedup (>1 means the new run is
 faster); benchmarks present in only one file are listed as added or
-removed.  ``--fail-below R`` exits non-zero when any shared benchmark
-regressed below speedup ``R`` (CI uses 0.5 as a coarse tripwire —
-shared-runner noise, not a microbenchmark gate).
+removed.  A benchmark key that *disappears* between the two files is
+an error by default — a silently dropped benchmark is how coverage
+regressions hide — unless ``--allow-missing`` is given (for diffs
+whose key sets legitimately differ, e.g. a quick CI run against a
+committed full run).  ``--fail-below R`` exits non-zero when any
+shared benchmark regressed below speedup ``R`` (CI uses 0.5 as a
+coarse tripwire — shared-runner noise, not a microbenchmark gate).
 
 Files must be in the ``repro-bench/1`` format written by
 ``scripts/record_benchmarks.py``.
@@ -40,6 +44,10 @@ def main(argv=None) -> int:
                         metavar="R",
                         help="exit 1 if any shared benchmark's old->new "
                              "speedup drops below R")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate benchmarks present in the baseline "
+                             "but absent from the candidate (default: "
+                             "exit 1 with a diff of the missing keys)")
     args = parser.parse_args(argv)
 
     old, new = load(args.old), load(args.new)
@@ -64,22 +72,33 @@ def main(argv=None) -> int:
         internal_text = f"{internal:.2f}x" if internal else "-"
         print(f"{name:<{width}} {old_s:>10.4f} {new_s:>10.4f} "
               f"{ratio:>8.2f}x {internal_text:>9}")
-    for name in old_benches:
-        if name not in new_benches:
-            print(f"{name:<{width}} (removed in {args.new})")
+    removed = [n for n in old_benches if n not in new_benches]
+    for name in removed:
+        print(f"{name:<{width}} (removed in {args.new})")
     for name in new_benches:
         if name not in old_benches:
             print(f"{name:<{width}} (added in {args.new})")
 
+    status = 0
+    if removed and not args.allow_missing:
+        print(f"\nFAIL: {len(removed)} benchmark(s) in {args.old} "
+              f"missing from {args.new}:", file=sys.stderr)
+        for name in removed:
+            print(f"  - {name}", file=sys.stderr)
+        print("(a dropped benchmark hides coverage regressions; pass "
+              "--allow-missing if the key sets legitimately differ)",
+              file=sys.stderr)
+        status = 1
+
     if not shared:
         print("no shared benchmarks to compare")
-        return 0
+        return status
     print(f"\nworst old->new speedup: {worst:.2f}x over "
           f"{len(shared)} shared benchmark(s)")
     if args.fail_below is not None and worst < args.fail_below:
         print(f"FAIL: below --fail-below {args.fail_below}", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ import sys
 from typing import Optional, Sequence
 
 from .db import RDFDatabase, Strategy
+from .sparql.evaluator import REFORMULATION_STRATEGIES
 from .rdf import (Graph, Triple, URI, graph_from_ntriples, graph_from_turtle,
                   serialize_ntriples, serialize_turtle)
 from .reasoning import get_ruleset, reformulate, saturate
@@ -59,6 +60,20 @@ def _load_graph(path: str, backend: str = "hash") -> Graph:
     if backend != graph.backend:
         graph = graph.to_backend(backend)
     return graph
+
+
+#: ``--strategy`` accepts the four reasoning regimes plus the three
+#: reformulated-query evaluation strategies (which imply the
+#: reformulation regime): ``--strategy encoded`` is shorthand for
+#: "reformulation, evaluated through the semantic interval encoding".
+_STRATEGY_CHOICES = tuple(s.value for s in Strategy) + REFORMULATION_STRATEGIES
+
+
+def _resolve_strategy(name: str) -> tuple:
+    """Map a ``--strategy`` value to ``(Strategy, reformulation_strategy)``."""
+    if name in REFORMULATION_STRATEGIES:
+        return Strategy.REFORMULATION, name
+    return Strategy(name), "factorized"
 
 
 def _dump_graph(graph: Graph, path: str) -> None:
@@ -105,12 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--engine", default="auto",
                      choices=["auto", "seminaive", "schema-aware"])
 
+    def add_strategy_argument(sub: argparse.ArgumentParser,
+                              default: str) -> None:
+        sub.add_argument("--strategy", default=default,
+                         choices=list(_STRATEGY_CHOICES),
+                         help="reasoning regime (none, saturation, "
+                              "reformulation, backward) or a reformulated-"
+                              "query evaluation strategy (factorized, ucq, "
+                              "encoded — implies reformulation) "
+                              f"(default: {default})")
+
     sub = subparsers.add_parser("query", help="answer a SPARQL BGP query")
     add_graph_argument(sub)
     add_ruleset_argument(sub)
     sub.add_argument("-q", "--query", required=True, help="SPARQL text")
-    sub.add_argument("--strategy", default="reformulation",
-                     choices=[s.value for s in Strategy])
+    add_strategy_argument(sub, "reformulation")
     sub.add_argument("--max-rows", type=int, default=25)
     sub.add_argument("--format", default="table",
                      choices=("table", "json", "csv"),
@@ -121,8 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_argument(sub)
     add_ruleset_argument(sub)
     sub.add_argument("-q", "--query", required=True, help="SPARQL ASK text")
-    sub.add_argument("--strategy", default="reformulation",
-                     choices=[s.value for s in Strategy])
+    add_strategy_argument(sub, "reformulation")
 
     sub = subparsers.add_parser("reformulate",
                                 help="print the UCQ a query rewrites into")
@@ -165,8 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-q", "--query", action="append", default=[],
                      help="SPARQL query to run inside the measured "
                           "window (repeatable)")
-    sub.add_argument("--strategy", default="saturation",
-                     choices=[s.value for s in Strategy])
+    add_strategy_argument(sub, "saturation")
     sub.add_argument("--json", action="store_true",
                      help="emit the machine-readable JSON report "
                           "instead of the text rendering")
@@ -207,8 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
              "/update, GET /healthz, GET /stats")
     add_graph_argument(sub)
     add_ruleset_argument(sub)
-    sub.add_argument("--strategy", default="saturation",
-                     choices=[s.value for s in Strategy])
+    add_strategy_argument(sub, "saturation")
     sub.add_argument("--host", default="127.0.0.1")
     sub.add_argument("--port", type=int, default=8000,
                      help="TCP port; 0 binds an ephemeral port and "
@@ -253,8 +274,10 @@ def _cmd_saturate(args) -> int:
 
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph, args.backend)
-    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
-                     ruleset=get_ruleset(args.ruleset))
+    strategy, reformulation_strategy = _resolve_strategy(args.strategy)
+    db = RDFDatabase(graph, strategy=strategy,
+                     ruleset=get_ruleset(args.ruleset),
+                     reformulation_strategy=reformulation_strategy)
     results = db.query(args.query)
     if args.format == "json":
         from .sparql.results import results_to_json
@@ -270,8 +293,10 @@ def _cmd_query(args) -> int:
 
 def _cmd_ask(args) -> int:
     graph = _load_graph(args.graph, args.backend)
-    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
-                     ruleset=get_ruleset(args.ruleset))
+    strategy, reformulation_strategy = _resolve_strategy(args.strategy)
+    db = RDFDatabase(graph, strategy=strategy,
+                     ruleset=get_ruleset(args.ruleset),
+                     reformulation_strategy=reformulation_strategy)
     answer = db.ask_query(args.query)
     print("yes" if answer else "no")
     return 0 if answer else 1
@@ -345,9 +370,11 @@ def _cmd_stats(args) -> int:
                       render_report, report_to_json)
 
     graph = _load_graph(args.graph, args.backend)
+    strategy, reformulation_strategy = _resolve_strategy(args.strategy)
     with measurement_window() as (registry, tracer):
-        db = RDFDatabase(graph, strategy=Strategy(args.strategy),
-                         ruleset=get_ruleset(args.ruleset))
+        db = RDFDatabase(graph, strategy=strategy,
+                         ruleset=get_ruleset(args.ruleset),
+                         reformulation_strategy=reformulation_strategy)
         for text in args.query:
             db.query(text)
     report = observability_report(
@@ -389,8 +416,10 @@ def _cmd_serve(args) -> int:
     from .server import ServerConfig, serve
 
     graph = _load_graph(args.graph, args.backend)
-    db = RDFDatabase(graph, strategy=Strategy(args.strategy),
-                     ruleset=get_ruleset(args.ruleset))
+    strategy, reformulation_strategy = _resolve_strategy(args.strategy)
+    db = RDFDatabase(graph, strategy=strategy,
+                     ruleset=get_ruleset(args.ruleset),
+                     reformulation_strategy=reformulation_strategy)
     config = ServerConfig(
         workers=args.workers, queue_depth=args.queue_depth,
         timeout=args.timeout if args.timeout > 0 else None,

@@ -63,13 +63,15 @@ class AdaptiveDatabase:
                  ruleset: RuleSet = RDFS_DEFAULT,
                  review_interval: int = 100,
                  patience: int = 2,
-                 calibration: Optional[Calibration] = None):
+                 calibration: Optional[Calibration] = None,
+                 reformulation_strategy: str = "factorized"):
         if strategy not in (Strategy.SATURATION, Strategy.REFORMULATION):
             raise ValueError("adaptive mode arbitrates between SATURATION "
                              "and REFORMULATION")
         if review_interval < 1:
             raise ValueError("review_interval must be >= 1")
-        self._db = RDFDatabase(graph, strategy=strategy, ruleset=ruleset)
+        self._db = RDFDatabase(graph, strategy=strategy, ruleset=ruleset,
+                               reformulation_strategy=reformulation_strategy)
         self.review_interval = review_interval
         self.patience = patience
         self._calibration = calibration

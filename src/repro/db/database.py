@@ -37,7 +37,8 @@ from ..reasoning.saturation import has_meta_schema, saturate
 from ..schema import Schema, is_schema_triple
 from ..sparql.ast import BGPQuery
 from ..sparql.bindings import ResultSet
-from ..sparql.evaluator import evaluate, evaluate_reformulation
+from ..sparql.evaluator import (REFORMULATION_STRATEGIES, evaluate,
+                                evaluate_reformulation)
 from ..sparql.parser import parse_query
 
 __all__ = ["Strategy", "RDFDatabase", "UnsupportedGraphError", "QueryLog"]
@@ -87,9 +88,14 @@ class RDFDatabase:
                  strategy: Strategy = Strategy.SATURATION,
                  ruleset: RuleSet = RDFS_DEFAULT,
                  maintenance: str = "dred",
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 reformulation_strategy: str = "factorized"):
         if maintenance not in ("dred", "counting"):
             raise ValueError("maintenance must be 'dred' or 'counting'")
+        if reformulation_strategy not in REFORMULATION_STRATEGIES:
+            raise ValueError(
+                "reformulation_strategy must be one of "
+                + ", ".join(repr(s) for s in REFORMULATION_STRATEGIES))
         # backend defaults to the given graph's layout (hash otherwise);
         # an explicit choice converts the snapshot on the way in
         if graph is None:
@@ -101,6 +107,7 @@ class RDFDatabase:
         self._strategy = strategy
         self._ruleset = ruleset
         self._maintenance = maintenance
+        self._reformulation_strategy = reformulation_strategy
         self._reasoner: Optional[IncrementalReasoner] = None
         self._closed: Optional[Graph] = None       # explicit + schema closure
         self._schema: Optional[Schema] = None
@@ -122,6 +129,12 @@ class RDFDatabase:
     @property
     def ruleset(self) -> RuleSet:
         return self._ruleset
+
+    @property
+    def reformulation_strategy(self) -> str:
+        """How reformulated queries are evaluated (``"factorized"``,
+        ``"ucq"`` or ``"encoded"``)."""
+        return self._reformulation_strategy
 
     @property
     def backend(self) -> str:
@@ -194,6 +207,10 @@ class RDFDatabase:
                 self._rebuild_closed()
             elif self._closed is not None:
                 self._closed.update(batch)
+                # instance-only batches keep the cached interval-encoded
+                # view warm instead of forcing a rebuild on next query
+                from ..reasoning.encoding import refresh_view_after_insert
+                refresh_view_after_insert(self._closed, batch)
         return added
 
     def delete(self, triples: Union[Triple, Iterable[Triple]]) -> int:
@@ -249,19 +266,30 @@ class RDFDatabase:
     # query answering
     # ------------------------------------------------------------------
 
-    def query(self, query: Union[str, BGPQuery, "UnionQuery"]) -> ResultSet:
+    def query(self, query: Union[str, BGPQuery, "UnionQuery"],
+              reformulation_strategy: Optional[str] = None) -> ResultSet:
         """Answer a BGP or UNION query under the configured strategy.
 
         Accepts SPARQL text or a pre-built query object.  For all
         reasoning strategies the answer set is ``q(G∞)``; for
         ``Strategy.NONE`` it is the incomplete ``q(G)``.
+
+        ``reformulation_strategy`` overrides the database's configured
+        reformulated-query evaluation strategy for this call only (it
+        has no effect under the other reasoning regimes).
         """
+        if reformulation_strategy is None:
+            reformulation_strategy = self._reformulation_strategy
+        elif reformulation_strategy not in REFORMULATION_STRATEGIES:
+            raise ValueError(
+                "reformulation_strategy must be one of "
+                + ", ".join(repr(s) for s in REFORMULATION_STRATEGIES))
         if isinstance(query, str):
             query = parse_query(query, self._explicit.namespaces)
         from ..sparql.union import UnionQuery
 
         if isinstance(query, UnionQuery):
-            return self._query_union(query)
+            return self._query_union(query, reformulation_strategy)
         metrics = get_metrics()
         with span("db.query", strategy=self._strategy.value) as sp:
             if self._strategy == Strategy.NONE:
@@ -278,7 +306,9 @@ class RDFDatabase:
                     self._reformulation_cache[query] = reformulated
                 else:
                     metrics.counter("db.reformulation_cache_hits").inc()
-                results = evaluate_reformulation(self._closed, reformulated)
+                results = evaluate_reformulation(
+                    self._closed, reformulated,
+                    strategy=reformulation_strategy)
             else:  # Strategy.BACKWARD
                 answers = datalog_answer(self._explicit, query, self._ruleset,
                                          method="magic")
@@ -294,14 +324,15 @@ class RDFDatabase:
         ))
         return results
 
-    def _query_union(self, union) -> ResultSet:
+    def _query_union(self, union,
+                     reformulation_strategy: Optional[str] = None) -> ResultSet:
         """A union's answer set is the set-union of its branches'
         answer sets, each answered under the configured strategy."""
         with span("db.query_union", strategy=self._strategy.value,
                   branches=len(union.branches)) as sp:
             results = ResultSet(union.distinguished, distinct=True)
             for branch in union.branches:
-                for row in self.query(branch):
+                for row in self.query(branch, reformulation_strategy):
                     results.add(row)
                     if union.limit is not None and len(results) >= union.limit:
                         break
@@ -315,7 +346,8 @@ class RDFDatabase:
         ))
         return results
 
-    def ask_query(self, query: Union[str, BGPQuery]) -> bool:
+    def ask_query(self, query: Union[str, BGPQuery],
+                  reformulation_strategy: Optional[str] = None) -> bool:
         """Answer a boolean (ASK) query under the configured strategy:
         True iff the BGP has at least one answer in ``G∞`` (or in ``G``
         for ``Strategy.NONE``)."""
@@ -326,8 +358,9 @@ class RDFDatabase:
         if isinstance(query, UnionQuery):
             limited = UnionQuery(query.branches, query.distinguished,
                                  query.distinct, limit=1)
-            return len(self.query(limited)) > 0
-        return len(self.query(query.with_modifiers(limit=1))) > 0
+            return len(self.query(limited, reformulation_strategy)) > 0
+        return len(self.query(query.with_modifiers(limit=1),
+                              reformulation_strategy)) > 0
 
     def ask(self, triple: Triple) -> bool:
         """Does the database entail ``triple`` (``G ⊢RDF s p o``)?"""
@@ -366,6 +399,7 @@ class RDFDatabase:
             "strategy": self._strategy.value,
             "ruleset": self._ruleset.name,
             "maintenance": self._maintenance,
+            "reformulation_strategy": self._reformulation_strategy,
             "backend": self._explicit.backend,
             "triples": len(self._explicit),
         }
@@ -393,7 +427,9 @@ class RDFDatabase:
         return cls(graph, strategy=Strategy(meta["strategy"]),
                    ruleset=get_ruleset(meta["ruleset"]),
                    maintenance=meta.get("maintenance", "dred"),
-                   backend=meta.get("backend", "hash"))
+                   backend=meta.get("backend", "hash"),
+                   reformulation_strategy=meta.get(
+                       "reformulation_strategy", "factorized"))
 
     # ------------------------------------------------------------------
     # introspection
@@ -417,6 +453,7 @@ class RDFDatabase:
             info["closed_triples"] = len(self._closed)
             info["cached_reformulations"] = len(self._reformulation_cache)
             info["schema_generation"] = self._schema_generation
+            info["reformulation_strategy"] = self._reformulation_strategy
         return info
 
     def query_log(self) -> List[QueryLog]:

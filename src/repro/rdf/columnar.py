@@ -289,6 +289,39 @@ class _OrderRuns:
             return total
         return len(self)
 
+    def scan_between(self, prefix: Tuple[int, ...], lo_value: int,
+                     hi_value: int) -> Iterator[EncodedTriple]:
+        """Live triples extending ``prefix`` whose next component lies
+        in ``[lo_value, hi_value)``, in sorted order.
+
+        The interval-scan primitive: a contiguous identifier range
+        (e.g. "a class and all its subclasses" under the semantic
+        interval encoding) is answered by two binary searches and one
+        forward walk, instead of one point lookup per member.
+        """
+        main, delta = self.main, self.delta
+        lo_key = prefix + (lo_value,)
+        hi_key = prefix + (hi_value,)
+        lo, hi = _lower_bound(main, lo_key), _lower_bound(main, hi_key)
+        dead = self.dead
+        if not delta and not dead:
+            for base in range(3 * lo, 3 * hi, 3):
+                yield (main[base], main[base + 1], main[base + 2])
+            return
+        di, dn = bisect_left(delta, lo_key), bisect_left(delta, hi_key)
+        for i in range(lo, hi):
+            base = 3 * i
+            t = (main[base], main[base + 1], main[base + 2])
+            if dead and t in dead:
+                continue
+            while di < dn and delta[di] < t:
+                yield delta[di]
+                di += 1
+            yield t
+        while di < dn:
+            yield delta[di]
+            di += 1
+
     def seek(self, prefix: Tuple[int, ...], value: int) -> Optional[int]:
         """Smallest component value ``>= value`` directly after
         ``prefix`` among live triples, or ``None`` when exhausted.
@@ -411,6 +444,28 @@ class ColumnarTripleIndex:
         self._maybe_merge()
         return fresh
 
+    def bulk_load(self, triples: Iterable[EncodedTriple]) -> int:
+        """Load a deduplicated triple set into this *empty* index.
+
+        Skips the per-triple presence checks of :meth:`add_batch` and
+        writes each order's main run directly — one sort per order, no
+        delta log.  The re-encoding path of the semantic interval
+        encoding uses this: a bijective remap of an existing index's
+        triple set is duplicate-free by construction.
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty index")
+        batch = triples if isinstance(triples, list) else list(triples)
+        for (__, permutation), runs in zip(self._orders, self._runs):
+            a, b, c = permutation
+            run = array("q")
+            for t in sorted((t[a], t[b], t[c]) for t in batch):
+                run.extend(t)
+            runs.main = run
+        self._size = len(batch)
+        self._generation += 1
+        return self._size
+
     def discard(self, triple: EncodedTriple) -> bool:
         """Remove ``triple``; return True iff it was present."""
         if triple not in self:
@@ -530,6 +585,12 @@ class ColumnarTripleIndex:
                      second: int) -> Iterator[int]:
         """Sorted last components under a full two-component prefix."""
         return self._runs[order_index].scan_values(first, second)
+
+    def scan_order_between(self, order_index: int, prefix: Tuple[int, ...],
+                           lo: int, hi: int) -> Iterator[EncodedTriple]:
+        """Sorted triples under ``prefix`` whose next component lies in
+        ``[lo, hi)`` — the identifier-interval range scan."""
+        return self._runs[order_index].scan_between(prefix, lo, hi)
 
     def seek_in(self, order_index: int, prefix: Tuple[int, ...],
                 value: int) -> Optional[int]:

@@ -275,6 +275,23 @@ class Graph:
         self._derived[key] = (version, value)
         return value
 
+    def peek_derived(self, key: str) -> Optional[object]:
+        """The cached derived value for ``key`` regardless of version.
+
+        Unlike :meth:`cached_derived` this never computes and may
+        return a value cached at an older graph version — for layers
+        that maintain a derived structure *incrementally* (the encoded
+        graph view applies insert batches in place) and re-publish it
+        with :meth:`store_derived`.
+        """
+        entry = self._derived.get(key)
+        return entry[1] if entry is not None else None
+
+    def store_derived(self, key: str, value: object) -> None:
+        """Publish ``value`` as the derived result for ``key`` at the
+        *current* graph version (see :meth:`peek_derived`)."""
+        self._derived[key] = (self._version, value)
+
     def add_encoded(self, triples: Iterable[Tuple[int, int, int]]
                     ) -> List[Tuple[int, int, int]]:
         """Insert already-encoded triples in one batch.

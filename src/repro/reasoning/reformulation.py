@@ -61,7 +61,25 @@ def atom_alternatives(atom: TriplePattern, schema: Schema) -> List[TriplePattern
     ``c`` (rdfs7∘rdfs2∘rdfs9) and ``(_, p, s)`` for effective ranges
     (rdfs3).  For ``(s, p, o)``: the subproperties of ``p`` (rdfs7).
     The atom itself is always the first alternative.
+
+    Results are memoized on the schema (cleared on any schema
+    mutation); the fresh variables inside cached domain/range rewrites
+    are shared across reuses, which is sound because they are
+    existential — ``∃f p(s,f)`` names the same condition whichever
+    variant (or repeated atom) carries it.
     """
+    cached = schema.memo_get(("alternatives", atom))
+    if cached is not None:
+        get_metrics().counter("reformulation.rewrite_cache_hits").inc()
+        return list(cached)  # type: ignore[call-overload]
+    get_metrics().counter("reformulation.rewrite_cache_misses").inc()
+    alternatives = _atom_alternatives_uncached(atom, schema)
+    schema.memo_set(("alternatives", atom), tuple(alternatives))
+    return alternatives
+
+
+def _atom_alternatives_uncached(atom: TriplePattern,
+                                schema: Schema) -> List[TriplePattern]:
     alternatives: List[TriplePattern] = [atom]
     seen: Set[TriplePattern] = {atom}
     prop = atom.p
@@ -128,7 +146,17 @@ def expand_bindings(query: BGPQuery, schema: Schema) -> List[BGPQuery]:
     The unspecialized query is always kept (it covers the explicit
     matches).  Distinguished variables keep their binding via
     ``preset``.
+
+    Expansions are memoized on the schema per query (cleared on any
+    schema mutation): repeated serving-layer evaluations of the same
+    query skip the whole recursion.
     """
+    memo_key = ("expand", query)
+    cached = schema.memo_get(memo_key)
+    if cached is not None:
+        get_metrics().counter("reformulation.rewrite_cache_hits").inc()
+        return list(cached)  # type: ignore[call-overload]
+    get_metrics().counter("reformulation.rewrite_cache_misses").inc()
     property_candidates = _property_binding_candidates(schema)
     class_candidates = _class_binding_candidates(schema)
     results: List[BGPQuery] = []
@@ -163,6 +191,7 @@ def expand_bindings(query: BGPQuery, schema: Schema) -> List[BGPQuery]:
         expand(current, index + 1)
 
     expand(query, 0)
+    schema.memo_set(memo_key, tuple(results))
     return results
 
 

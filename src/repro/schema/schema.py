@@ -51,7 +51,8 @@ class Schema:
     """
 
     __slots__ = ("_sub_class", "_super_class", "_sub_property", "_super_property",
-                 "_domain", "_range", "_domain_inv", "_range_inv", "_closure_cache")
+                 "_domain", "_range", "_domain_inv", "_range_inv", "_closure_cache",
+                 "_memo", "_generation")
 
     def __init__(self):
         # direct adjacency, both directions, keyed by Term
@@ -64,6 +65,8 @@ class Schema:
         self._domain_inv: Dict[Term, Set[Term]] = {}     # c -> properties declaring domain c
         self._range_inv: Dict[Term, Set[Term]] = {}      # c -> properties declaring range c
         self._closure_cache: Dict[Tuple[str, Term], FrozenSet[Term]] = {}
+        self._memo: Dict[object, object] = {}
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -125,7 +128,7 @@ class Schema:
             return False
         bucket.add(target)
         backward.setdefault(target, set()).add(source)
-        self._closure_cache.clear()
+        self._invalidate()
         return True
 
     def _unlink(self, forward: Dict[Term, Set[Term]], backward: Dict[Term, Set[Term]],
@@ -141,8 +144,34 @@ class Schema:
             back.discard(source)
             if not back:
                 del backward[target]
-        self._closure_cache.clear()
+        self._invalidate()
         return True
+
+    def _invalidate(self) -> None:
+        self._closure_cache.clear()
+        self._memo.clear()
+        self._generation += 1
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every effective mutation; lets
+        layers key caches to "this schema, unchanged"."""
+        return self._generation
+
+    def memo_get(self, key: object) -> Optional[object]:
+        """A value previously stored with :meth:`memo_set`, or ``None``.
+
+        The memo is cleared on every schema mutation, so entries are
+        valid exactly as long as the closures they were derived from.
+        Reformulation uses it to reuse per-atom rewrite sets across
+        queries instead of rebuilding them from the closures each time.
+        """
+        return self._memo.get(key)
+
+    def memo_set(self, key: object, value: object) -> object:
+        """Store a schema-derived value until the next mutation."""
+        self._memo[key] = value
+        return value
 
     # ------------------------------------------------------------------
     # closures (cached)

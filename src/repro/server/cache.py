@@ -4,7 +4,8 @@ The serving layer's answer to the saturation/reformulation trade-off
 *per request*: whatever strategy answered a query, re-answering it on
 an unchanged graph is pure waste.  The cache key is
 
-    ``(query text, ruleset, backend, strategy, graph.version)``
+    ``(query text, ruleset, backend, strategy, reformulation
+    strategy, graph.version)``
 
 — the graph's monotone version counter (PR 3's ``Graph.version``,
 also behind ``cached_derived``) is *part of the key*, so an effective
@@ -30,8 +31,9 @@ from ..sparql.bindings import ResultSet
 
 __all__ = ["QueryResultCache", "CacheStats"]
 
-#: (query text, ruleset name, backend, strategy, graph version)
-CacheKey = Tuple[str, str, str, str, int]
+#: (query text, ruleset name, backend, strategy,
+#:  reformulation strategy, graph version)
+CacheKey = Tuple[str, str, str, str, str, int]
 
 
 @dataclass(frozen=True)

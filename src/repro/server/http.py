@@ -7,7 +7,9 @@ Routes (rooted at the server's base URL):
   form (``query=...``).  ``format=json|csv`` (or an ``Accept`` header
   of ``text/csv``) selects the W3C results serialization; JSON is the
   default.  An optional ``timeout=SECONDS`` tightens (never loosens)
-  the server's default deadline.
+  the server's default deadline.  Under the reformulation regime an
+  optional ``strategy=factorized|ucq|encoded`` parameter picks the
+  reformulated-query evaluation strategy per request.
 * ``POST /update`` — SPARQL Update (the ground ``INSERT DATA`` /
   ``DELETE DATA`` subset); body as above with ``update=...`` forms.
 * ``GET /healthz`` — liveness: store size, graph version, config.
@@ -39,6 +41,7 @@ from ..obs import get_metrics, observability_report
 from ..sparql.parser import SPARQLSyntaxError
 from ..sparql.results import (boolean_to_csv, boolean_to_json,
                               results_to_csv, results_to_json)
+from ..sparql.evaluator import REFORMULATION_STRATEGIES
 from .pool import AdmissionError, WorkerPool
 from .service import QueryOutcome, ServerConfig, ServingDatabase
 
@@ -196,6 +199,7 @@ class _Handler(BaseHTTPRequestHandler):
             "version": service.db.graph.version,
             "backend": service.db.backend,
             "strategy": service.db.strategy.value,
+            "reformulation_strategy": service.db.reformulation_strategy,
         }, endpoint="healthz")
 
     def _handle_stats(self) -> None:
@@ -214,11 +218,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "missing 'query' parameter", endpoint="sparql")
             return
         form = self._format(params)
+        strategy = params.get("strategy")
+        if strategy is not None and strategy not in REFORMULATION_STRATEGIES:
+            self._error(400, "unknown strategy "
+                        f"{strategy!r}; expected one of "
+                        + ", ".join(REFORMULATION_STRATEGIES),
+                        endpoint="sparql")
+            return
         token = CancellationToken(self._deadline(params))
         service = self.server.service
         try:
             job = self.server.pool.submit(
-                lambda: service.query(text, token=token), token)
+                lambda: service.query(text, token=token,
+                                      reformulation_strategy=strategy),
+                token)
             outcome = job.wait(token.remaining)
         except AdmissionError:
             self._error(503, "server overloaded: admission queue full",

@@ -109,19 +109,29 @@ class ServingDatabase:
     # queries
     # ------------------------------------------------------------------
 
-    def _cache_key(self, text: str, version: int) -> CacheKey:
+    def _cache_key(self, text: str, version: int,
+                   reformulation_strategy: Optional[str] = None) -> CacheKey:
         return (text, self.db.ruleset.name, self.db.backend,
-                self.db.strategy.value, version)
+                self.db.strategy.value,
+                reformulation_strategy or self.db.reformulation_strategy,
+                version)
 
     def query(self, text: str,
               timeout: Optional[float] = None,
-              token: Optional[CancellationToken] = None) -> QueryOutcome:
+              token: Optional[CancellationToken] = None,
+              reformulation_strategy: Optional[str] = None) -> QueryOutcome:
         """Answer SPARQL ``text`` under the read lock, through the cache.
 
         ``token`` (armed at admission) takes precedence over
         ``timeout``; both absent means no deadline.  Raises
         :class:`OperationCancelled` when the deadline fires — whether
         while waiting for the lock or mid-evaluation.
+
+        ``reformulation_strategy`` overrides the database's configured
+        reformulated-query evaluation for this request; it is part of
+        the cache key, so answers computed under different strategies
+        never alias (they are equal by contract, but the serving layer
+        does not rely on that).
         """
         if token is None:
             token = CancellationToken(timeout)
@@ -135,12 +145,14 @@ class ServingDatabase:
                     if is_ask:
                         # ASK answers are one LIMIT-1 probe; not cached
                         with cancellation_scope(token):
-                            answer = self.db.ask_query(text)
+                            answer = self.db.ask_query(
+                                text, reformulation_strategy)
                         outcome = QueryOutcome(
                             kind="boolean", version=version, cached=False,
                             boolean=answer, seconds=sp.duration)
                     else:
-                        key = self._cache_key(text, version)
+                        key = self._cache_key(text, version,
+                                              reformulation_strategy)
                         hit = self.cache.get(key)
                         if hit is not None:
                             outcome = QueryOutcome(
@@ -148,7 +160,8 @@ class ServingDatabase:
                                 results=hit, seconds=sp.duration)
                         else:
                             with cancellation_scope(token):
-                                results = self.db.query(text)
+                                results = self.db.query(
+                                    text, reformulation_strategy)
                             self.cache.put(key, results)
                             outcome = QueryOutcome(
                                 kind="select", version=version, cached=False,

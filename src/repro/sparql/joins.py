@@ -41,14 +41,44 @@ from .ast import BGPQuery
 from .bindings import ResultSet
 from .optimizer import order_patterns
 
-__all__ = ["BGPPlan", "compile_bgp", "iter_bindings", "evaluate_columnar",
-           "leapfrog"]
+__all__ = ["BGPPlan", "IntervalPattern", "compile_bgp", "compile_mixed_bgp",
+           "iter_bindings", "evaluate_columnar", "leapfrog"]
 
 #: An encoded binding: one integer (or None) per variable slot.
 EncodedBinding = List[Optional[int]]
 
 #: Compiled atom position: (is_variable, identifier-or-slot).
 _Position = Tuple[bool, int]
+
+
+class IntervalPattern:
+    """An atom whose ``position`` matches any identifier in ``ranges``.
+
+    The semantic interval encoding (:mod:`repro.reasoning.encoding`)
+    collapses a reformulation's per-atom union — "this class or any of
+    its subclasses", "any property with this effective domain" — into
+    identifier ranges at a single position.  ``pattern`` is the atom's
+    skeleton: its other two positions compile as usual (variables,
+    constants, repeats); the term at ``position`` is only advisory (the
+    original class/property constant, kept for EXPLAIN output).
+    ``members`` lists the same identifiers explicitly — the fallback
+    set used when no sorted run can serve the range (hash backends,
+    ablated layouts).
+    """
+
+    __slots__ = ("pattern", "position", "ranges", "members")
+
+    def __init__(self, pattern: TriplePattern, position: int,
+                 ranges: Tuple[Tuple[int, int], ...],
+                 members: Tuple[int, ...]):
+        self.pattern = pattern
+        self.position = position
+        self.ranges = ranges
+        self.members = members
+
+    def __repr__(self) -> str:
+        return (f"IntervalPattern({self.pattern!r}, position="
+                f"{self.position}, ranges={self.ranges!r})")
 
 
 class _ScanStep:
@@ -232,6 +262,179 @@ class _IntersectStep:
             yield extended
 
 
+class _IntervalSortedScanStep:
+    """Range-scan step for one interval atom over a sorted run.
+
+    The bound positions form the run prefix; the interval position
+    comes right after it, so every ``(lo, hi)`` range is one binary-
+    searched contiguous walk (``scan_order_between``).  Built by
+    :meth:`try_build` only when the layout has such a run; otherwise
+    the member-expansion fallback executes the atom.
+    """
+
+    __slots__ = ("order_index", "prefix_spec", "ranges", "const_checks",
+                 "bound_checks", "assigns", "dup_checks", "pattern")
+
+    def __init__(self, order_index: int, prefix_spec, ranges, const_checks,
+                 bound_checks, assigns, dup_checks,
+                 pattern: TriplePattern):
+        self.order_index = order_index
+        self.prefix_spec = prefix_spec
+        self.ranges = ranges
+        self.const_checks = const_checks
+        self.bound_checks = bound_checks
+        self.assigns = assigns
+        self.dup_checks = dup_checks
+        self.pattern = pattern
+
+    @classmethod
+    def try_build(cls, index: ColumnarTripleIndex,
+                  positions: Sequence[_Position], spec: "IntervalPattern",
+                  bound_slots: frozenset
+                  ) -> Optional["_IntervalSortedScanStep"]:
+        ranged = spec.position
+        bound_positions = [
+            i for i, (is_var, value) in enumerate(positions)
+            if i != ranged and (not is_var or value in bound_slots)]
+        order_index = index.order_for(bound_positions, ranged)
+        if order_index is None:
+            return None
+        permutation = index.permutation(order_index)
+        width = len(bound_positions)
+        prefix_spec = tuple(positions[permutation[j]] for j in range(width))
+        const_checks: List[Tuple[int, int]] = []  # (permuted pos, id)
+        bound_checks: List[Tuple[int, int]] = []  # (permuted pos, slot)
+        assigns: List[Tuple[int, int]] = []       # (permuted pos, slot)
+        dup_checks: List[Tuple[int, int]] = []    # (permuted pos, slot)
+        seen: set = set()
+        for j in range(width + 1, 3):
+            is_var, value = positions[permutation[j]]
+            if not is_var:
+                const_checks.append((j, value))
+            elif value in bound_slots:
+                bound_checks.append((j, value))
+            elif value in seen:
+                dup_checks.append((j, value))
+            else:
+                seen.add(value)
+                assigns.append((j, value))
+        return cls(order_index, prefix_spec, spec.ranges, const_checks,
+                   bound_checks, assigns, dup_checks, spec.pattern)
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        prefix = tuple(binding[value] if is_var else value
+                       for is_var, value in self.prefix_spec)
+        checks = self.const_checks
+        if self.bound_checks:
+            checks = checks + [(j, binding[slot])
+                               for j, slot in self.bound_checks]
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        scan_between = index.scan_order_between
+        order_index = self.order_index
+        for lo, hi in self.ranges:
+            counts[5] += 1
+            for t in scan_between(order_index, prefix, lo, hi):
+                if checks and any(t[j] != value for j, value in checks):
+                    continue
+                extended = binding[:]
+                for j, slot in assigns:
+                    extended[slot] = t[j]
+                if dup_checks and any(t[j] != extended[slot]
+                                      for j, slot in dup_checks):
+                    continue
+                counts[3] += 1
+                yield extended
+
+
+class _IntervalMemberScanStep:
+    """Member-expansion fallback for an interval atom.
+
+    Executes the atom once per explicit member identifier through the
+    backend-generic eight-shape ``match`` — correct on hash indexes
+    and ablated columnar layouts, at point-lookup rather than
+    range-scan cost.
+    """
+
+    __slots__ = ("template", "ranged_position", "members", "bound",
+                 "assigns", "dup_checks", "pattern")
+
+    def __init__(self, positions: Sequence[_Position],
+                 spec: "IntervalPattern", bound_slots: frozenset):
+        template: List[Optional[int]] = [None, None, None]
+        bound: List[Tuple[int, int]] = []
+        assigns: List[Tuple[int, int]] = []
+        dup_checks: List[Tuple[int, int]] = []
+        seen: set = set()
+        for position, (is_var, value) in enumerate(positions):
+            if position == spec.position:
+                continue
+            if not is_var:
+                template[position] = value
+            elif value in bound_slots:
+                bound.append((position, value))
+            elif value in seen:
+                dup_checks.append((position, value))
+            else:
+                seen.add(value)
+                assigns.append((position, value))
+        self.template = template
+        self.ranged_position = spec.position
+        self.members = spec.members
+        self.bound = bound
+        self.assigns = assigns
+        self.dup_checks = dup_checks
+        self.pattern = spec.pattern
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        args = list(self.template)
+        for position, slot in self.bound:
+            args[position] = binding[slot]
+        ranged = self.ranged_position
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        match = graph.index.match
+        for member in self.members:
+            counts[6] += 1
+            args[ranged] = member
+            for triple in match(args[0], args[1], args[2]):
+                extended = binding[:]
+                for position, slot in assigns:
+                    extended[slot] = triple[position]
+                if dup_checks and any(triple[position] != extended[slot]
+                                      for position, slot in dup_checks):
+                    continue
+                counts[3] += 1
+                yield extended
+
+
+class _AlternativesStep:
+    """Union of alternative sub-steps for one atom.
+
+    A type atom under the interval encoding can need up to three
+    branches (subclass interval, effective-domain interval,
+    effective-range interval); each branch extends the binding
+    independently and the downstream steps see their concatenation.
+    Cross-branch duplicates are legal — the reformulation result set
+    is DISTINCT by construction.
+    """
+
+    __slots__ = ("steps", "pattern")
+
+    def __init__(self, steps: Sequence[object], pattern: TriplePattern):
+        self.steps = tuple(steps)
+        self.pattern = pattern
+
+    def run(self, graph: Graph, binding: EncodedBinding,
+            counts: List[int]) -> Iterator[EncodedBinding]:
+        for step in self.steps:
+            yield from step.run(graph, binding, counts)  # type: ignore[attr-defined]
+
+
 def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
              counts: Optional[List[int]] = None) -> Iterator[int]:
     """Values common to every sorted cursor (identifiers are >= 0).
@@ -277,7 +480,9 @@ def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
             agreeing = 1
 
 
-_Step = Union[_ScanStep, _SortedScanStep, _IntersectStep]
+_Step = Union[_ScanStep, _SortedScanStep, _IntersectStep,
+              _IntervalSortedScanStep, _IntervalMemberScanStep,
+              _AlternativesStep]
 
 
 class BGPPlan:
@@ -321,8 +526,9 @@ class BGPPlan:
         """
         if self.empty:
             return
-        # [scans, intersections, leapfrogs, bindings, seeks]
-        counts = [0, 0, 0, 0, 0]
+        # [scans, intersections, leapfrogs, bindings, seeks,
+        #  interval range scans, interval member expansions]
+        counts = [0, 0, 0, 0, 0, 0, 0]
         graph = self.graph
         steps = self.steps
         depth = len(steps)
@@ -360,6 +566,10 @@ class BGPPlan:
             metrics.counter("joins.intersect_steps").inc(counts[1])
             metrics.counter("joins.leapfrog_seeks").inc(counts[4])
             metrics.counter("joins.intermediate_bindings").inc(counts[3])
+            if counts[5]:
+                metrics.counter("encoding.range_scans").inc(counts[5])
+            if counts[6]:
+                metrics.counter("encoding.member_scans").inc(counts[6])
 
 
 def _compile_positions(pattern: TriplePattern, slot_of: Dict[Variable, int],
@@ -472,6 +682,145 @@ def compile_bgp(graph: Graph, patterns: Sequence[TriplePattern],
             else:
                 steps.append(_ScanStep(positions, bound, pattern))
             bound = bound | free
+    return BGPPlan(graph, steps, slot_of, empty)
+
+
+_CompiledSpec = Tuple[str, Tuple[_Position, _Position, _Position], object]
+
+
+def _compile_interval_positions(spec: IntervalPattern,
+                                slot_of: Dict[Variable, int],
+                                lookup: Callable[[Term], Optional[int]]
+                                ) -> Optional[_CompiledSpec]:
+    """Encode an interval atom's skeleton; None when unsatisfiable."""
+    if not spec.members:
+        return None
+    compiled: List[_Position] = []
+    for position, term in enumerate(spec.pattern):
+        if position == spec.position:
+            compiled.append((False, -1))  # placeholder: never read
+        elif isinstance(term, Variable):
+            compiled.append((True, slot_of.setdefault(term, len(slot_of))))
+        else:
+            identifier = lookup(term)
+            if identifier is None:
+                return None
+            compiled.append((False, identifier))
+    return ("interval", (compiled[0], compiled[1], compiled[2]), spec)
+
+
+def _spec_step(index, columnar: bool, compiled: _CompiledSpec,
+               bound: frozenset) -> _Step:
+    kind, positions, spec = compiled
+    if kind == "plain":
+        assert isinstance(spec, TriplePattern)
+        return (_SortedScanStep(index, positions, bound, spec)
+                if columnar else _ScanStep(positions, bound, spec))
+    assert isinstance(spec, IntervalPattern)
+    if columnar:
+        step = _IntervalSortedScanStep.try_build(index, positions, spec,
+                                                 bound)
+        if step is not None:
+            return step
+    return _IntervalMemberScanStep(positions, spec, bound)
+
+
+def compile_mixed_bgp(graph, groups: Sequence[
+        Tuple[TriplePattern, Sequence[Union[TriplePattern, IntervalPattern]]]],
+        optimize: bool = True) -> BGPPlan:
+    """Compile a BGP whose atoms may carry interval-encoded specs.
+
+    ``groups`` pairs each original atom (the *representative*, used
+    for join ordering and slot naming) with the specs produced by
+    :func:`repro.reasoning.encoding.encoded_atom_specs` — plain
+    patterns and/or :class:`IntervalPattern` atoms whose matches union
+    to the atom's reformulation.  Single plain specs compile exactly as
+    in :func:`compile_bgp`, including merge/leapfrog intersection
+    grouping; interval specs become range-scan steps (member-expansion
+    on layouts without a fitting run); multi-spec atoms become a union
+    step.  Only variables of the representative count as bound
+    downstream — fresh variables inside one branch never escape it.
+
+    ``graph`` is anything with the read surface of
+    :class:`~repro.rdf.graph.Graph` (in particular the encoded view).
+    """
+    slot_of: Dict[Variable, int] = {}
+    lookup = graph.dictionary.lookup
+    reps = [rep for rep, __ in groups]
+    if optimize and len(groups) > 1:
+        order = order_patterns(graph, reps)
+    else:
+        order = list(range(len(groups)))
+
+    index = graph.index
+    columnar = isinstance(index, ColumnarTripleIndex)
+    queue: List[Tuple[frozenset, TriplePattern, List[_CompiledSpec]]] = []
+    empty = False
+    for i in order:
+        rep, specs = groups[i]
+        # allocate the representative's slots first so every branch
+        # shares them; branch-local fresh variables come after
+        rep_slots = frozenset(
+            slot_of.setdefault(term, len(slot_of))
+            for term in rep if isinstance(term, Variable))
+        compiled_specs: List[_CompiledSpec] = []
+        for spec in specs:
+            if isinstance(spec, IntervalPattern):
+                compiled = _compile_interval_positions(spec, slot_of, lookup)
+            else:
+                positions = _compile_positions(spec, slot_of, lookup)
+                compiled = (("plain", positions, spec)
+                            if positions is not None else None)
+            if compiled is not None:
+                compiled_specs.append(compiled)
+        if not compiled_specs:
+            empty = True
+            break
+        queue.append((rep_slots, rep, compiled_specs))
+
+    steps: List[_Step] = []
+    if not empty:
+        bound: frozenset = frozenset()
+        work = list(queue)
+        while work:
+            rep_slots, rep, compiled_specs = work.pop(0)
+            single_plain = (len(compiled_specs) == 1
+                            and compiled_specs[0][0] == "plain")
+            if columnar and single_plain:
+                positions = compiled_specs[0][1]
+                free = _free_slots(positions, bound)
+                if len(free) == 1:
+                    (slot,) = free
+                    first = _intersect_cursor(index, positions, bound, slot)
+                    if first is not None:
+                        cursors = [first]
+                        group_patterns = [rep]
+                        rest: List[Tuple[frozenset, TriplePattern,
+                                         List[_CompiledSpec]]] = []
+                        for other in work:
+                            cursor = None
+                            if (len(other[2]) == 1
+                                    and other[2][0][0] == "plain"
+                                    and _free_slots(other[2][0][1],
+                                                    bound) == free):
+                                cursor = _intersect_cursor(
+                                    index, other[2][0][1], bound, slot)
+                            if cursor is not None:
+                                cursors.append(cursor)
+                                group_patterns.append(other[1])
+                            else:
+                                rest.append(other)
+                        if len(cursors) >= 2:
+                            steps.append(_IntersectStep(slot, cursors,
+                                                        group_patterns))
+                            bound = bound | free
+                            work = rest
+                            continue
+            branch_steps = [_spec_step(index, columnar, compiled, bound)
+                            for compiled in compiled_specs]
+            steps.append(branch_steps[0] if len(branch_steps) == 1
+                         else _AlternativesStep(branch_steps, rep))
+            bound = bound | rep_slots
     return BGPPlan(graph, steps, slot_of, empty)
 
 

@@ -43,6 +43,10 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
              "earlier in the program",
     "SC109": "arity mismatch: a predicate is used with inconsistent "
              "arities",
+    "SC110": "degenerate interval encoding: a schema node's identifier "
+             "interval fragments into many runs (dense multiple "
+             "inheritance), eroding the encoded strategy's range-scan "
+             "advantage",
     # Level 2 — engine-invariant lint (the repro source tree itself)
     "SC201": "index mutation during a live scan: .add()/.remove() on a "
              "collection while iterating one of its lazy scans",

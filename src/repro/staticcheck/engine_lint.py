@@ -52,6 +52,7 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/datalog/program.py",
     "repro/datalog/engine.py",
     "repro/reasoning/rules.py",
+    "repro/reasoning/encoding.py",
     "repro/sparql/ast.py",
     "repro/sparql/bindings.py",
     "repro/server/",           # every serving-layer class is hot-path

@@ -36,7 +36,8 @@ from .depgraph import rule_dependency_graph
 from .diagnostics import Diagnostic, Severity
 
 __all__ = ["analyze_ruleset", "find_dead_rules", "find_subsumed_rules",
-           "estimate_ucq_size", "check_reformulation_blowup"]
+           "estimate_ucq_size", "check_reformulation_blowup",
+           "check_interval_encoding"]
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +268,52 @@ def check_reformulation_blowup(query: BGPQuery, schema: Schema,
         f"predicted reformulation size: {estimate} union conjunct(s) "
         f"(budget {budget})",
         target=label)]
+
+
+# ----------------------------------------------------------------------
+# interval-encoding fragmentation (SC110)
+# ----------------------------------------------------------------------
+
+def check_interval_encoding(schema: Schema) -> List[Diagnostic]:
+    """SC110: schema nodes whose semantic interval encoding fragments.
+
+    The encoded reformulation strategy (:mod:`repro.reasoning.encoding`)
+    turns "a class and all its subclasses" into contiguous identifier
+    ranges; multiple inheritance splits a node's members across the
+    preorder, so its interval degenerates into several runs — in the
+    limit, one run per member, which is just the UCQ member set again.
+    Degenerate nodes (more runs than half their members) warn; other
+    fragmented nodes are reported as info, plus one summary diagnostic
+    with the hierarchy-wide multiple-inheritance density.
+    """
+    from ..reasoning.encoding import fragmentation_report
+
+    findings: List[Diagnostic] = []
+    entries = fragmentation_report(schema)
+    for entry in entries:
+        severity = Severity.WARNING if entry.degenerate else Severity.INFO
+        noun = "class" if entry.kind == "class" else "property"
+        findings.append(Diagnostic(
+            "SC110", severity,
+            f"{noun} {entry.term.n3()} spans {entry.run_count} identifier "
+            f"run(s) for {entry.member_count} member(s)"
+            + (": range scans degenerate toward per-member lookups"
+               if entry.degenerate else ""),
+            target=f"encoding:{entry.term.n3()}",
+            hint=("dense multiple inheritance under this node defeats "
+                  "interval numbering; prefer the factorized strategy "
+                  "for queries over it" if entry.degenerate else None)))
+    if entries:
+        classes = [e for e in entries if e.kind == "class"]
+        properties = [e for e in entries if e.kind == "property"]
+        degenerate = sum(1 for e in entries if e.degenerate)
+        findings.append(Diagnostic(
+            "SC110", Severity.INFO,
+            f"multiple-inheritance density: {len(classes)} class(es) and "
+            f"{len(properties)} property(ies) fragment under interval "
+            f"encoding ({degenerate} degenerate)",
+            target="encoding:summary"))
+    return sorted(findings, key=Diagnostic.sort_key)
 
 
 # ----------------------------------------------------------------------

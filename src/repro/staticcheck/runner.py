@@ -26,7 +26,7 @@ from ..sparql.ast import BGPQuery
 from .datalog_analysis import analyze_program
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine_lint import HOT_PATH_MODULES, lint_paths
-from .ruleset_analysis import analyze_ruleset
+from .ruleset_analysis import analyze_ruleset, check_interval_encoding
 
 __all__ = ["run_lint", "DATALOG_EXTENSIONS"]
 
@@ -88,6 +88,10 @@ def run_lint(paths: Sequence[str] = (),
         report.extend(analyze_ruleset(
             ruleset, schema=schema, graph=graph,
             queries=queries, ucq_budget=ucq_budget))
+    if schema is not None:
+        # schema-grounded pass: interval-encoding fragmentation (SC110)
+        report.add_target("encoding")
+        report.extend(check_interval_encoding(schema))
     if queries and not rulesets and schema is not None:
         # queries given without a ruleset: still run the estimator
         from .ruleset_analysis import check_reformulation_blowup
