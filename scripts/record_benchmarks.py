@@ -19,6 +19,13 @@ with the factorized and saturation costs carried as extra fields —
 over the LUBM Q1–Q10 workload and a hierarchy-heavy Figure-3-style
 probe whose subclass fan-out is where the UCQ blow-up lives.
 
+``--suite pr6`` records restart costs of the durable storage layer:
+"before" is a cold start (parse the explicit graph, saturate from
+scratch), "after" reopens a committed store (mmap the snapshot runs,
+resume the saturated closure, replay the WAL tail through incremental
+maintenance) — once with a WAL tail of streamed updates and once from
+a clean snapshot.
+
 The output is diffable with ``scripts/bench_compare.py``.  ``--quick``
 shrinks every workload for CI smoke runs; committed baselines should
 be recorded without it.
@@ -225,12 +232,93 @@ def record_pr5(quick: bool, repeat: int) -> dict:
     }
 
 
+def record_pr6(quick: bool, repeat: int) -> dict:
+    import shutil
+    import tempfile
+
+    from repro.db import RDFDatabase, Strategy
+    from repro.rdf import Triple, URI
+    from repro.rdf.namespaces import RDF
+
+    scales = [1] if quick else [1, 2, 4]
+    tail_updates = 8 if quick else 32
+    benchmarks: dict = {}
+    workloads: dict = {}
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-pr6-"))
+    professor = URI("http://repro.example.org/univ#Professor")
+
+    def answers(db) -> list:
+        return sorted(db.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }"))
+
+    try:
+        for scale in scales:
+            graph = generate_lubm(
+                LUBMConfig(departments=scale)).to_backend("columnar")
+            workloads[f"lubm_{scale}dept"] = len(graph)
+            storage = workdir / f"store-{scale}"
+
+            # commit a snapshot, then stream a WAL tail of updates
+            db = RDFDatabase(graph, strategy=Strategy.SATURATION,
+                             backend="columnar", storage_dir=str(storage))
+            for i in range(tail_updates):
+                db.insert([Triple(URI(f"http://bench.example/prof{i}"),
+                                  RDF.type, professor)])
+            explicit = db.graph.copy()
+            expected = answers(db)
+            wal_records = db.storage.stats()["wal_records"]
+            db.close()
+
+            def cold() -> RDFDatabase:
+                return RDFDatabase(explicit, strategy=Strategy.SATURATION,
+                                   backend="columnar")
+
+            def restart() -> RDFDatabase:
+                recovered = RDFDatabase(storage_dir=str(storage))
+                recovered.close()
+                return recovered
+
+            before = best_of(cold, repeat=repeat)
+            after = best_of(restart, repeat=repeat)
+            assert answers(after.result) == expected
+            assert answers(before.result) == expected
+            benchmarks[f"recovery/lubm_{scale}dept/wal_tail_restart"] = \
+                _entry(before.seconds, after.seconds,
+                       wal_records=wal_records,
+                       explicit_triples=len(after.result.graph))
+
+            # fold the tail into a snapshot: the pure-mmap reopen
+            db = RDFDatabase(storage_dir=str(storage))
+            db.snapshot()
+            db.close()
+            after = best_of(restart, repeat=repeat)
+            assert answers(after.result) == expected
+            benchmarks[f"recovery/lubm_{scale}dept/snapshot_restart"] = \
+                _entry(before.seconds, after.seconds, wal_records=0)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "format": FORMAT,
+        "label": "pr6-storage",
+        "quick": quick,
+        "repeat": repeat,
+        "before": "cold start: re-saturate the explicit graph in memory",
+        "after": "durable restart: mmap snapshot runs, resume the "
+                 "closure, replay the WAL tail incrementally",
+        "workloads": workloads,
+        "benchmarks": benchmarks,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", default="pr3", choices=("pr3", "pr5"),
+    parser.add_argument("--suite", default="pr3",
+                        choices=("pr3", "pr5", "pr6"),
                         help="pr3: hash-vs-columnar backends (default); "
                              "pr5: reformulation strategies "
-                             "(ucq vs encoded, plus factorized/saturation)")
+                             "(ucq vs encoded, plus factorized/saturation); "
+                             "pr6: durable-storage restart vs cold "
+                             "re-saturation")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON report "
                              "(default: BENCH_<suite>.json)")
@@ -241,7 +329,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.output is None:
         args.output = str(REPO / f"BENCH_{args.suite}.json")
-    recorder = record_pr5 if args.suite == "pr5" else record
+    recorder = {"pr5": record_pr5, "pr6": record_pr6}.get(args.suite, record)
     report = recorder(args.quick, args.repeat)
     pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     width = max(len(name) for name in report["benchmarks"])

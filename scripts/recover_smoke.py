@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Crash-recovery smoke test of ``repro serve --storage-dir``.
+
+The WAL's whole job is surviving an unclean death of the *process*,
+not just an in-process exception — so this script kills the real
+thing:
+
+1. boot ``repro serve --storage-dir`` (fresh store) on an ephemeral
+   port, seeded from a generated LUBM graph;
+2. stream single-triple ``INSERT DATA`` updates over HTTP, remembering
+   every acknowledged graph version and a probe query's answer;
+3. ``SIGKILL`` the server mid-stream — no shutdown hook, no flush;
+4. restart against the same directory and assert via ``/healthz`` that
+   the recovered version is exactly the last acknowledged one;
+5. re-run the probe query and check the answer matches the pre-crash
+   answer, then apply one more update to prove the store still writes.
+
+Exits non-zero on any violated expectation.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+PROBE = ("SELECT DISTINCT ?x WHERE { ?x "
+         "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+         "<http://repro.example.org/univ#Professor> }")
+
+
+def _check(condition: bool, what: str) -> None:
+    if condition:
+        print(f"ok: {what}")
+    else:
+        print(f"FAIL: {what}")
+        raise SystemExit(1)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _post(url: str, payload: dict):
+    body = urllib.parse.urlencode(payload).encode()
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/x-www-form-urlencoded"})
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _boot(arguments: list, global_arguments: list = ()) -> tuple:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *global_arguments,
+         "serve", *arguments,
+         "--port", "0", "--workers", "2", "--timeout", "30"],
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src")},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    _check(match is not None, f"server announced itself: {line.strip()}")
+    base = match.group(0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            __, __, body = _get(base + "/healthz")
+            return process, base, json.loads(body)
+        except (urllib.error.URLError, ConnectionError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--updates", type=int, default=20,
+                        help="updates to stream before the kill")
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-recover-smoke-"))
+    graph_path = workdir / "university.ttl"
+    storage = workdir / "store"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "generate", "--departments", "1",
+         "-o", str(graph_path)],
+        cwd=REPO, check=True, env={"PYTHONPATH": str(REPO / "src")})
+
+    process, base, health = _boot(
+        [str(graph_path), "--strategy", "saturation",
+         "--storage-dir", str(storage)],
+        global_arguments=["--backend", "columnar"])
+    killed = False
+    try:
+        _check(health.get("storage", {}).get("directory") == str(storage),
+               "healthz reports the storage directory")
+
+        acked_version = None
+        for i in range(args.updates):
+            update = ("INSERT DATA { "
+                      f"<http://smoke.example/prof{i}> "
+                      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+                      "<http://repro.example.org/univ#Professor> . }")
+            status, __, body = _post(base + "/update", {"update": update})
+            _check(status == 200, f"update {i} acknowledged")
+            acked_version = json.loads(body)["version"]
+        __, __, body = _get(base + "/sparql?"
+                            + urllib.parse.urlencode({"query": PROBE}))
+        answer_before = sorted(
+            row["x"]["value"]
+            for row in json.loads(body)["results"]["bindings"])
+        print(f"pre-crash: version {acked_version}, "
+              f"{len(answer_before)} professors")
+
+        # no terminate(), no cleanup: the unclean death is the test
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10.0)
+        killed = True
+        print("ok: server SIGKILLed mid-stream")
+
+        process, base, health = _boot(["--storage-dir", str(storage)])
+        killed = False
+        _check(health["version"] == acked_version,
+               f"recovered to the last acknowledged version "
+               f"({health['version']})")
+        snapshot_version = health["storage"]["snapshot_version"]
+        _check(snapshot_version < acked_version
+               or health["storage"]["wal_records"] == 0,
+               f"recovery replayed the WAL tail past snapshot "
+               f"v{snapshot_version}")
+
+        __, __, body = _get(base + "/sparql?"
+                            + urllib.parse.urlencode({"query": PROBE}))
+        answer_after = sorted(
+            row["x"]["value"]
+            for row in json.loads(body)["results"]["bindings"])
+        _check(answer_after == answer_before,
+               "post-recovery answers match the pre-crash answers")
+
+        status, __, body = _post(base + "/update", {"update": (
+            "INSERT DATA { <http://smoke.example/one-more> "
+            "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://repro.example.org/univ#Professor> . }")})
+        _check(status == 200
+               and json.loads(body)["version"] == acked_version + 1,
+               "recovered store accepts new updates")
+
+        status, __, body = _post(base + "/snapshot", {})
+        _check(status == 200, f"snapshot folded the WAL: {json.loads(body)}")
+        return 0
+    finally:
+        if not killed:
+            process.terminate()
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -226,8 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "serve",
         help="serve the graph over HTTP: GET/POST /sparql, POST "
-             "/update, GET /healthz, GET /stats")
-    add_graph_argument(sub)
+             "/update, POST /snapshot, GET /healthz, GET /stats")
+    sub.add_argument("graph", nargs="?",
+                     help="input file (.ttl/.nt) or '-' for stdin; "
+                          "optional with --storage-dir (a committed "
+                          "store supplies the graph, an empty one "
+                          "starts empty)")
     add_ruleset_argument(sub)
     add_strategy_argument(sub, "saturation")
     sub.add_argument("--host", default="127.0.0.1")
@@ -245,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "0 disables)")
     sub.add_argument("--cache-size", type=int, default=256,
                      help="query-result cache entries (default 256)")
+    sub.add_argument("--storage-dir",
+                     help="durable storage directory: updates are "
+                          "WAL-logged before acknowledgment and the "
+                          "store recovers to the exact pre-crash graph "
+                          "version on restart; reopening a committed "
+                          "store restores its graph and configuration")
+    sub.add_argument("--snapshot-every", type=int, default=None,
+                     metavar="N",
+                     help="fold the WAL into a snapshot automatically "
+                          "after N logged updates (default 512)")
 
     return parser
 
@@ -414,27 +428,50 @@ def _cmd_lint(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .server import ServerConfig, serve
+    from .storage import DEFAULT_SNAPSHOT_EVERY, DurableStore
 
-    graph = _load_graph(args.graph, args.backend)
     strategy, reformulation_strategy = _resolve_strategy(args.strategy)
-    db = RDFDatabase(graph, strategy=strategy,
-                     ruleset=get_ruleset(args.ruleset),
-                     reformulation_strategy=reformulation_strategy)
+    snapshot_every = (args.snapshot_every if args.snapshot_every
+                      else DEFAULT_SNAPSHOT_EVERY)
+    if args.storage_dir and DurableStore.exists(args.storage_dir):
+        # a committed store carries its graph and configuration;
+        # mixing in a fresh graph file would silently fork history
+        if args.graph:
+            raise SystemExit(
+                f"{args.storage_dir} already holds a committed store; "
+                "drop the graph argument to reopen it (or point "
+                "--storage-dir at an empty directory to start fresh)")
+        db = RDFDatabase(storage_dir=args.storage_dir,
+                         snapshot_every=snapshot_every)
+    else:
+        if args.graph:
+            graph = _load_graph(args.graph, args.backend)
+        elif args.storage_dir:
+            graph = Graph(backend=args.backend)
+        else:
+            raise SystemExit("serve needs a graph file or --storage-dir")
+        db = RDFDatabase(graph, strategy=strategy,
+                         ruleset=get_ruleset(args.ruleset),
+                         reformulation_strategy=reformulation_strategy,
+                         storage_dir=args.storage_dir,
+                         snapshot_every=snapshot_every)
     config = ServerConfig(
         workers=args.workers, queue_depth=args.queue_depth,
         timeout=args.timeout if args.timeout > 0 else None,
         cache_size=args.cache_size, host=args.host, port=args.port)
     server = serve(db, config)
+    durable = f", storage={args.storage_dir}" if args.storage_dir else ""
     # the port line is machine-read by the smoke harness; keep it first
     print(f"serving {len(db)} triples on {server.base_url} "
-          f"(strategy={args.strategy}, backend={db.backend}, "
-          f"workers={config.workers})", flush=True)
+          f"(strategy={db.strategy.value}, backend={db.backend}, "
+          f"workers={config.workers}{durable})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.shutdown()
+        db.close()
     return 0
 
 

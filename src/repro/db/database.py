@@ -32,9 +32,10 @@ from ..rdf.triples import Triple
 from ..reasoning.incremental import (CountingReasoner, DRedReasoner,
                                      IncrementalReasoner)
 from ..reasoning.reformulation import reformulate
-from ..reasoning.rulesets import RDFS_DEFAULT, RHO_DF, RuleSet
+from ..reasoning.rulesets import RDFS_DEFAULT, RHO_DF, RuleSet, get_ruleset
 from ..reasoning.saturation import has_meta_schema, saturate
 from ..schema import Schema, is_schema_triple
+from ..storage import DEFAULT_SNAPSHOT_EVERY, DurableStore, WALRecord
 from ..sparql.ast import BGPQuery
 from ..sparql.bindings import ResultSet
 from ..sparql.evaluator import (REFORMULATION_STRATEGIES, evaluate,
@@ -89,17 +90,39 @@ class RDFDatabase:
                  ruleset: RuleSet = RDFS_DEFAULT,
                  maintenance: str = "dred",
                  backend: Optional[str] = None,
-                 reformulation_strategy: str = "factorized"):
+                 reformulation_strategy: str = "factorized",
+                 storage_dir: Optional[str] = None,
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY):
         if maintenance not in ("dred", "counting"):
             raise ValueError("maintenance must be 'dred' or 'counting'")
         if reformulation_strategy not in REFORMULATION_STRATEGIES:
             raise ValueError(
                 "reformulation_strategy must be one of "
                 + ", ".join(repr(s) for s in REFORMULATION_STRATEGIES))
+        self._storage: Optional[DurableStore] = None
+        self._resume_saturated: Optional[Graph] = None
+        store: Optional[DurableStore] = None
+        recovered = None
+        if storage_dir is not None and DurableStore.exists(storage_dir):
+            # the committed store is the source of truth: it supplies
+            # the graph *and* the configuration it was committed under
+            if graph is not None:
+                raise ValueError(
+                    f"{storage_dir!r} already holds a committed store; "
+                    "it cannot be combined with an initial graph")
+            store = DurableStore(storage_dir, snapshot_every)
+            recovered = store.recover()
+            meta = recovered.meta
+            strategy = Strategy(meta["strategy"])  # type: ignore[arg-type]
+            ruleset = get_ruleset(meta["ruleset"])  # type: ignore[arg-type]
+            maintenance = meta["maintenance"]  # type: ignore[assignment]
+            reformulation_strategy = meta["reformulation_strategy"]  # type: ignore[assignment]
+            self._explicit: Graph = recovered.explicit
+            self._resume_saturated = recovered.saturated
         # backend defaults to the given graph's layout (hash otherwise);
         # an explicit choice converts the snapshot on the way in
-        if graph is None:
-            self._explicit: Graph = Graph(backend=backend or "hash")
+        elif graph is None:
+            self._explicit = Graph(backend=backend or "hash")
         elif backend is None or backend == graph.backend:
             self._explicit = graph.copy()
         else:
@@ -117,6 +140,20 @@ class RDFDatabase:
         self._reformulation_cache: Dict[BGPQuery, object] = {}
         self._schema_generation = 0
         self._prepare()
+        if storage_dir is not None:
+            if recovered is not None:
+                assert store is not None
+                # replay before attaching so the replayed batches are
+                # not re-appended to the WAL they came from
+                self._replay(recovered.records)
+                self._storage = store
+                if store.should_snapshot():
+                    self.snapshot()
+            else:
+                store = DurableStore(storage_dir, snapshot_every)
+                store.initialize(self._meta(), self._explicit,
+                                 self._saturated_graph())
+                self._storage = store
 
     # ------------------------------------------------------------------
     # configuration
@@ -152,12 +189,24 @@ class RDFDatabase:
                 self._closed = None
                 self._schema = None
                 self._prepare()
+            if self._storage is not None:
+                # config changes are committed via a snapshot (its meta
+                # carries the strategy), never via WAL records — so a
+                # restart always reopens under the regime it crashed in
+                self.snapshot()
 
     def _prepare(self) -> None:
         if self._strategy == Strategy.SATURATION:
             factory = DRedReasoner if self._maintenance == "dred" \
                 else CountingReasoner
-            self._reasoner = factory(self._explicit, self._ruleset)
+            if self._resume_saturated is not None:
+                # recovery: adopt the persisted closure instead of
+                # re-running the initial saturation fixpoint
+                self._reasoner = factory.resume(
+                    self._explicit, self._resume_saturated, self._ruleset)
+                self._resume_saturated = None
+            else:
+                self._reasoner = factory(self._explicit, self._ruleset)
         elif self._strategy == Strategy.REFORMULATION:
             self._check_reformulation_supported()
             self._rebuild_closed()
@@ -198,6 +247,7 @@ class RDFDatabase:
         """Insert explicit triples; derived state follows the strategy."""
         batch = [triples] if isinstance(triples, Triple) else list(triples)
         get_metrics().counter("db.triples_inserted").inc(len(batch))
+        version_before = self._explicit.version
         added = self._explicit.update(batch)
         if self._strategy == Strategy.SATURATION and self._reasoner is not None:
             self._reasoner.insert(batch)
@@ -211,12 +261,14 @@ class RDFDatabase:
                 # view warm instead of forcing a rebuild on next query
                 from ..reasoning.encoding import refresh_view_after_insert
                 refresh_view_after_insert(self._closed, batch)
+        self._log_update("insert", batch, version_before)
         return added
 
     def delete(self, triples: Union[Triple, Iterable[Triple]]) -> int:
         """Delete explicit triples; derived state follows the strategy."""
         batch = [triples] if isinstance(triples, Triple) else list(triples)
         get_metrics().counter("db.triples_deleted").inc(len(batch))
+        version_before = self._explicit.version
         removed = self._explicit.remove_all(batch)
         if self._strategy == Strategy.SATURATION and self._reasoner is not None:
             self._reasoner.delete(batch)
@@ -225,6 +277,7 @@ class RDFDatabase:
             # the closed graph from the explicit one is always correct
             # and cheap (the closure is schema-sized)
             self._rebuild_closed()
+        self._log_update("delete", batch, version_before)
         return removed
 
     def apply(self, inserts: Iterable[Triple] = (),
@@ -383,16 +436,33 @@ class RDFDatabase:
         Only explicit triples are stored; derived state is recomputed
         on :meth:`load`, which is always correct and usually cheaper
         than shipping the saturation.
+
+        The save is atomic: everything is written to a temp sibling
+        directory, fsynced, and swapped in by rename — a failure at
+        any point before the swap leaves the previous saved state
+        untouched and readable.
         """
         import json
         import os
+        import shutil
 
         from ..rdf.ntriples import serialize_ntriples
+        from ..storage.faults import fault_point
+        from ..storage.runfiles import fsync_dir
 
-        os.makedirs(directory, exist_ok=True)
-        with open(os.path.join(directory, "data.nt"), "w",
+        directory = directory.rstrip("/")
+        parent = os.path.dirname(os.path.abspath(directory))
+        os.makedirs(parent, exist_ok=True)
+        fault_point("save.start")
+        tmp = directory + ".saving"
+        if os.path.exists(tmp):
+            shutil.rmtree(tmp)
+        os.makedirs(tmp)
+        with open(os.path.join(tmp, "data.nt"), "w",
                   encoding="utf-8") as handle:
             handle.write(serialize_ntriples(self._explicit, sort=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         meta = {
             "format": "repro-database",
             "version": 1,
@@ -403,9 +473,23 @@ class RDFDatabase:
             "backend": self._explicit.backend,
             "triples": len(self._explicit),
         }
-        with open(os.path.join(directory, "meta.json"), "w",
+        with open(os.path.join(tmp, "meta.json"), "w",
                   encoding="utf-8") as handle:
             json.dump(meta, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fsync_dir(tmp)
+        fault_point("save.files_written")
+        if os.path.exists(directory):
+            trash = directory + ".old"
+            if os.path.exists(trash):
+                shutil.rmtree(trash)
+            os.rename(directory, trash)
+            os.rename(tmp, directory)
+            shutil.rmtree(trash, ignore_errors=True)
+        else:
+            os.rename(tmp, directory)
+        fsync_dir(parent)
 
     @classmethod
     def load(cls, directory: str) -> "RDFDatabase":
@@ -432,6 +516,92 @@ class RDFDatabase:
                        "reformulation_strategy", "factorized"))
 
     # ------------------------------------------------------------------
+    # durable storage (WAL + snapshots; see repro.storage)
+    # ------------------------------------------------------------------
+
+    @property
+    def storage(self) -> Optional[DurableStore]:
+        """The attached durable store, or ``None`` when in-memory only."""
+        return self._storage
+
+    def _meta(self) -> Dict[str, object]:
+        """The configuration a snapshot manifest records (recovery
+        reopens under exactly this configuration)."""
+        return {
+            "strategy": self._strategy.value,
+            "ruleset": self._ruleset.name,
+            "maintenance": self._maintenance,
+            "reformulation_strategy": self._reformulation_strategy,
+            "backend": self._explicit.backend,
+        }
+
+    def _saturated_graph(self) -> Optional[Graph]:
+        """The closure to persist alongside the explicit graph, if the
+        strategy maintains one worth shipping (re-deriving it is the
+        cost recovery exists to avoid)."""
+        if self._strategy == Strategy.SATURATION and self._reasoner is not None:
+            return self._reasoner.graph
+        return None
+
+    def _log_update(self, op: str, batch: List[Triple],
+                    version_before: int) -> None:
+        """Append one applied batch to the WAL (durable before the
+        caller sees the mutation acknowledged).
+
+        No-effect batches are not logged: the version they would carry
+        equals the previous record's, which the staleness test on
+        recovery treats as already covered.  Replay re-applies the
+        *requested* batch through the same code path, so the version
+        sequence reproduces deterministically.
+        """
+        if self._storage is None or self._explicit.version == version_before:
+            return
+        self._storage.log({
+            "op": op,
+            "nt": [t.n3() for t in batch],
+            "version": self._explicit.version,
+        })
+        if self._storage.should_snapshot():
+            self.snapshot()
+
+    def _replay(self, records: List[WALRecord]) -> None:
+        """Re-apply the WAL tail through the maintenance engines."""
+        from ..rdf.ntriples import parse_ntriples_line
+
+        metrics = get_metrics()
+        with span("storage.replay", records=len(records)):
+            for record in records:
+                batch = [parse_ntriples_line(line)
+                         for line in record["nt"]]  # type: ignore[union-attr]
+                if record["op"] == "insert":
+                    self.insert(batch)
+                else:
+                    self.delete(batch)
+                if self._explicit.version != record["version"]:
+                    # replay is deterministic, so this is defensive
+                    # only: pin the persisted version and flag it
+                    metrics.counter("storage.version_fixups").inc()
+                    self._explicit.restore_version(
+                        int(record["version"]))  # type: ignore[call-overload]
+
+    def snapshot(self) -> str:
+        """Fold the WAL into a freshly committed snapshot.
+
+        Returns the committed snapshot's directory name.  Requires an
+        attached store (``storage_dir=`` at construction).
+        """
+        if self._storage is None:
+            raise RuntimeError("no storage directory attached "
+                               "(construct with storage_dir=...)")
+        return self._storage.snapshot(self._meta(), self._explicit,
+                                      self._saturated_graph())
+
+    def close(self) -> None:
+        """Release the durable store's WAL handle (no-op in-memory)."""
+        if self._storage is not None:
+            self._storage.close()
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
@@ -454,6 +624,8 @@ class RDFDatabase:
             info["cached_reformulations"] = len(self._reformulation_cache)
             info["schema_generation"] = self._schema_generation
             info["reformulation_strategy"] = self._reformulation_strategy
+        if self._storage is not None:
+            info["storage"] = self._storage.stats()
         return info
 
     def query_log(self) -> List[QueryLog]:

@@ -33,13 +33,20 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..obs import get_metrics
 from .index import (DEFAULT_ORDERS, EncodedTriple, IndexOrder,
                     ORDER_PERMUTATIONS, invert_order)
 
-__all__ = ["ColumnarTripleIndex", "MERGE_MIN_DELTA"]
+__all__ = ["ColumnarTripleIndex", "MERGE_MIN_DELTA", "Run"]
+
+#: A main run's storage: a mutable ``array('q')`` while building, or a
+#: read-only int64 memoryview over an mmap'd run file after a durable
+#: store reopens (repro.storage) — the scan/search primitives only
+#: ever index, slice and ``len()`` it, which both types serve.  The
+#: first merge after reopening materializes back to an ``array``.
+Run = Union[array, memoryview]
 
 #: A delta log is merged into its run once it holds this many triples
 #: (or an eighth of the run, whichever is larger): small enough that
@@ -47,7 +54,7 @@ __all__ = ["ColumnarTripleIndex", "MERGE_MIN_DELTA"]
 MERGE_MIN_DELTA = 128
 
 
-def _lower_bound2(run: array, first: int, second: int) -> int:
+def _lower_bound2(run: Run, first: int, second: int) -> int:
     """Index (in triples, not slots) of the first run entry whose
     leading two components compare >= ``(first, second)``.
 
@@ -67,7 +74,7 @@ def _lower_bound2(run: array, first: int, second: int) -> int:
     return lo
 
 
-def _lower_bound3(run: array, a: int, b: int, c: int) -> int:
+def _lower_bound3(run: Run, a: int, b: int, c: int) -> int:
     """Index (in triples, not slots) of the first run entry comparing
     >= ``(a, b, c)`` — full-triple search with short-circuit compares
     (drives membership tests, so no tuple per probe)."""
@@ -88,7 +95,7 @@ def _lower_bound3(run: array, a: int, b: int, c: int) -> int:
     return lo
 
 
-def _lower_bound(run: array, key: Tuple[int, ...]) -> int:
+def _lower_bound(run: Run, key: Tuple[int, ...]) -> int:
     """Index (in triples, not slots) of the first run entry whose
     leading ``len(key)`` components compare >= ``key``."""
     width = len(key)
@@ -122,7 +129,7 @@ class _OrderRuns:
     __slots__ = ("main", "delta", "dead")
 
     def __init__(self) -> None:
-        self.main: array = array("q")
+        self.main: Run = array("q")
         self.delta: List[EncodedTriple] = []
         self.dead: Set[EncodedTriple] = set()
 
@@ -645,3 +652,38 @@ class ColumnarTripleIndex:
         clone._size = self._size
         clone._generation = self._generation
         return clone
+
+    # ------------------------------------------------------------------
+    # durable storage interchange (repro.storage)
+    # ------------------------------------------------------------------
+
+    def export_runs(self) -> Dict[str, Run]:
+        """Each order's main run as one flat buffer, compacted first.
+
+        The buffers are exactly what the run-file format stores, so
+        the snapshot writer dumps them without transformation.
+        Compaction folds the delta log and tombstones in, which
+        mutates nothing observable (same triple set, fresher layout).
+        """
+        self.compact()
+        return {name: runs.main
+                for (name, __), runs in zip(self._orders, self._runs)}
+
+    @classmethod
+    def from_sorted_runs(cls, orders: Iterable[str],
+                         runs: Dict[str, Run],
+                         size: int) -> "ColumnarTripleIndex":
+        """Rebuild an index around already-sorted main runs.
+
+        ``runs`` maps each order name to its flat buffer — typically
+        the zero-copy memoryviews :func:`repro.storage.runfiles.
+        open_run_file` returns, so opening a snapshot costs no triple
+        materialization at all.  The buffers must hold the same triple
+        set per order, sorted in that order's permuted space (the
+        invariant :meth:`export_runs` guarantees).
+        """
+        index = cls(orders)
+        for (name, __), order_runs in zip(index._orders, index._runs):
+            order_runs.main = runs[name]
+        index._size = size
+        return index

@@ -335,6 +335,37 @@ class Graph:
         """All interned terms (including ones no longer in any triple)."""
         return self._dictionary.terms()
 
+    @classmethod
+    def from_parts(cls, terms: Iterable[Term], index: AnyIndex,
+                   backend: str,
+                   namespaces: Optional[NamespaceManager] = None) -> "Graph":
+        """Assemble a graph around a pre-built dictionary and index.
+
+        The durable store reopens snapshots this way: ``terms`` is the
+        persisted dictionary in identifier order (re-interning them
+        reproduces the exact identifier assignment the index's encoded
+        triples reference) and ``index`` wraps the mmap'd run files.
+        The caller transfers ownership of ``index``.
+        """
+        graph = cls(index_orders=index.order_names, namespaces=namespaces,
+                    backend=backend)
+        for term in terms:
+            graph._dictionary.encode(term)
+        graph._index = index
+        return graph
+
+    def restore_version(self, version: int) -> None:
+        """Reset the version counter to a persisted value.
+
+        Recovery uses this so a reopened graph reports the same
+        version as before the restart — version-keyed caches and the
+        WAL's staleness test depend on the counter surviving, not
+        restarting at the mutation count since open.  Derived-value
+        caches are dropped: they were keyed to the old counter line.
+        """
+        self._version = version
+        self._derived.clear()
+
     def skolemize(self) -> "Graph":
         """Return a copy with blank nodes replaced by fresh URIs.
 

@@ -114,6 +114,30 @@ class IncrementalReasoner:
     def _initial_saturation(self) -> None:
         saturate(self.graph, self.ruleset, in_place=True)
 
+    @classmethod
+    def resume(cls, explicit: Iterable[Triple], saturated: Graph,
+               ruleset: RuleSet = RDFS_DEFAULT) -> "IncrementalReasoner":
+        """Adopt an already-saturated graph instead of re-saturating.
+
+        The durable-storage recovery path persists ``G∞`` and reopens
+        it here, so a restart costs a WAL-tail replay rather than a
+        full fixpoint (the difference BENCH_pr6 measures).  The caller
+        asserts the invariant ``saturated == saturate(explicit)``;
+        ``saturated`` ownership transfers to the reasoner.
+        """
+        with span("maintenance.resume", algorithm=cls.algorithm,
+                  triples=len(saturated)):
+            reasoner = cls.__new__(cls)
+            reasoner.ruleset = ruleset
+            reasoner.explicit = set(explicit)
+            reasoner.graph = saturated
+            reasoner._resume_derived_state()
+        return reasoner
+
+    def _resume_derived_state(self) -> None:
+        """Hook: rebuild per-algorithm bookkeeping after :meth:`resume`
+        (the saturated graph itself is already in place)."""
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -188,14 +212,18 @@ class IncrementalReasoner:
         while delta:
             next_delta: List[Triple] = []
             for rule in self.ruleset:
+                # materialize before inserting: fire() scans the graph's
+                # indexes lazily, and adding while a scan is live skips
+                # entries (the delta-log cursor goes stale)
                 if self.records_justifications:
-                    for derivation in rule.fire(self.graph, delta):
+                    for derivation in list(rule.fire(self.graph, delta)):
                         self._record(derivation)
                         if self.graph.add(derivation.conclusion):
                             implicit_added += 1
                             next_delta.append(derivation.conclusion)
                 else:
-                    for conclusion in rule.fire_conclusions(self.graph, delta):
+                    for conclusion in list(
+                            rule.fire_conclusions(self.graph, delta)):
                         if self.graph.add(conclusion):
                             implicit_added += 1
                             next_delta.append(conclusion)
@@ -271,7 +299,10 @@ class DRedReasoner(IncrementalReasoner):
                 while delta:
                     next_delta: List[Triple] = []
                     for rule in self.ruleset:
-                        for conclusion in rule.fire_conclusions(self.graph, delta):
+                        # materialize: adding mid-scan corrupts the
+                        # live delta-log cursor (see _propagate_insertions)
+                        for conclusion in list(
+                                rule.fire_conclusions(self.graph, delta)):
                             if conclusion not in self.graph:
                                 self.graph.add(conclusion)
                                 rederived.append(conclusion)
@@ -317,6 +348,14 @@ class CountingReasoner(IncrementalReasoner):
     def _initial_saturation(self) -> None:
         delta = list(self.graph)
         self._propagate_insertions(delta)
+
+    def _resume_derived_state(self) -> None:
+        # justifications are not persisted; one recording pass over the
+        # saturated graph re-derives them (every conclusion is already
+        # present, so nothing propagates — it only fills the indexes)
+        self._justifications = {}
+        self._uses = {}
+        self._propagate_insertions(list(self.graph))
 
     def _record(self, derivation: Derivation) -> bool:
         bucket = self._justifications.setdefault(derivation.conclusion, set())

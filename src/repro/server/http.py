@@ -12,7 +12,10 @@ Routes (rooted at the server's base URL):
   reformulated-query evaluation strategy per request.
 * ``POST /update`` — SPARQL Update (the ground ``INSERT DATA`` /
   ``DELETE DATA`` subset); body as above with ``update=...`` forms.
-* ``GET /healthz`` — liveness: store size, graph version, config.
+* ``POST /snapshot`` — fold the WAL into a committed snapshot (needs
+  a ``--storage-dir``; answers 409 on an in-memory server).
+* ``GET /healthz`` — liveness: store size, graph version, config,
+  and (when durable) the committed snapshot and WAL tail length.
 * ``GET /stats`` — serving statistics plus the full
   :func:`repro.obs.observability_report` of the process registry.
 
@@ -188,19 +191,46 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_query()
         elif path == "/update":
             self._handle_update()
+        elif path == "/snapshot":
+            self._handle_snapshot()
         else:
             self._error(404, f"unknown path {path!r}", endpoint="other")
 
     def _handle_healthz(self) -> None:
         service = self.server.service
-        self._reply_json(200, {
+        document = {
             "status": "ok",
             "triples": len(service.db),
             "version": service.db.graph.version,
             "backend": service.db.backend,
             "strategy": service.db.strategy.value,
             "reformulation_strategy": service.db.reformulation_strategy,
-        }, endpoint="healthz")
+        }
+        if service.db.storage is not None:
+            document["storage"] = service.db.storage.stats()
+        self._reply_json(200, document, endpoint="healthz")
+
+    def _handle_snapshot(self) -> None:
+        service = self.server.service
+        if service.db.storage is None:
+            self._error(409, "server has no storage directory "
+                        "(start with --storage-dir)", endpoint="snapshot")
+            return
+        params = self._request_params()
+        token = CancellationToken(self._deadline(params))
+        try:
+            job = self.server.pool.submit(
+                lambda: service.snapshot(token=token), token)
+            outcome = job.wait(token.remaining)
+        except AdmissionError:
+            self._error(503, "server overloaded: admission queue full",
+                        endpoint="snapshot", extra={"Retry-After": "1"})
+            return
+        except OperationCancelled:
+            self._error(504, "snapshot exceeded its deadline",
+                        endpoint="snapshot")
+            return
+        self._reply_json(200, outcome, endpoint="snapshot")
 
     def _handle_stats(self) -> None:
         self._reply_json(200, {

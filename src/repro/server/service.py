@@ -215,6 +215,30 @@ class ServingDatabase:
         return outcome
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def snapshot(self, timeout: Optional[float] = None,
+                 token: Optional[CancellationToken] = None) -> Dict[str, object]:
+        """Commit a durable snapshot under the write lock.
+
+        The write lock gives the snapshot a quiescent store: no update
+        can interleave between the runs being flushed and the manifest
+        being committed, so the snapshot is exactly one graph version.
+        Requires the wrapped database to have a storage directory.
+        """
+        if token is None:
+            token = CancellationToken(timeout)
+        with span("server.snapshot") as sp:
+            token.raise_if_cancelled()
+            with self.lock.write(timeout=token.remaining):
+                name = self.db.snapshot()
+                version = self.db.graph.version
+            sp.set(snapshot=name, version=version)
+        get_metrics().counter("server.requests", endpoint="snapshot").inc()
+        return {"snapshot": name, "version": version}
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 

@@ -9,8 +9,11 @@ checks encode the project's invariants over the AST:
 
 * **SC201** — no ``.add()``/``.remove()`` on a collection inside a
   ``for`` loop iterating one of that same collection's lazy scans
-  (``match``, ``triples``, ``facts``, ``match_atom``, or the
-  collection itself).  Materialize first: ``for t in list(g.match(p))``.
+  (``match``, ``triples``, ``facts``, ``match_atom``, the collection
+  itself, or a delegated scan taking the collection as its first
+  argument: ``rule.fire(g, delta)``, ``rule.fire_conclusions``,
+  ``rule.match_body``).  Materialize first:
+  ``for t in list(g.match(p))``.
 * **SC202** — classes in hot-path modules must declare ``__slots__``
   (per-derivation allocations dominate saturation; attribute dicts
   are measurable overhead).  Decorated classes (dataclasses) and
@@ -29,11 +32,21 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 from .diagnostics import Diagnostic, Severity
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "HOT_PATH_MODULES",
-           "TIMING_ALLOWED_MODULES"]
+           "TIMING_ALLOWED_MODULES", "DELEGATED_SCAN_METHODS"]
 
 #: methods returning lazy views over live indexes (Graph.subjects/
 #: predicates/objects materialize fresh sets, so they are not here)
 SCAN_METHODS = frozenset({"match", "triples", "facts", "match_atom"})
+
+#: methods whose *first argument* is the collection being lazily
+#: scanned — the rule engines take the graph as a parameter
+#: (``rule.fire_conclusions(graph, delta)`` holds a live scan of
+#: ``graph``, not of ``rule``).  PR 6's crash harness caught exactly
+#: this: the incremental reasoners added conclusions to the graph
+#: while a rule's scan cursor was live over its delta log, silently
+#: skipping a derivation.
+DELEGATED_SCAN_METHODS = frozenset({"fire", "fire_conclusions",
+                                    "match_body"})
 
 #: methods that mutate the underlying indexes
 MUTATOR_METHODS = frozenset({"add", "remove", "discard", "add_fact",
@@ -56,6 +69,7 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/sparql/ast.py",
     "repro/sparql/bindings.py",
     "repro/server/",           # every serving-layer class is hot-path
+    "repro/storage/",          # WAL append sits on the update hot path
     "repro/cancellation.py",
 )
 
@@ -109,9 +123,14 @@ class _MutationDuringScan(ast.NodeVisitor):
     def _scan_base(self, iterator: ast.AST) -> Optional[ast.AST]:
         # for t in X.match(...):  — a lazy scan over X's indexes
         if isinstance(iterator, ast.Call):
-            if (isinstance(iterator.func, ast.Attribute)
-                    and iterator.func.attr in SCAN_METHODS):
-                return iterator.func.value
+            if isinstance(iterator.func, ast.Attribute):
+                if iterator.func.attr in SCAN_METHODS:
+                    return iterator.func.value
+                # for c in rule.fire_conclusions(X, delta):  — a lazy
+                # scan over X (the first argument), not over `rule`
+                if (iterator.func.attr in DELEGATED_SCAN_METHODS
+                        and iterator.args):
+                    return iterator.args[0]
             return None  # list(...)/sorted(...) materialize: safe
         # for t in X:  — direct iteration over the live collection
         if isinstance(iterator, (ast.Name, ast.Attribute)):

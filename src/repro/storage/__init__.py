@@ -1,0 +1,30 @@
+"""Durable storage: WAL + snapshot persistence for the RDF database.
+
+See :mod:`repro.storage.store` for the commit and recovery protocols,
+:mod:`repro.storage.wal` for the log format, and
+:mod:`repro.storage.runfiles` for the on-disk run/terms formats.
+:mod:`repro.storage.faults` holds the crash-injection hooks the
+recovery test harness drives.
+"""
+
+from .faults import (FAULT_POINTS, FaultInjector, FaultRecorder,
+                     InjectedCrash, fault_point, set_fault_hook)
+from .runfiles import StorageCorruptionError
+from .store import (DEFAULT_SNAPSHOT_EVERY, DurableStore, RecoveredState)
+from .wal import WALRecord, WriteAheadLog, read_records
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_EVERY",
+    "DurableStore",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultRecorder",
+    "InjectedCrash",
+    "RecoveredState",
+    "StorageCorruptionError",
+    "WALRecord",
+    "WriteAheadLog",
+    "fault_point",
+    "read_records",
+    "set_fault_hook",
+]

@@ -1,0 +1,103 @@
+"""Crash-injection hooks for the durable storage write paths.
+
+Every irreversible step in the WAL-append and snapshot-commit
+protocols announces itself through :func:`fault_point` before (and
+after) touching disk.  In production the hook is ``None`` and the
+call costs one global read; under test a hook can raise
+:class:`InjectedCrash` at any announced point, which the
+crash-injection suite uses to kill the store in every reachable
+intermediate state — torn last WAL record, fully-written-but-
+uncommitted snapshot, committed snapshot with a stale WAL — and then
+prove recovery returns to the exact pre-crash graph version.
+
+The hook deliberately receives the *name* of the point only: fault
+schedules stay declarative (``FaultInjector("wal.append.torn", 3)``)
+and the storage layer stays free of test logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["FAULT_POINTS", "InjectedCrash", "FaultInjector",
+           "fault_point", "set_fault_hook"]
+
+#: Every announced fault point, in write-path order.  The
+#: crash-injection suite parametrizes over this tuple, so adding a
+#: point to a write path automatically adds it to the kill schedule.
+FAULT_POINTS: Tuple[str, ...] = (
+    "wal.append.start",      # nothing written yet
+    "wal.append.torn",       # half the record's bytes are on disk
+    "wal.append.full",       # record complete, fsync pending
+    "wal.append.synced",     # record durable, ack not yet returned
+    "snapshot.start",        # nothing written yet
+    "snapshot.files_written",  # temp dir complete, commit rename pending
+    "snapshot.renamed",      # snapshot dir in place, CURRENT still old
+    "snapshot.current_written",  # CURRENT updated, WAL not yet reset
+    "snapshot.done",         # fully committed, old snapshots not yet GCed
+    "save.start",            # atomic save: nothing written yet
+    "save.files_written",    # temp dir complete, swap pending
+)
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a fault hook to simulate the process dying here.
+
+    Whatever bytes the storage layer wrote before the raise are on
+    disk (the WAL writes unbuffered); everything after is not — the
+    same observable state a ``SIGKILL`` at that instruction leaves.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at fault point {point!r}")
+        self.point = point
+
+
+_hook: Optional[Callable[[str], None]] = None
+
+
+def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or with ``None`` remove) the process-wide fault hook."""
+    global _hook
+    _hook = hook
+
+
+def fault_point(name: str) -> None:
+    """Announce a write-path point; the installed hook may raise here."""
+    if _hook is not None:
+        _hook(name)
+
+
+class FaultInjector:
+    """A hook that raises :class:`InjectedCrash` at the n-th hit of
+    one named point, and counts every point it sees along the way.
+
+    >>> injector = FaultInjector("wal.append.torn", hits=2)
+    >>> set_fault_hook(injector)   # second torn-write point crashes
+    """
+
+    __slots__ = ("point", "hits", "seen", "fired")
+
+    def __init__(self, point: str, hits: int = 1):
+        self.point = point
+        self.hits = hits
+        self.seen: Dict[str, int] = {}
+        self.fired = False
+
+    def __call__(self, name: str) -> None:
+        self.seen[name] = self.seen.get(name, 0) + 1
+        if name == self.point and self.seen[name] == self.hits:
+            self.fired = True
+            raise InjectedCrash(name)
+
+
+class FaultRecorder:
+    """A hook that only counts the points it sees (schedule discovery)."""
+
+    __slots__ = ("seen",)
+
+    def __init__(self) -> None:
+        self.seen: List[str] = []
+
+    def __call__(self, name: str) -> None:
+        self.seen.append(name)

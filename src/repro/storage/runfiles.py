@@ -1,0 +1,182 @@
+"""On-disk formats for columnar runs and term dictionaries.
+
+A *run file* is one index order's compacted main run — the same flat
+``array('q')`` the in-memory LSM keeps, prefixed by a fixed 24-byte
+header (magic, format version, slot count) and written in native byte
+order.  Because the in-memory layout and the file payload are
+identical, opening is an ``mmap`` plus a zero-copy
+``memoryview.cast("q")``: the binary-search and scan primitives in
+:mod:`repro.rdf.columnar` index straight into the page cache, and a
+graph larger than RAM only faults in the pages its queries touch.
+
+A *terms file* carries the term dictionary as JSON lines in
+identifier order, so identifiers in the run files decode without any
+re-encoding pass.  Integrity is enforced by CRC32s stored in the
+snapshot manifest and verified on open (:func:`open_run_file`,
+:func:`read_terms_file`) — a truncated or bit-flipped file raises
+:class:`StorageCorruptionError` instead of answering queries wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from array import array
+from typing import List, Sequence, Union
+
+from ..rdf.terms import BlankNode, Literal, Term, URI
+
+__all__ = ["StorageCorruptionError", "RUN_MAGIC", "write_run_file",
+           "open_run_file", "write_terms_file", "read_terms_file",
+           "fsync_file", "fsync_dir"]
+
+RUN_MAGIC = b"REPRORUN"
+_RUN_HEADER = struct.Struct("<8sQQ")  # magic, format version, int64 slots
+_RUN_FORMAT_VERSION = 1
+
+
+class StorageCorruptionError(RuntimeError):
+    """An on-disk structure failed validation (checksum, magic, size)."""
+
+
+def fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Persist a directory's entry table (after create/rename inside)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# run files
+# ----------------------------------------------------------------------
+
+def write_run_file(path: str, run: Union[array, memoryview]) -> int:
+    """Write one order's main run; returns the payload CRC32.
+
+    ``run`` is the compacted flat int64 buffer (``3 * triples`` slots);
+    the file is fsynced before returning.
+    """
+    payload = run.tobytes()
+    with open(path, "wb") as handle:
+        handle.write(_RUN_HEADER.pack(RUN_MAGIC, _RUN_FORMAT_VERSION,
+                                      len(run)))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return zlib.crc32(payload)
+
+
+def open_run_file(path: str, expected_slots: int,
+                  expected_crc: int) -> memoryview:
+    """mmap a run file back as a zero-copy int64 view.
+
+    Validates the header, the slot count and the payload CRC against
+    the manifest's expectations.  The returned memoryview keeps the
+    mapping alive; the file descriptor is closed before returning.
+    """
+    size = os.path.getsize(path)
+    if size < _RUN_HEADER.size:
+        raise StorageCorruptionError(
+            f"run file {path!r} is shorter than its header")
+    with open(path, "rb") as handle:
+        if size > _RUN_HEADER.size:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            header = bytes(mapped[:_RUN_HEADER.size])
+            body = memoryview(mapped)[_RUN_HEADER.size:]
+        else:
+            header = handle.read(_RUN_HEADER.size)
+            body = memoryview(b"")
+    magic, version, slots = _RUN_HEADER.unpack(header)
+    if magic != RUN_MAGIC or version != _RUN_FORMAT_VERSION:
+        raise StorageCorruptionError(f"{path!r} is not a repro run file")
+    if slots != expected_slots or len(body) != 8 * slots:
+        raise StorageCorruptionError(
+            f"run file {path!r} holds {slots} slots "
+            f"({len(body)} payload bytes); manifest expects "
+            f"{expected_slots}")
+    if zlib.crc32(body) != expected_crc:
+        raise StorageCorruptionError(f"run file {path!r} failed its CRC")
+    return body.cast("q")
+
+
+# ----------------------------------------------------------------------
+# terms files
+# ----------------------------------------------------------------------
+
+def _term_to_json(term: Term) -> dict:
+    if isinstance(term, URI):
+        return {"t": "u", "v": term.value}
+    if isinstance(term, BlankNode):
+        return {"t": "b", "v": term.label}
+    if isinstance(term, Literal):
+        doc: dict = {"t": "l", "v": term.lexical}
+        if term.datatype is not None:
+            doc["d"] = term.datatype.value
+        if term.language is not None:
+            doc["g"] = term.language
+        return doc
+    raise TypeError(f"cannot persist term {term!r}")
+
+
+def _term_from_json(doc: dict, path: str, line: int) -> Term:
+    kind = doc.get("t")
+    if kind == "u":
+        return URI(doc["v"])
+    if kind == "b":
+        return BlankNode(doc["v"])
+    if kind == "l":
+        datatype = URI(doc["d"]) if "d" in doc else None
+        return Literal(doc["v"], datatype=datatype, language=doc.get("g"))
+    raise StorageCorruptionError(
+        f"terms file {path!r} line {line}: unknown term kind {kind!r}")
+
+
+def write_terms_file(path: str, terms: Sequence[Term]) -> int:
+    """Write the dictionary's terms (identifier order); returns CRC32."""
+    lines = [json.dumps(_term_to_json(term), separators=(",", ":"),
+                        sort_keys=True, ensure_ascii=False)
+             for term in terms]
+    payload = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return zlib.crc32(payload)
+
+
+def read_terms_file(path: str, expected_crc: int) -> List[Term]:
+    """Read terms back in identifier order, verifying the CRC."""
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if zlib.crc32(payload) != expected_crc:
+        raise StorageCorruptionError(f"terms file {path!r} failed its CRC")
+    terms: List[Term] = []
+    for number, line in enumerate(payload.decode("utf-8").splitlines(), 1):
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise StorageCorruptionError(
+                f"terms file {path!r} line {number}: {error}") from None
+        terms.append(_term_from_json(doc, path, number))
+    return terms
+
+
+def native_byteorder() -> str:
+    """Recorded in the manifest; run files are native-endian."""
+    return sys.byteorder

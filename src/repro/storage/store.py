@@ -1,0 +1,386 @@
+"""The durable store: snapshots + WAL under one directory.
+
+Layout of a storage directory::
+
+    CURRENT                      # name of the committed snapshot dir
+    wal.log                      # update batches since that snapshot
+    snapshot-00000003-v41/       # the committed snapshot
+        manifest.json            # graph version, config, file CRCs
+        explicit.terms           # term dictionary, JSON lines, id order
+        explicit.spo.run         # one binary run file per index order
+        explicit.pos.run
+        ...
+        saturated.terms          # saturation strategy: the closure too
+        saturated.spo.run
+        ...
+
+The commit protocol is the classic temp-dir/rename/pointer-swap
+sequence, with a :func:`~repro.storage.faults.fault_point` announced
+at every irreversible step so the crash-injection suite can kill the
+process in each intermediate state:
+
+1. write every file into ``.tmp-<seq>`` and fsync it
+   (``snapshot.files_written``);
+2. rename the temp dir to ``snapshot-<seq>-v<version>`` and fsync the
+   parent (``snapshot.renamed`` — the snapshot exists but is not yet
+   referenced);
+3. atomically rewrite ``CURRENT`` (``snapshot.current_written`` — the
+   snapshot is now the recovery root);
+4. reset the WAL (``snapshot.done``) and garbage-collect older
+   snapshot dirs.
+
+Recovery inverts it: read ``CURRENT``, validate the manifest it names
+(every CRC, the byte order, the format version), mmap the run files
+back, and hand the WAL tail — records whose graph version exceeds the
+snapshot's — to the database for replay through the incremental
+maintenance engines.  A crash between any two steps leaves either the
+old or the new snapshot committed, never neither; WAL records made
+stale by step 3 are skipped by the version test in step 4's stead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..obs import get_metrics, span
+from ..rdf.columnar import ColumnarTripleIndex
+from ..rdf.graph import Graph
+from ..rdf.ntriples import parse_ntriples, serialize_ntriples
+from .faults import fault_point
+from .runfiles import (StorageCorruptionError, fsync_dir, fsync_file,
+                       native_byteorder, open_run_file, read_terms_file,
+                       write_run_file, write_terms_file)
+from .wal import WALRecord, WriteAheadLog, read_records
+
+__all__ = ["DurableStore", "RecoveredState", "DEFAULT_SNAPSHOT_EVERY",
+           "MANIFEST_FORMAT"]
+
+MANIFEST_FORMAT = "repro-storage-manifest"
+_MANIFEST_VERSION = 1
+
+#: Snapshot automatically once this many WAL records accumulate
+#: (:meth:`DurableStore.should_snapshot`); replaying a bounded tail
+#: keeps restart time proportional to the update rate, not the uptime.
+DEFAULT_SNAPSHOT_EVERY = 512
+
+_CURRENT = "CURRENT"
+_WAL = "wal.log"
+_MANIFEST = "manifest.json"
+_SNAPSHOT_RE = re.compile(r"^(?:\.tmp-|snapshot-)(\d+)")
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`DurableStore.recover` hands back to the database."""
+
+    meta: Dict[str, object]          # config stored in the manifest
+    explicit: Graph                  # the asserted triples
+    saturated: Optional[Graph]       # the closure (saturation strategy)
+    graph_version: int               # explicit graph version at snapshot
+    records: List[WALRecord]         # WAL tail to replay (stale skipped)
+    torn: bool                       # whether a torn WAL tail was cut
+
+
+class DurableStore:
+    """Snapshot + WAL management for one storage directory.
+
+    The store only moves bytes; interpreting WAL records (replaying
+    them through a maintenance engine) is the database's job.
+    """
+
+    __slots__ = ("directory", "snapshot_every", "wal",
+                 "_snapshot_name", "_graph_version")
+
+    def __init__(self, directory: str,
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY):
+        self.directory = directory
+        self.snapshot_every = snapshot_every
+        self.wal: Optional[WriteAheadLog] = None
+        self._snapshot_name: Optional[str] = None
+        self._graph_version = 0
+        os.makedirs(directory, exist_ok=True)
+
+    @staticmethod
+    def exists(directory: str) -> bool:
+        """True when ``directory`` holds a committed store.
+
+        ``CURRENT`` is written last in the commit protocol, so its
+        presence *is* the commit: a directory holding only the debris
+        of a crashed first snapshot reads as empty and is re-initialized
+        (the debris is garbage-collected by the next commit).
+        """
+        return os.path.exists(os.path.join(directory, _CURRENT))
+
+    # ------------------------------------------------------------------
+    # commit path
+    # ------------------------------------------------------------------
+
+    def initialize(self, meta: Dict[str, object], explicit: Graph,
+                   saturated: Optional[Graph] = None) -> None:
+        """First commit for a fresh directory: snapshot, then a new WAL."""
+        stale_wal = os.path.join(self.directory, _WAL)
+        if os.path.exists(stale_wal):  # debris of a crashed store
+            os.remove(stale_wal)
+        self.snapshot(meta, explicit, saturated)
+
+    def snapshot(self, meta: Dict[str, object], explicit: Graph,
+                 saturated: Optional[Graph] = None) -> str:
+        """Commit a snapshot; returns the snapshot directory name."""
+        with span("storage.snapshot", version=explicit.version) as sp:
+            fault_point("snapshot.start")
+            sequence = self._next_sequence()
+            final = f"snapshot-{sequence:08d}-v{explicit.version}"
+            tmp = os.path.join(self.directory, f".tmp-{sequence:08d}")
+            if os.path.exists(tmp):
+                shutil.rmtree(tmp)
+            os.makedirs(tmp)
+
+            manifest: Dict[str, object] = {
+                "format": MANIFEST_FORMAT,
+                "version": _MANIFEST_VERSION,
+                "graph_version": explicit.version,
+                "byteorder": native_byteorder(),
+                "meta": dict(meta),
+                "graphs": {"explicit": self._write_graph(tmp, "explicit",
+                                                         explicit)},
+            }
+            if saturated is not None:
+                manifest["graphs"]["saturated"] = self._write_graph(  # type: ignore[index]
+                    tmp, "saturated", saturated)
+            manifest_path = os.path.join(tmp, _MANIFEST)
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            fsync_file(manifest_path)
+            fsync_dir(tmp)
+            fault_point("snapshot.files_written")
+
+            os.rename(tmp, os.path.join(self.directory, final))
+            fsync_dir(self.directory)
+            fault_point("snapshot.renamed")
+
+            self._write_current(final)
+            fault_point("snapshot.current_written")
+
+            if self.wal is not None:
+                self.wal.reset()
+            else:
+                self.wal = WriteAheadLog(os.path.join(self.directory, _WAL))
+            fault_point("snapshot.done")
+
+            self._collect_garbage(keep=final)
+            self._snapshot_name = final
+            self._graph_version = explicit.version
+            sp.set(snapshot=final)
+        get_metrics().counter("storage.snapshots").inc()
+        return final
+
+    def log(self, record: WALRecord) -> None:
+        """Append one update record; durable when this returns."""
+        if self.wal is None:
+            raise RuntimeError("store has no open WAL "
+                               "(initialize or recover first)")
+        self.wal.append(record)
+
+    def should_snapshot(self) -> bool:
+        """True once the WAL tail is long enough to be worth folding."""
+        return (self.wal is not None
+                and self.wal.records >= self.snapshot_every)
+
+    # ------------------------------------------------------------------
+    # recovery path
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Open the committed snapshot and the replayable WAL tail."""
+        with span("storage.recover") as sp:
+            current_path = os.path.join(self.directory, _CURRENT)
+            try:
+                with open(current_path, encoding="utf-8") as handle:
+                    name = handle.read().strip()
+            except FileNotFoundError:
+                raise StorageCorruptionError(
+                    f"{self.directory!r} has no committed snapshot "
+                    "(missing CURRENT)") from None
+            snapdir = os.path.join(self.directory, name)
+            manifest_path = os.path.join(snapdir, _MANIFEST)
+            try:
+                with open(manifest_path, encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except FileNotFoundError:
+                raise StorageCorruptionError(
+                    f"snapshot {name!r} has no manifest") from None
+            except json.JSONDecodeError as error:
+                raise StorageCorruptionError(
+                    f"snapshot {name!r} manifest is unreadable: "
+                    f"{error}") from None
+            if (manifest.get("format") != MANIFEST_FORMAT
+                    or manifest.get("version") != _MANIFEST_VERSION):
+                raise StorageCorruptionError(
+                    f"snapshot {name!r} has an unknown manifest format")
+            if manifest.get("byteorder") != native_byteorder():
+                raise StorageCorruptionError(
+                    f"snapshot {name!r} was written on a "
+                    f"{manifest.get('byteorder')}-endian machine; run "
+                    "files are native-endian and cannot be mapped here")
+
+            graphs = manifest["graphs"]
+            explicit = self._load_graph(snapdir, graphs["explicit"])
+            saturated = (self._load_graph(snapdir, graphs["saturated"])
+                         if "saturated" in graphs else None)
+            graph_version = manifest["graph_version"]
+
+            wal_path = os.path.join(self.directory, _WAL)
+            records, valid_bytes, torn = read_records(wal_path)
+            # records the committed snapshot already covers are stale
+            # (crash between CURRENT write and WAL reset); skip them
+            fresh = [r for r in records
+                     if int(r.get("version", 0)) > graph_version]  # type: ignore[call-overload]
+            if len(fresh) != len(records):
+                get_metrics().counter("storage.wal_stale_skipped").inc(
+                    len(records) - len(fresh))
+            self.wal = WriteAheadLog(wal_path, truncate_to=valid_bytes,
+                                     existing_records=len(records))
+            self._snapshot_name = name
+            self._graph_version = graph_version
+            sp.set(snapshot=name, version=graph_version,
+                   replayed=len(fresh), torn=torn)
+        metrics = get_metrics()
+        metrics.counter("storage.recoveries").inc()
+        metrics.counter("storage.wal_replayed").inc(len(fresh))
+        return RecoveredState(meta=dict(manifest["meta"]), explicit=explicit,
+                              saturated=saturated,
+                              graph_version=graph_version,
+                              records=fresh, torn=torn)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "directory": self.directory,
+            "snapshot": self._snapshot_name,
+            "snapshot_version": self._graph_version,
+            "wal_records": self.wal.records if self.wal else 0,
+            "wal_bytes": self.wal.bytes_written if self.wal else 0,
+        }
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # graph (de)serialization
+    # ------------------------------------------------------------------
+
+    def _write_graph(self, tmpdir: str, label: str,
+                     graph: Graph) -> Dict[str, object]:
+        if graph.backend == "columnar":
+            index = graph.index
+            assert isinstance(index, ColumnarTripleIndex)
+            terms_file = f"{label}.terms"
+            terms = list(graph.terms())
+            terms_crc = write_terms_file(os.path.join(tmpdir, terms_file),
+                                         terms)
+            orders: Dict[str, object] = {}
+            for name, run in index.export_runs().items():
+                run_file = f"{label}.{name}.run"
+                crc = write_run_file(os.path.join(tmpdir, run_file), run)
+                orders[name] = {"file": run_file, "slots": len(run),
+                                "crc": crc}
+            return {"kind": "columnar", "triples": len(graph),
+                    "graph_version": graph.version,
+                    "terms": {"file": terms_file, "count": len(terms),
+                              "crc": terms_crc},
+                    "orders": orders}
+        nt_file = f"{label}.nt"
+        payload = serialize_ntriples(graph, sort=True).encode("utf-8")
+        path = os.path.join(tmpdir, nt_file)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return {"kind": "ntriples", "file": nt_file,
+                "crc": zlib.crc32(payload), "triples": len(graph),
+                "graph_version": graph.version}
+
+    def _load_graph(self, snapdir: str, doc: Dict[str, object]) -> Graph:
+        if doc["kind"] == "columnar":
+            terms_doc = doc["terms"]
+            terms = read_terms_file(
+                os.path.join(snapdir, terms_doc["file"]),  # type: ignore[index]
+                terms_doc["crc"])  # type: ignore[index]
+            orders = doc["orders"]
+            runs = {}
+            for name, run_doc in orders.items():  # type: ignore[union-attr]
+                runs[name] = open_run_file(
+                    os.path.join(snapdir, run_doc["file"]),
+                    run_doc["slots"], run_doc["crc"])
+            index = ColumnarTripleIndex.from_sorted_runs(
+                tuple(orders), runs, doc["triples"])  # type: ignore[arg-type]
+            graph = Graph.from_parts(terms, index, backend="columnar")
+        elif doc["kind"] == "ntriples":
+            path = os.path.join(snapdir, doc["file"])  # type: ignore[arg-type]
+            with open(path, "rb") as handle:
+                payload = handle.read()
+            if zlib.crc32(payload) != doc["crc"]:
+                raise StorageCorruptionError(
+                    f"graph file {path!r} failed its CRC")
+            graph = Graph()
+            graph.update(parse_ntriples(payload.decode("utf-8")))
+        else:
+            raise StorageCorruptionError(
+                f"unknown graph serialization kind {doc['kind']!r}")
+        if len(graph) != doc["triples"]:
+            raise StorageCorruptionError(
+                f"graph holds {len(graph)} triples; manifest expects "
+                f"{doc['triples']}")
+        graph.restore_version(doc["graph_version"])  # type: ignore[arg-type]
+        return graph
+
+    # ------------------------------------------------------------------
+    # directory bookkeeping
+    # ------------------------------------------------------------------
+
+    def _next_sequence(self) -> int:
+        highest = 0
+        for entry in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(entry)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return highest + 1
+
+    def _write_current(self, name: str) -> None:
+        """Point ``CURRENT`` at ``name`` atomically (tmp + replace)."""
+        path = os.path.join(self.directory, _CURRENT)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(name + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_dir(self.directory)
+
+    def _collect_garbage(self, keep: str) -> None:
+        """Remove superseded snapshots and crashed temp dirs."""
+        removed = 0
+        for entry in os.listdir(self.directory):
+            if entry == keep or not _SNAPSHOT_RE.match(entry):
+                continue
+            shutil.rmtree(os.path.join(self.directory, entry),
+                          ignore_errors=True)
+            removed += 1
+        if removed:
+            get_metrics().counter("storage.snapshots_collected").inc(removed)

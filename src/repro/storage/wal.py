@@ -1,0 +1,138 @@
+"""The write-ahead log: checksummed, length-prefixed update records.
+
+Each record is ``[length u32][crc32 u32][payload]`` with the payload a
+UTF-8 JSON document — one applied ``insert``/``delete`` batch carrying
+its triples as N-Triples lines and the graph version the batch
+produced.  Appends go through an *unbuffered* file handle so a crash
+(real or injected) leaves exactly the bytes written so far, and a
+record is only acknowledged after ``fsync``.
+
+Reading is tail-tolerant by construction: :func:`read_records` scans
+from the start and stops at the first truncated or checksum-failing
+record, reporting the byte offset of the last intact boundary.  A torn
+final record — the canonical crash-during-append artifact — is simply
+cut off; recovery truncates the file back to the reported boundary
+before appending again, so garbage never ends up *between* records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import get_metrics
+from .faults import fault_point
+
+__all__ = ["WriteAheadLog", "WALRecord", "read_records"]
+
+_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: One decoded WAL record: the parsed JSON payload.
+WALRecord = Dict[str, object]
+
+
+def read_records(path: str) -> Tuple[List[WALRecord], int, bool]:
+    """Decode ``path``; return ``(records, valid_bytes, torn)``.
+
+    ``valid_bytes`` is the offset one past the last intact record —
+    the length to truncate to before appending.  ``torn`` reports
+    whether trailing bytes were discarded (truncated or corrupt tail).
+    A missing file reads as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, False
+    records: List[WALRecord] = []
+    offset = 0
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn: the payload never finished writing
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt: treat like a torn tail, keep the prefix
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        records.append(record)
+        offset = end
+    torn = offset != size
+    if torn:
+        get_metrics().counter("storage.wal_torn_tail").inc()
+    return records, offset, torn
+
+
+class WriteAheadLog:
+    """Appender over one WAL file (read side: :func:`read_records`)."""
+
+    __slots__ = ("path", "_handle", "records", "bytes_written")
+
+    def __init__(self, path: str, truncate_to: Optional[int] = None,
+                 existing_records: int = 0):
+        """Open ``path`` for appending.
+
+        ``truncate_to`` cuts the file back to the last intact record
+        boundary first (recovery passes the offset
+        :func:`read_records` reported); ``None`` appends as-is.
+        ``existing_records`` seeds the record counter with the intact
+        records already in the file, so snapshot-triggering thresholds
+        survive a reopen.
+        """
+        self.path = path
+        if truncate_to is not None and os.path.exists(path):
+            current = os.path.getsize(path)
+            if current > truncate_to:
+                with open(path, "r+b") as handle:
+                    handle.truncate(truncate_to)
+        # buffering=0: every write reaches the OS immediately, so an
+        # injected crash mid-append leaves a genuinely torn record
+        self._handle = open(path, "ab", buffering=0)
+        self.records = existing_records
+        self.bytes_written = truncate_to or 0
+
+    def append(self, record: WALRecord, sync: bool = True) -> None:
+        """Append one record; durable once this returns (``sync=True``)."""
+        payload = json.dumps(record, separators=(",", ":"),
+                             sort_keys=True).encode("utf-8")
+        blob = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        fault_point("wal.append.start")
+        half = len(blob) // 2
+        self._handle.write(blob[:half])
+        fault_point("wal.append.torn")
+        self._handle.write(blob[half:])
+        fault_point("wal.append.full")
+        if sync:
+            os.fsync(self._handle.fileno())
+        fault_point("wal.append.synced")
+        self.records += 1
+        self.bytes_written += len(blob)
+        metrics = get_metrics()
+        metrics.counter("storage.wal_records").inc()
+        metrics.counter("storage.wal_bytes").inc(len(blob))
+
+    def reset(self) -> None:
+        """Drop every record (the snapshot now covers them)."""
+        self._handle.close()
+        self._handle = open(self.path, "wb", buffering=0)
+        os.fsync(self._handle.fileno())
+        self.records = 0
+        self.bytes_written = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

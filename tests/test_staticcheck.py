@@ -313,6 +313,24 @@ class TestEngineLint:
                   "        g.add(t)\n")
         assert lint_source(source, "x.py") == []
 
+    def test_delegated_scan_flagged(self):
+        # rule.fire_conclusions(g, delta) holds a live scan of g, not
+        # of `rule` — the exact shape behind the PR 6 propagation bug
+        source = ("def f(self, delta):\n"
+                  "    for rule in self.ruleset:\n"
+                  "        for c in rule.fire_conclusions(self.graph, delta):\n"
+                  "            self.graph.add(c)\n")
+        findings = lint_source(source, "x.py")
+        assert codes_of(findings) == ["SC201"]
+        assert findings[0].target == "self.graph"
+
+    def test_delegated_scan_materialized_not_flagged(self):
+        source = ("def f(self, delta):\n"
+                  "    for rule in self.ruleset:\n"
+                  "        for c in list(rule.fire(self.graph, delta)):\n"
+                  "            self.graph.add(c)\n")
+        assert lint_source(source, "x.py") == []
+
     def test_own_source_tree_is_clean(self):
         # the repository must satisfy its own invariants
         assert lint_paths([str(SRC)]) == []

@@ -1,0 +1,212 @@
+"""Differential tests: durable storage vs the in-memory database.
+
+The contract: a database that commits to disk and reopens — whether
+via ``snapshot()``/recovery or via atomic ``save()``/``load()`` — is
+*indistinguishable* from one that never left memory.  Every test runs
+the same workload against a durable instance and an in-memory mirror
+and compares answers across the eight triple-pattern shapes, both
+backends, saturation, and all three reformulation strategies.
+"""
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.db import RDFDatabase, Strategy
+from repro.rdf import Triple
+from repro.rdf.namespaces import RDF, RDFS
+from repro.rdf.ntriples import serialize_ntriples
+
+from conftest import EX, random_rdfs_graph
+
+SETTINGS = dict(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+BACKENDS = ("hash", "columnar")
+REFORMULATION = ("factorized", "ucq", "encoded")
+
+
+def probe_shapes(db):
+    """Answers for all eight bound/unbound shapes over probe triples
+    drawn from the store itself (plus one absent probe)."""
+    sample = sorted(db.graph)[:5]
+    sample.append(Triple(EX.absent, EX.missing, EX.nothing))
+    answers = []
+    for probe in sample:
+        for mask in range(8):
+            shape = (probe.s if mask & 4 else None,
+                     probe.p if mask & 2 else None,
+                     probe.o if mask & 1 else None)
+            term = lambda t, v: t.n3() if t is not None else v
+            pattern = (f"{term(shape[0], '?s')} {term(shape[1], '?p')} "
+                       f"{term(shape[2], '?o')}")
+            free = [v for t, v in zip(shape, ("?s", "?p", "?o"))
+                    if t is None]
+            if free:
+                text = f"SELECT {' '.join(free)} WHERE {{ {pattern} }}"
+                answers.append(sorted(db.query(text)))
+            else:
+                answers.append(db.ask_query(f"ASK {{ {pattern} }}"))
+    return answers
+
+
+def assert_indistinguishable(durable, mirror):
+    assert durable.graph.version == mirror.graph.version
+    assert (serialize_ntriples(durable.graph, sort=True)
+            == serialize_ntriples(mirror.graph, sort=True))
+    assert probe_shapes(durable) == probe_shapes(mirror)
+
+
+def configurations():
+    for backend in BACKENDS:
+        yield pytest.param(backend, Strategy.SATURATION, "factorized",
+                           id=f"{backend}-saturation")
+        for reform in REFORMULATION:
+            yield pytest.param(backend, Strategy.REFORMULATION, reform,
+                               id=f"{backend}-reformulation-{reform}")
+
+
+WORKLOAD = [
+    ("insert", [Triple(EX.i0, EX.p0, EX.i1),
+                Triple(EX.i1, RDF.type, EX.C3)]),
+    ("insert", [Triple(EX.C3, RDFS.subClassOf, EX.C0)]),
+    ("delete", [Triple(EX.i0, EX.p0, EX.i1)]),
+    ("insert", [Triple(EX.p0, RDFS.subPropertyOf, EX.p1),
+                Triple(EX.i2, EX.p0, EX.i3)]),
+    ("delete", [Triple(EX.C3, RDFS.subClassOf, EX.C0)]),
+    ("insert", [Triple(EX.i4, RDF.type, EX.C2)]),
+]
+
+
+def apply(db, op, batch):
+    if op == "insert":
+        db.insert(batch)
+    else:
+        db.delete(batch)
+
+
+class TestSnapshotReopenParity:
+    @pytest.mark.parametrize("backend,strategy,reform", configurations())
+    def test_reopen_matches_in_memory(self, tmp_path, backend, strategy,
+                                      reform):
+        seed = 21
+        durable = RDFDatabase(random_rdfs_graph(seed, size=25),
+                              strategy=strategy, backend=backend,
+                              reformulation_strategy=reform,
+                              storage_dir=str(tmp_path))
+        mirror = RDFDatabase(random_rdfs_graph(seed, size=25),
+                             strategy=strategy, backend=backend,
+                             reformulation_strategy=reform)
+        for i, (op, batch) in enumerate(WORKLOAD):
+            apply(durable, op, batch)
+            apply(mirror, op, batch)
+            if i == 2:
+                durable.snapshot()
+        durable.close()
+
+        reopened = RDFDatabase(storage_dir=str(tmp_path))
+        # the manifest restores the committed configuration verbatim
+        assert reopened.strategy is strategy
+        assert reopened.backend == backend
+        assert reopened.reformulation_strategy == reform
+        assert_indistinguishable(reopened, mirror)
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_reopen_after_every_batch(self, tmp_path, backend):
+        """Close/reopen between every batch: recovery is not a
+        one-shot special case but a stable fixed point."""
+        seed = 22
+        durable = RDFDatabase(random_rdfs_graph(seed, size=25),
+                              strategy=Strategy.SATURATION, backend=backend,
+                              storage_dir=str(tmp_path))
+        mirror = RDFDatabase(random_rdfs_graph(seed, size=25),
+                             strategy=Strategy.SATURATION, backend=backend)
+        for op, batch in WORKLOAD:
+            apply(durable, op, batch)
+            apply(mirror, op, batch)
+            durable.close()
+            durable = RDFDatabase(storage_dir=str(tmp_path))
+            assert_indistinguishable(durable, mirror)
+        durable.close()
+
+    def test_strategy_switch_persists(self, tmp_path):
+        durable = RDFDatabase(random_rdfs_graph(23, size=25),
+                              strategy=Strategy.SATURATION,
+                              backend="columnar", storage_dir=str(tmp_path))
+        durable.switch_strategy(Strategy.REFORMULATION)
+        durable.close()
+        reopened = RDFDatabase(storage_dir=str(tmp_path))
+        assert reopened.strategy is Strategy.REFORMULATION
+        mirror = RDFDatabase(random_rdfs_graph(23, size=25),
+                             strategy=Strategy.REFORMULATION,
+                             backend="columnar")
+        assert_indistinguishable(reopened, mirror)
+        reopened.close()
+
+    @given(seed=st.integers(0, 10_000),
+           ops=st.lists(st.tuples(st.booleans(), st.integers(0, 7),
+                                  st.integers(0, 4), st.integers(0, 7)),
+                        min_size=1, max_size=12))
+    @settings(**SETTINGS)
+    def test_random_mutations_with_periodic_reopen(self, tmp_path_factory,
+                                                   seed, ops):
+        storage = str(tmp_path_factory.mktemp("diff"))
+        durable = RDFDatabase(random_rdfs_graph(seed, size=20),
+                              strategy=Strategy.SATURATION,
+                              backend="columnar", storage_dir=storage,
+                              snapshot_every=4)
+        mirror = RDFDatabase(random_rdfs_graph(seed, size=20),
+                             strategy=Strategy.SATURATION,
+                             backend="columnar")
+        for i, (is_add, a, b, c) in enumerate(ops):
+            triple = Triple(EX.term(f"i{a}"), EX.term(f"p{b}"),
+                            EX.term(f"i{c}"))
+            op = "insert" if is_add else "delete"
+            apply(durable, op, [triple])
+            apply(mirror, op, [triple])
+            if i % 4 == 3:
+                durable.close()
+                durable = RDFDatabase(storage_dir=storage)
+        durable.close()
+        reopened = RDFDatabase(storage_dir=storage)
+        assert_indistinguishable(reopened, mirror)
+        reopened.close()
+
+
+class TestSaveLoadParity:
+    @pytest.mark.parametrize("backend,strategy,reform", configurations())
+    def test_save_load_matches_in_memory(self, tmp_path, backend, strategy,
+                                         reform):
+        db = RDFDatabase(random_rdfs_graph(31, size=25),
+                         strategy=strategy, backend=backend,
+                         reformulation_strategy=reform)
+        for op, batch in WORKLOAD:
+            apply(db, op, batch)
+        db.save(str(tmp_path / "dump"))
+        loaded = RDFDatabase.load(str(tmp_path / "dump"))
+        assert loaded.strategy is strategy
+        assert loaded.reformulation_strategy == reform
+        assert (serialize_ntriples(loaded.graph, sort=True)
+                == serialize_ntriples(db.graph, sort=True))
+        assert probe_shapes(loaded) == probe_shapes(db)
+
+    def test_save_then_adopt_as_storage_seed(self, tmp_path):
+        """A loaded dump can seed a fresh durable store; the round
+        trip through both persistence formats stays lossless."""
+        db = RDFDatabase(random_rdfs_graph(32, size=25),
+                         strategy=Strategy.SATURATION, backend="columnar")
+        for op, batch in WORKLOAD:
+            apply(db, op, batch)
+        db.save(str(tmp_path / "dump"))
+        loaded = RDFDatabase.load(str(tmp_path / "dump"))
+        durable = RDFDatabase(loaded.graph,
+                              strategy=Strategy.SATURATION,
+                              backend="columnar",
+                              storage_dir=str(tmp_path / "store"))
+        durable.close()
+        reopened = RDFDatabase(storage_dir=str(tmp_path / "store"))
+        assert (serialize_ntriples(reopened.graph, sort=True)
+                == serialize_ntriples(db.graph, sort=True))
+        assert probe_shapes(reopened) == probe_shapes(db)
+        reopened.close()
