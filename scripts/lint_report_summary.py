@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Summarize a ``repro lint --json`` report for CI logs.
+
+Accepts both report schemas and negotiates per version:
+
+* ``repro-lint-report/1`` — diagnostics carry no ``pass_level`` or
+  ``annotation``; the pass level is derived from the code's first
+  digit (``SC2xx`` -> 2).
+* ``repro-lint-report/2`` — ``pass_level`` and ``annotation`` are
+  read from the payload.
+
+Prints one line per diagnostic code (count, severity, pass level) and
+a severity total.  Exits 2 on an unknown schema, 1 when ``--fail-on``
+matches at least one diagnostic, 0 otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+SUPPORTED_SCHEMAS = ("repro-lint-report/1", "repro-lint-report/2")
+
+
+def pass_level(diagnostic: dict) -> int:
+    """Negotiate the pass level across schema versions."""
+    if "pass_level" in diagnostic:  # schema /2
+        return int(diagnostic["pass_level"])
+    return int(diagnostic["code"][2])  # schema /1: derive from the code
+
+
+def summarize(payload: dict) -> dict:
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"unsupported schema {schema!r}; "
+            f"supported: {', '.join(SUPPORTED_SCHEMAS)}")
+    diagnostics = payload.get("diagnostics", [])
+    by_code: Counter = Counter()
+    by_severity: Counter = Counter()
+    levels = {}
+    annotated = 0
+    for diagnostic in diagnostics:
+        by_code[diagnostic["code"]] += 1
+        by_severity[diagnostic["severity"]] += 1
+        levels[diagnostic["code"]] = pass_level(diagnostic)
+        if diagnostic.get("annotation"):  # only ever present in /2
+            annotated += 1
+    return {
+        "schema": schema,
+        "total": len(diagnostics),
+        "by_code": dict(sorted(by_code.items())),
+        "by_severity": dict(sorted(by_severity.items())),
+        "pass_levels": levels,
+        "annotated": annotated,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to a repro lint --json file")
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "note"), default=None,
+        help="exit 1 if any diagnostic of this severity (or worse) exists")
+    args = parser.parse_args(argv)
+
+    with open(args.report, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        summary = summarize(payload)
+    except ValueError as exc:
+        print(f"lint_report_summary: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"schema: {summary['schema']}")
+    print(f"diagnostics: {summary['total']} "
+          f"({summary['annotated']} annotation-backed)")
+    for code, count in summary["by_code"].items():
+        print(f"  {code} (level {summary['pass_levels'][code]}): {count}")
+    for severity, count in summary["by_severity"].items():
+        print(f"  severity {severity}: {count}")
+
+    if args.fail_on is not None:
+        order = ("note", "warning", "error")
+        threshold = order.index(args.fail_on)
+        hits = sum(count for severity, count
+                   in summary["by_severity"].items()
+                   if severity in order and order.index(severity) >= threshold)
+        if hits:
+            print(f"lint_report_summary: {hits} diagnostic(s) at or above "
+                  f"severity '{args.fail_on}'", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

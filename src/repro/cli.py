@@ -217,8 +217,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--max-ucq", type=int, default=1000,
                      help="blow-up budget: predicted UCQ sizes above "
                           "this raise SC106 to a warning (default 1000)")
+    sub.add_argument("--select", action="append", default=[],
+                     metavar="PREFIX",
+                     help="keep only diagnostic codes starting with "
+                          "this prefix (repeatable; e.g. SC30 selects "
+                          "the concurrency family, SC303 one code)")
+    sub.add_argument("--ignore", action="append", default=[],
+                     metavar="PREFIX",
+                     help="drop diagnostic codes starting with this "
+                          "prefix (repeatable; applied after --select)")
     sub.add_argument("--json", action="store_true",
-                     help="emit the repro-lint-report/1 JSON instead "
+                     help="emit the repro-lint-report/2 JSON instead "
                           "of the text rendering")
     sub.add_argument("-o", "--output",
                      help="also write the JSON report to this file")
@@ -419,6 +428,8 @@ def _cmd_lint(args) -> int:
             graph=graph, queries=queries, ucq_budget=args.max_ucq)
     except (ValueError, OSError) as error:
         raise SystemExit(str(error))
+    if args.select or args.ignore:
+        report = report.filtered(select=args.select, ignore=args.ignore)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report.to_json() + "\n")

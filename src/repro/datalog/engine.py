@@ -22,7 +22,7 @@ Binding = Dict[Var, Hashable]
 Fact = Tuple[str, Tuple[Hashable, ...]]
 
 
-@dataclass
+@dataclass(slots=True)
 class EvaluationStats:
     """Counters from one fixpoint computation."""
 

@@ -36,7 +36,7 @@ __all__ = ["QueryResultCache", "CacheStats"]
 CacheKey = Tuple[str, str, str, str, str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheStats:
     """A point-in-time view of the cache's effectiveness."""
 
@@ -67,11 +67,12 @@ class QueryResultCache:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, ResultSet]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, ResultSet]" = \
+            OrderedDict()  # sc: guarded-by(_lock)
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # sc: guarded-by(_lock)
+        self._misses = 0  # sc: guarded-by(_lock)
+        self._evictions = 0  # sc: guarded-by(_lock)
 
     def get(self, key: CacheKey) -> Optional[ResultSet]:
         metrics = get_metrics()
@@ -103,10 +104,12 @@ class QueryResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -50,7 +50,7 @@ __all__ = ["LoadgenConfig", "LoadReport", "run_load", "update_texts"]
 Transport = Callable[[str, str], int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadgenConfig:
     """One load-generation run's traffic shape."""
 
@@ -64,7 +64,7 @@ class LoadgenConfig:
     queries: Optional[Sequence[Tuple[str, str]]] = None  #: (id, sparql)
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadReport:
     """Aggregated outcome of one run (all samples retained)."""
 

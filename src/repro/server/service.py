@@ -26,6 +26,7 @@ begins it runs to completion.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -47,7 +48,7 @@ _ASK_RE = re.compile(r"^\s*(?:PREFIX\s+\S*\s*<[^>]*>\s*)*ASK\b",
                      re.IGNORECASE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServerConfig:
     """Admission-control and cache knobs for one serving instance."""
 
@@ -59,7 +60,7 @@ class ServerConfig:
     port: int = 8000            #: 0 picks an ephemeral port
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryOutcome:
     """One answered query, with the serving metadata tests assert on."""
 
@@ -71,7 +72,7 @@ class QueryOutcome:
     seconds: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateOutcome:
     """One applied update batch."""
 
@@ -81,7 +82,7 @@ class UpdateOutcome:
     seconds: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _UpdateLogEntry:
     """The serialized-order update history (differential testing)."""
 
@@ -91,17 +92,33 @@ class _UpdateLogEntry:
     added: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ServingDatabase:
-    """A thread-safe serving wrapper around one :class:`RDFDatabase`."""
+    """A thread-safe serving wrapper around one :class:`RDFDatabase`.
+
+    The guarded-by annotations below are enforced statically (SC301):
+    the update log belongs to the readers–writer ``lock`` (appended
+    under its exclusive side, read under its shared side), the served
+    counters to the dedicated ``_stats_lock`` mutex so bumping them
+    never serializes queries behind the big lock.
+    """
 
     db: RDFDatabase
     cache_size: int = 256
     lock: ReadWriteLock = field(default_factory=ReadWriteLock)
+    cache: QueryResultCache = field(init=False, repr=False)
+    _stats_lock: threading.Lock = field(init=False, repr=False)
+    _update_log: List[_UpdateLogEntry] = \
+        field(init=False, repr=False)  # sc: guarded-by(lock)
+    _served_queries: int = \
+        field(init=False, repr=False)  # sc: guarded-by(_stats_lock)
+    _served_updates: int = \
+        field(init=False, repr=False)  # sc: guarded-by(_stats_lock)
 
     def __post_init__(self) -> None:
         self.cache = QueryResultCache(self.cache_size)
-        self._update_log: List[_UpdateLogEntry] = []
+        self._stats_lock = threading.Lock()
+        self._update_log = []
         self._served_queries = 0
         self._served_updates = 0
 
@@ -171,7 +188,8 @@ class ServingDatabase:
             if cancelled.reason == "deadline":
                 metrics.counter("server.deadline_exceeded").inc()
             raise
-        self._served_queries += 1
+        with self._stats_lock:
+            self._served_queries += 1
         metrics.counter("server.requests", endpoint="sparql").inc()
         metrics.histogram("server.query_seconds").observe(outcome.seconds)
         return outcome
@@ -209,7 +227,8 @@ class ServingDatabase:
             if cancelled.reason == "deadline":
                 metrics.counter("server.deadline_exceeded").inc()
             raise
-        self._served_updates += 1
+        with self._stats_lock:
+            self._served_updates += 1
         metrics.counter("server.requests", endpoint="update").inc()
         metrics.histogram("server.update_seconds").observe(outcome.seconds)
         return outcome
@@ -242,20 +261,28 @@ class ServingDatabase:
     # introspection
     # ------------------------------------------------------------------
 
-    def update_log(self) -> List[Tuple[int, str]]:
+    def update_log(self,
+                   timeout: Optional[float] = None) -> List[Tuple[int, str]]:
         """The applied updates in serialization order, as
         ``(version_after, text)`` — the differential tests replay this
-        against a single-threaded mirror."""
-        return [(entry.version, entry.text) for entry in self._update_log]
+        against a single-threaded mirror.  Snapshots under the read
+        lock: an in-flight update's entry is either fully visible or
+        not yet appended, never half-written."""
+        with self.lock.read(timeout=timeout):
+            return [(entry.version, entry.text)
+                    for entry in self._update_log]
 
     def stats(self) -> Dict[str, object]:
         """Serving statistics for ``GET /stats`` and dashboards."""
         cache = self.cache.stats()
         info: Dict[str, object] = dict(self.db.stats())
+        with self._stats_lock:
+            served_queries = self._served_queries
+            served_updates = self._served_updates
         info.update({
             "graph_version": self.db.graph.version,
-            "served_queries": self._served_queries,
-            "served_updates": self._served_updates,
+            "served_queries": served_queries,
+            "served_updates": served_updates,
             "active_readers": self.lock.active_readers,
             "cache": {
                 "size": cache.size, "capacity": cache.capacity,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..cancellation import current_token
+from ..cancellation import CancellationToken, current_token
 from ..obs import get_metrics, span
 from ..rdf.columnar import ColumnarTripleIndex
 from ..rdf.graph import Graph
@@ -113,14 +113,20 @@ class _ScanStep:
         self.pattern = pattern
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         args = list(self.template)
         for position, slot in self.bound:
             args[position] = binding[slot]
         counts[0] += 1
         assigns = self.assigns
         dup_checks = self.dup_checks
+        scanned = 0
         for triple in graph.index.match(args[0], args[1], args[2]):
+            scanned += 1
+            if token is not None and scanned & 0xFF == 0:
+                token.raise_if_cancelled()
             extended = binding[:]
             for position, slot in assigns:
                 extended[slot] = triple[position]
@@ -188,7 +194,9 @@ class _SortedScanStep:
         self.pattern = pattern
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         counts[0] += 1
         prefix = tuple(binding[value] if is_var else value
                        for is_var, value in self.prefix_spec)
@@ -199,6 +207,8 @@ class _SortedScanStep:
             bindings = 0
             for value in index.values_order(self.order_index,
                                             prefix[0], prefix[1]):
+                if token is not None and bindings & 0xFF == 0:
+                    token.raise_if_cancelled()
                 extended = binding[:]
                 extended[slot] = value
                 bindings += 1
@@ -211,7 +221,11 @@ class _SortedScanStep:
                                for j, slot in self.bound_checks]
         assigns = self.assigns
         dup_checks = self.dup_checks
+        scanned = 0
         for t in index.scan_order(self.order_index, prefix):
+            scanned += 1
+            if token is not None and scanned & 0xFF == 0:
+                token.raise_if_cancelled()
             if checks and any(t[j] != value for j, value in checks):
                 continue
             extended = binding[:]
@@ -242,7 +256,9 @@ class _IntersectStep:
         self.patterns = tuple(patterns)
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         index = graph.index
         assert isinstance(index, ColumnarTripleIndex)
         counts[1] += 1
@@ -255,7 +271,7 @@ class _IntersectStep:
             seeks.append(
                 lambda v, oi=order_index, pre=prefix: runs_seek(oi, pre, v))
         slot = self.slot
-        for value in leapfrog(seeks, counts):
+        for value in leapfrog(seeks, counts, token):
             extended = binding[:]
             extended[slot] = value
             counts[3] += 1
@@ -322,7 +338,9 @@ class _IntervalSortedScanStep:
                    bound_checks, assigns, dup_checks, spec.pattern)
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         index = graph.index
         assert isinstance(index, ColumnarTripleIndex)
         prefix = tuple(binding[value] if is_var else value
@@ -335,9 +353,13 @@ class _IntervalSortedScanStep:
         dup_checks = self.dup_checks
         scan_between = index.scan_order_between
         order_index = self.order_index
+        scanned = 0
         for lo, hi in self.ranges:
             counts[5] += 1
             for t in scan_between(order_index, prefix, lo, hi):
+                scanned += 1
+                if token is not None and scanned & 0xFF == 0:
+                    token.raise_if_cancelled()
                 if checks and any(t[j] != value for j, value in checks):
                     continue
                 extended = binding[:]
@@ -390,7 +412,9 @@ class _IntervalMemberScanStep:
         self.pattern = spec.pattern
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         args = list(self.template)
         for position, slot in self.bound:
             args[position] = binding[slot]
@@ -398,10 +422,14 @@ class _IntervalMemberScanStep:
         assigns = self.assigns
         dup_checks = self.dup_checks
         match = graph.index.match
+        scanned = 0
         for member in self.members:
             counts[6] += 1
             args[ranged] = member
             for triple in match(args[0], args[1], args[2]):
+                scanned += 1
+                if token is not None and scanned & 0xFF == 0:
+                    token.raise_if_cancelled()
                 extended = binding[:]
                 for position, slot in assigns:
                     extended[slot] = triple[position]
@@ -430,18 +458,24 @@ class _AlternativesStep:
         self.pattern = pattern
 
     def run(self, graph: Graph, binding: EncodedBinding,
-            counts: List[int]) -> Iterator[EncodedBinding]:
+            counts: List[int],
+            token: Optional[CancellationToken] = None
+            ) -> Iterator[EncodedBinding]:
         for step in self.steps:
-            yield from step.run(graph, binding, counts)  # type: ignore[attr-defined]
+            yield from step.run(graph, binding, counts,  # type: ignore[attr-defined]
+                                token)
 
 
 def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
-             counts: Optional[List[int]] = None) -> Iterator[int]:
+             counts: Optional[List[int]] = None,
+             token: Optional[CancellationToken] = None) -> Iterator[int]:
     """Values common to every sorted cursor (identifiers are >= 0).
 
     Each ``seeks[i](v)`` returns the cursor's smallest value ``>= v``
     or ``None`` when exhausted.  Classic leapfrog: chase the current
-    maximum around the cursor ring until all agree.
+    maximum around the cursor ring until all agree.  ``token`` is
+    polled every 256 seeks: sparse intersections can seek for a long
+    time between emitted values.
     """
     if counts is None:
         counts = [0, 0, 0, 0, 0]
@@ -453,6 +487,8 @@ def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
         return
     if k == 1:
         while current is not None:
+            if token is not None and counts[4] & 0xFF == 0:
+                token.raise_if_cancelled()
             yield current
             current = seeks[0](current + 1)
             counts[4] += 1
@@ -460,6 +496,8 @@ def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
     cursor = 0
     agreeing = 1
     while True:
+        if token is not None and counts[4] & 0xFF == 0:
+            token.raise_if_cancelled()
         cursor = (cursor + 1) % k
         value = seeks[cursor](current)
         counts[4] += 1
@@ -539,7 +577,7 @@ class BGPPlan:
             if at == depth:
                 yield binding
                 return
-            for extended in steps[at].run(graph, binding, counts):
+            for extended in steps[at].run(graph, binding, counts, token):
                 if token is not None and counts[3] & 0x3F == 0:
                     token.raise_if_cancelled()
                 yield from descend(at + 1, extended)
@@ -555,10 +593,10 @@ class BGPPlan:
                 for seed in seeds:
                     if token is not None:
                         token.raise_if_cancelled()
-                    yield from first.run(graph, seed, counts)
+                    yield from first.run(graph, seed, counts, token)
                 return
             for seed in seeds:
-                for extended in first.run(graph, seed, counts):
+                for extended in first.run(graph, seed, counts, token):
                     yield from descend(1, extended)
         finally:
             metrics = get_metrics()
@@ -650,7 +688,8 @@ def compile_bgp(graph: Graph, patterns: Sequence[TriplePattern],
         columnar = isinstance(index, ColumnarTripleIndex)
         bound: frozenset = frozenset(slot_of[v] for v in pre_bound)
         queue = list(compiled)
-        while queue:
+        # compile-time work list: each round pops one atom
+        while queue:  # sc: allow(SC303): drains, one pop per round
             positions, pattern = queue.pop(0)
             free = _free_slots(positions, bound)
             if columnar and len(free) == 1:
@@ -782,7 +821,8 @@ def compile_mixed_bgp(graph, groups: Sequence[
     if not empty:
         bound: frozenset = frozenset()
         work = list(queue)
-        while work:
+        # compile-time work list: each round pops one atom
+        while work:  # sc: allow(SC303): drains, one pop per round
             rep_slots, rep, compiled_specs = work.pop(0)
             single_plain = (len(compiled_specs) == 1
                             and compiled_specs[0][0] == "plain")

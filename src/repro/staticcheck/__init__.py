@@ -1,6 +1,6 @@
 """Static analysis for rules, Datalog programs, and engine invariants.
 
-Two levels, one diagnostic model:
+Three levels, one diagnostic model:
 
 * **Level 1 — program analysis** (:mod:`.ruleset_analysis`,
   :mod:`.datalog_analysis`, :mod:`.depgraph`): safety /
@@ -12,20 +12,33 @@ Two levels, one diagnostic model:
 * **Level 2 — engine-invariant lint** (:mod:`.engine_lint`): AST
   checks over the ``repro`` source tree itself, encoding the project
   invariants PR 1's differential suite learned the hard way.
+* **Level 3 — concurrency & durability lint**
+  (:mod:`.concurrency_lint`): lock discipline, blocking-under-lock,
+  cancellation-poll coverage, fault-point/registry drift, and
+  fsync-before-ack ordering over the serving and storage layers.
 
 Findings share the :class:`Diagnostic` shape and aggregate into a
 :class:`LintReport` with a versioned, byte-stable JSON form
-(``repro-lint-report/1``).  The ``repro lint`` CLI subcommand is the
-front door; CI runs it over the repository on every push.
+(``repro-lint-report/2``; version 1 remains writable).  The ``repro
+lint`` CLI subcommand is the front door; CI runs it over the
+repository on every push.
 """
 
+from .concurrency_lint import (FAULT_EXEMPT, GUARDED_FIELDS,
+                               HOT_LOOP_MODULES, SC302_ALLOWED,
+                               SERVING_MODULES, STORAGE_MODULES,
+                               lint_concurrency_file,
+                               lint_concurrency_paths,
+                               lint_concurrency_source)
 from .datalog_analysis import analyze_program
 from .depgraph import (DependencyGraph, patterns_may_unify,
                        program_dependency_graph, rule_dependency_graph)
-from .diagnostics import (DIAGNOSTIC_CODES, LINT_SCHEMA, Diagnostic,
-                          LintReport, Severity)
+from .diagnostics import (DIAGNOSTIC_CODES, LINT_SCHEMA, LINT_SCHEMA_V1,
+                          SUPPORTED_LINT_SCHEMAS, Diagnostic, LintReport,
+                          Severity)
 from .engine_lint import (HOT_PATH_MODULES, TIMING_ALLOWED_MODULES,
                           lint_file, lint_paths, lint_source)
+from .modpaths import matches_module, resolve_module
 from .ruleset_analysis import (analyze_ruleset, check_reformulation_blowup,
                                estimate_ucq_size, find_dead_rules,
                                find_subsumed_rules)
@@ -34,7 +47,7 @@ from .runner import DATALOG_EXTENSIONS, run_lint
 __all__ = [
     # diagnostics
     "Diagnostic", "LintReport", "Severity", "DIAGNOSTIC_CODES",
-    "LINT_SCHEMA",
+    "LINT_SCHEMA", "LINT_SCHEMA_V1", "SUPPORTED_LINT_SCHEMAS",
     # dependency graphs
     "DependencyGraph", "patterns_may_unify", "rule_dependency_graph",
     "program_dependency_graph",
@@ -45,6 +58,13 @@ __all__ = [
     # level 2
     "lint_source", "lint_file", "lint_paths", "HOT_PATH_MODULES",
     "TIMING_ALLOWED_MODULES",
+    # level 3
+    "lint_concurrency_source", "lint_concurrency_file",
+    "lint_concurrency_paths", "GUARDED_FIELDS", "SC302_ALLOWED",
+    "FAULT_EXEMPT", "HOT_LOOP_MODULES", "STORAGE_MODULES",
+    "SERVING_MODULES",
+    # module resolution
+    "resolve_module", "matches_module",
     # runner
     "run_lint", "DATALOG_EXTENSIONS",
 ]

@@ -4,9 +4,17 @@ Every pass — program analysis over rule sets and Datalog files,
 engine-invariant lint over the source tree — reports through the same
 :class:`Diagnostic` shape (code, severity, location, fix hint), and
 every run aggregates into a :class:`LintReport` whose JSON form is
-versioned (``repro-lint-report/1``) and byte-stable: diagnostics are
+versioned (``repro-lint-report/2``) and byte-stable: diagnostics are
 sorted by location and code, keys are sorted, so two runs over the
 same inputs serialize identically and CI can diff them.
+
+Version 2 adds two per-diagnostic fields — ``pass_level`` (1 for
+program analysis, 2 for engine lint, 3 for concurrency/durability,
+derived from the code) and ``annotation`` (the source annotation that
+triggered the finding, e.g. ``guarded-by(_lock)``).  Consumers that
+only understand version 1 can request it via
+``to_dict(version=1)``/``to_json(version=1)``; both versions are in
+:data:`SUPPORTED_LINT_SCHEMAS`.
 """
 
 from __future__ import annotations
@@ -16,10 +24,16 @@ import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["Severity", "Diagnostic", "LintReport", "LINT_SCHEMA",
-           "DIAGNOSTIC_CODES"]
+           "LINT_SCHEMA_V1", "SUPPORTED_LINT_SCHEMAS", "DIAGNOSTIC_CODES"]
 
 #: bump on incompatible layout changes; diff tooling keys off this
-LINT_SCHEMA = "repro-lint-report/1"
+LINT_SCHEMA = "repro-lint-report/2"
+
+#: the previous layout, still writable for downstream consumers
+LINT_SCHEMA_V1 = "repro-lint-report/1"
+
+#: every schema version this module can serialize (and scripts accept)
+SUPPORTED_LINT_SCHEMAS = (LINT_SCHEMA_V1, LINT_SCHEMA)
 
 #: Every diagnostic code the subsystem can emit, with its one-line
 #: meaning.  ``docs/api.md`` renders this table; tests assert the two
@@ -52,6 +66,19 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
              "collection while iterating one of its lazy scans",
     "SC202": "hot-path class without __slots__",
     "SC203": "direct time.* timing outside repro.obs spans",
+    # Level 3 — concurrency & durability-protocol lint (serving/storage)
+    "SC301": "guarded-field access outside its lock scope, or a write "
+             "under only a read lock",
+    "SC302": "blocking call (fsync, sleep, socket/subprocess, WAL "
+             "append, snapshot commit) or nested lock acquisition "
+             "while a lock scope is live",
+    "SC303": "unbounded loop in a hot evaluation path without a "
+             "cancellation poll",
+    "SC304": "durability effect without an adjacent fault_point, or "
+             "FAULT_POINTS registry drift",
+    "SC305": "a return/ack is reachable after a buffer write without "
+             "an intervening fsync",
+    "SC306": "lock acquisition without a timeout on a serving path",
 }
 
 
@@ -71,11 +98,12 @@ class Diagnostic:
     """One finding: what, how bad, where, and how to fix it."""
 
     __slots__ = ("code", "severity", "message", "file", "line", "target",
-                 "hint")
+                 "hint", "annotation")
 
     def __init__(self, code: str, severity: Severity, message: str,
                  file: Optional[str] = None, line: Optional[int] = None,
-                 target: Optional[str] = None, hint: Optional[str] = None):
+                 target: Optional[str] = None, hint: Optional[str] = None,
+                 annotation: Optional[str] = None):
         if code not in DIAGNOSTIC_CODES:
             raise ValueError(f"unknown diagnostic code {code!r}")
         self.code = code
@@ -85,6 +113,12 @@ class Diagnostic:
         self.line = line
         self.target = target
         self.hint = hint
+        self.annotation = annotation
+
+    @property
+    def pass_level(self) -> int:
+        """1 = program analysis, 2 = engine lint, 3 = concurrency."""
+        return int(self.code[2])
 
     def sort_key(self) -> Tuple[str, int, str, str, str]:
         return (self.file or "", self.line or 0, self.code,
@@ -99,12 +133,14 @@ class Diagnostic:
             return self.target
         return "<input>"
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, version: int = 2) -> Dict[str, object]:
         node: Dict[str, object] = {
             "code": self.code,
             "severity": self.severity.value,
             "message": self.message,
         }
+        if version >= 2:
+            node["pass_level"] = self.pass_level
         if self.file is not None:
             node["file"] = self.file
         if self.line is not None:
@@ -113,6 +149,8 @@ class Diagnostic:
             node["target"] = self.target
         if self.hint is not None:
             node["hint"] = self.hint
+        if self.annotation is not None and version >= 2:
+            node["annotation"] = self.annotation
         return node
 
     def render(self) -> str:
@@ -133,7 +171,7 @@ class Diagnostic:
 
     def __hash__(self) -> int:
         return hash((self.code, self.severity, self.message, self.file,
-                     self.line, self.target, self.hint))
+                     self.line, self.target, self.hint, self.annotation))
 
 
 class LintReport:
@@ -165,11 +203,23 @@ class LintReport:
     def exit_code(self) -> int:
         return 1 if self.has_errors else 0
 
-    def to_dict(self) -> Dict[str, object]:
+    def filtered(self, select: Iterable[str] = (),
+                 ignore: Iterable[str] = ()) -> "LintReport":
+        """A new report keeping only codes matching a ``select`` prefix
+        (all, when none given) and no ``ignore`` prefix.  ``SC30``
+        selects the whole concurrency family; ``SC303`` one code."""
+        selects = tuple(select)
+        ignores = tuple(ignore)
+        kept = [d for d in self.diagnostics
+                if (not selects or d.code.startswith(selects))
+                and not (ignores and d.code.startswith(ignores))]
+        return LintReport(kept, self.targets)
+
+    def to_dict(self, version: int = 2) -> Dict[str, object]:
         return {
-            "schema": LINT_SCHEMA,
+            "schema": LINT_SCHEMA if version >= 2 else LINT_SCHEMA_V1,
             "targets": sorted(self.targets),
-            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "diagnostics": [d.to_dict(version) for d in self.sorted()],
             "summary": {
                 "errors": self.count(Severity.ERROR),
                 "warnings": self.count(Severity.WARNING),
@@ -178,9 +228,9 @@ class LintReport:
             },
         }
 
-    def to_json(self) -> str:
+    def to_json(self, version: int = 2) -> str:
         """Deterministic serialization (sorted keys, sorted findings)."""
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        return json.dumps(self.to_dict(version), indent=2, sort_keys=True)
 
     def render(self) -> str:
         lines = [d.render() for d in self.sorted()]

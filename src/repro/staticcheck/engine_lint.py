@@ -8,28 +8,36 @@ syntactic checker would have found it sooner and cheaper.  These
 checks encode the project's invariants over the AST:
 
 * **SC201** — no ``.add()``/``.remove()`` on a collection inside a
-  ``for`` loop iterating one of that same collection's lazy scans
-  (``match``, ``triples``, ``facts``, ``match_atom``, the collection
-  itself, or a delegated scan taking the collection as its first
-  argument: ``rule.fire(g, delta)``, ``rule.fire_conclusions``,
-  ``rule.match_body``).  Materialize first:
+  loop holding a live scan of it: a ``for`` over one of the
+  collection's lazy scans (``match``, ``triples``, ``facts``,
+  ``match_atom``, the collection itself, or a delegated scan taking
+  the collection as its first argument: ``rule.fire(g, delta)``,
+  ``rule.fire_conclusions``, ``rule.match_body``), or a ``while``
+  loop draining a name-bound cursor (``it = g.match(...)`` then
+  ``while ...: next(it)``).  Materialize first:
   ``for t in list(g.match(p))``.
 * **SC202** — classes in hot-path modules must declare ``__slots__``
   (per-derivation allocations dominate saturation; attribute dicts
-  are measurable overhead).  Decorated classes (dataclasses) and
-  exception types are exempt.
+  are measurable overhead).  Dataclasses must pass ``slots=True``;
+  exception types and otherwise-decorated classes are exempt.
 * **SC203** — no direct ``time.*`` timing outside :mod:`repro.obs`
   (spans are the one source of truth for durations) and
   :mod:`repro.analysis` (the calibration layer that *is* a timer).
+
+Module scoping is anchored: a file is only subject to a module's
+rules when it resolves to that module path (see
+:func:`.modpaths.resolve_module`), never because a path fragment
+happens to appear somewhere inside an unrelated path.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .diagnostics import Diagnostic, Severity
+from .modpaths import matches_module, resolve_module
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "HOT_PATH_MODULES",
            "TIMING_ALLOWED_MODULES", "DELEGATED_SCAN_METHODS"]
@@ -53,7 +61,8 @@ MUTATOR_METHODS = frozenset({"add", "remove", "discard", "add_fact",
                              "add_atom", "add_triple", "remove_triple",
                              "clear"})
 
-#: module path suffixes whose classes must declare __slots__
+#: module paths whose classes must declare __slots__ (entries ending
+#: in ``/`` are package prefixes, others match one module exactly)
 HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/rdf/terms.py",
     "repro/rdf/triples.py",
@@ -73,7 +82,7 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/cancellation.py",
 )
 
-#: module path fragments allowed to call time.* directly
+#: module packages allowed to call time.* directly
 TIMING_ALLOWED_MODULES: Tuple[str, ...] = (
     "repro/obs/",
     "repro/analysis/",
@@ -85,16 +94,6 @@ _TIMING_FUNCTIONS = frozenset({
 })
 
 _EXCEPTION_BASE_HINTS = ("Error", "Exception", "Warning")
-
-
-def _normalized(path: str) -> str:
-    return path.replace(os.sep, "/")
-
-
-def _matches_any(path: str, suffixes: Iterable[str]) -> bool:
-    normalized = _normalized(path)
-    return any(normalized.endswith(suffix) or suffix in normalized
-               for suffix in suffixes)
 
 
 def _base_expr(node: ast.AST) -> Optional[ast.AST]:
@@ -119,6 +118,9 @@ class _MutationDuringScan(ast.NodeVisitor):
         self.findings: List[Diagnostic] = []
         # stack of (collection key, rendered name, loop line)
         self._live: List[Tuple[str, str, int]] = []
+        # name-bound cursors: `it = g.match(...)` binds a live scan of
+        # g to `it`; a while loop advancing `it` holds that scan open
+        self._cursors: Dict[str, Tuple[str, str]] = {}
 
     def _scan_base(self, iterator: ast.AST) -> Optional[ast.AST]:
         # for t in X.match(...):  — a lazy scan over X's indexes
@@ -148,6 +150,39 @@ class _MutationDuringScan(ast.NodeVisitor):
             return
         self.generic_visit(node)
 
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # track `it = g.match(...)` (and drop rebound cursor names)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            base = self._scan_base(node.value) \
+                if isinstance(node.value, ast.Call) else None
+            if base is not None:
+                self._cursors[name] = (_expr_key(base), ast.unparse(base))
+            else:
+                self._cursors.pop(name, None)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        # any tracked cursor referenced inside the loop keeps its scan
+        # live for the whole iteration
+        used = {sub.id for sub in ast.walk(node)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx,
+                                                            ast.Load)}
+        pushed = 0
+        seen_keys: Set[str] = set()
+        for name in sorted(used & self._cursors.keys()):
+            key, rendered = self._cursors[name]
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            self._live.append((key, rendered, node.lineno))
+            pushed += 1
+        self.visit(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+        if pushed:
+            del self._live[-pushed:]
+
     def visit_Call(self, node: ast.Call) -> None:
         if (isinstance(node.func, ast.Attribute)
                 and node.func.attr in MUTATOR_METHODS and self._live):
@@ -165,15 +200,48 @@ class _MutationDuringScan(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return isinstance(target, ast.Name) and target.id == "dataclass"
+
+
+def _dataclass_has_slots(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False  # bare @dataclass: no slots
+    return any(kw.arg == "slots"
+               and isinstance(kw.value, ast.Constant)
+               and kw.value.value is True
+               for kw in node.keywords)
+
+
 def _check_slots(tree: ast.Module, file: str) -> List[Diagnostic]:
     findings: List[Diagnostic] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
-        if node.decorator_list:
-            continue  # dataclasses etc. manage their own layout
+        dataclass_decorators = [d for d in node.decorator_list
+                                if _is_dataclass_decorator(d)]
+        if node.decorator_list and not dataclass_decorators:
+            continue  # enum/functools etc. manage their own layout
         base_names = {ast.unparse(base) for base in node.bases}
         if any(base.endswith(_EXCEPTION_BASE_HINTS) for base in base_names):
+            continue
+        if dataclass_decorators:
+            # @dataclass without slots=True pays the same attribute
+            # dict a slotless class does — the decorator is not an
+            # exemption, slots=True is
+            if not any(_dataclass_has_slots(d)
+                       for d in dataclass_decorators):
+                findings.append(Diagnostic(
+                    "SC202", Severity.WARNING,
+                    f"dataclass {node.name!r} in a hot-path module "
+                    f"without slots=True: every instance pays an "
+                    f"attribute dict",
+                    file=file, line=node.lineno, target=node.name,
+                    hint="use @dataclass(slots=True) (plus eq/frozen "
+                         "as before)"))
             continue
         has_slots = any(
             isinstance(stmt, ast.Assign)
@@ -233,13 +301,14 @@ def lint_source(source: str, file: str,
                 ) -> List[Diagnostic]:
     """Lint one module's source text; deterministic order."""
     tree = ast.parse(source, filename=file)
+    module = resolve_module(file, source)
     findings: List[Diagnostic] = []
     checker = _MutationDuringScan(file)
     checker.visit(tree)
     findings.extend(checker.findings)
-    if _matches_any(file, hot_paths):
+    if matches_module(module, hot_paths):
         findings.extend(_check_slots(tree, file))
-    if not _matches_any(file, timing_allowed):
+    if not matches_module(module, timing_allowed):
         findings.extend(_check_timing(tree, file))
     return sorted(findings, key=Diagnostic.sort_key)
 

@@ -1,0 +1,116 @@
+"""Module-path resolution and annotation comments for the AST lints.
+
+Both lint levels scope rules by *module* ("classes in hot-path
+modules need ``__slots__``", "loops in evaluator modules must poll"),
+but they see *file paths* — absolute, relative, or fixture copies.
+The original matching (``suffix in normalized``) let a fragment like
+``repro/server/`` match any path containing it, so a fixtures copy of
+a module silently inherited the real module's rules.  Resolution is
+now anchored:
+
+* a path containing a ``src/repro/`` package root resolves to the
+  module path below it (``/a/b/src/repro/server/http.py`` →
+  ``repro/server/http.py``);
+* a path that already *is* a module path (``repro/datalog/engine.py``,
+  the form tests pass to ``lint_source``) resolves to itself;
+* anything else resolves to ``None`` — no module-scoped rule applies
+  — unless the file declares its identity with a pragma in its first
+  lines::
+
+      # sc: module(repro/datalog/engine.py)
+
+  which is how lint fixtures opt into the rules of the module they
+  reproduce.
+
+The same comment channel carries per-line suppressions::
+
+    self.db.snapshot()  # sc: allow(SC302): quiescence needs the lock
+
+and field guards for the lock-discipline pass::
+
+    self._hits = 0  # sc: guarded-by(_lock)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = ["resolve_module", "matches_module", "allowed_codes",
+           "guarded_fields_from_comments", "MODULE_PRAGMA_RE"]
+
+#: declared module identity: ``# sc: module(repro/storage/wal.py)``
+MODULE_PRAGMA_RE = re.compile(
+    r"#\s*sc:\s*module\(([\w./-]+)\)")
+
+#: per-line suppression: ``# sc: allow(SC302)`` /
+#: ``# sc: allow(SC303, SC306): reason``
+_ALLOW_RE = re.compile(r"#\s*sc:\s*allow\(([^)]*)\)")
+
+#: field guard: ``# sc: guarded-by(_stats_lock)``
+_GUARD_RE = re.compile(r"#\s*sc:\s*guarded-by\((\w+)\)")
+
+#: how many leading lines may carry the module pragma
+_PRAGMA_WINDOW = 10
+
+
+def resolve_module(path: str, source: Optional[str] = None) -> Optional[str]:
+    """The ``repro/...`` module path for ``path``, or ``None``.
+
+    A ``# sc: module(...)`` pragma in the first lines of ``source``
+    wins over the path; otherwise the path is anchored at the last
+    ``src/repro/`` package root it contains, or taken verbatim when it
+    already starts with ``repro/``.
+    """
+    if source is not None:
+        for line in source.splitlines()[:_PRAGMA_WINDOW]:
+            match = MODULE_PRAGMA_RE.search(line)
+            if match:
+                return match.group(1)
+    normalized = path.replace(os.sep, "/")
+    marker = "src/repro/"
+    at = normalized.rfind(marker)
+    if at != -1 and (at == 0 or normalized[at - 1] == "/"):
+        return normalized[at + len("src/"):]
+    if normalized.startswith("repro/"):
+        return normalized
+    return None
+
+
+def matches_module(module: Optional[str],
+                   entries: Iterable[str]) -> bool:
+    """Whether ``module`` falls under any entry.
+
+    An entry ending in ``/`` names a package prefix
+    (``repro/server/``); any other entry names one module exactly.
+    ``None`` (unresolvable file) matches nothing.
+    """
+    if module is None:
+        return False
+    return any(module.startswith(entry) if entry.endswith("/")
+               else module == entry
+               for entry in entries)
+
+
+def allowed_codes(source: str) -> Dict[int, Set[str]]:
+    """Per-line suppressions: line number → allowed diagnostic codes."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",")
+                     if code.strip()}
+            if codes:
+                allowed.setdefault(lineno, set()).update(codes)
+    return allowed
+
+
+def guarded_fields_from_comments(source: str) -> Dict[int, str]:
+    """Field-guard annotations: line number → guarding lock name."""
+    guards: Dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _GUARD_RE.search(line)
+        if match:
+            guards[lineno] = match.group(1)
+    return guards

@@ -1,6 +1,7 @@
 """Target dispatch: what `repro lint` runs for each kind of input.
 
-* ``*.py`` files and directories — the Level-2 engine-invariant lint;
+* ``*.py`` files and directories — the Level-2 engine-invariant lint
+  and the Level-3 concurrency/durability passes;
 * ``*.dlg`` / ``*.dl`` / ``*.datalog`` files — the Level-1 Datalog
   program passes (a syntax error is itself reported as an SC101-class
   error rather than crashing the run);
@@ -23,6 +24,7 @@ from ..rdf.graph import Graph
 from ..reasoning.rulesets import RuleSet
 from ..schema import Schema
 from ..sparql.ast import BGPQuery
+from .concurrency_lint import lint_concurrency_paths
 from .datalog_analysis import analyze_program
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine_lint import HOT_PATH_MODULES, lint_paths
@@ -67,6 +69,8 @@ def run_lint(paths: Sequence[str] = (),
     python_targets, datalog_targets = _split_paths(paths)
     if python_targets:
         report.extend(lint_paths(python_targets, hot_paths=hot_paths))
+        # Level 3: concurrency/durability passes over the same files
+        report.extend(lint_concurrency_paths(python_targets))
         for target in sorted(python_targets):
             report.add_target(target)
     for path in sorted(datalog_targets):

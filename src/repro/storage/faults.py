@@ -34,6 +34,7 @@ FAULT_POINTS: Tuple[str, ...] = (
     "snapshot.files_written",  # temp dir complete, commit rename pending
     "snapshot.renamed",      # snapshot dir in place, CURRENT still old
     "snapshot.current_written",  # CURRENT updated, WAL not yet reset
+    "wal.reset",             # WAL truncation pending, CURRENT committed
     "snapshot.done",         # fully committed, old snapshots not yet GCed
     "save.start",            # atomic save: nothing written yet
     "save.files_written",    # temp dir complete, swap pending

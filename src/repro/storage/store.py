@@ -75,7 +75,7 @@ _MANIFEST = "manifest.json"
 _SNAPSHOT_RE = re.compile(r"^(?:\.tmp-|snapshot-)(\d+)")
 
 
-@dataclass
+@dataclass(slots=True)
 class RecoveredState:
     """What :meth:`DurableStore.recover` hands back to the database."""
 

@@ -121,6 +121,7 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Drop every record (the snapshot now covers them)."""
+        fault_point("wal.reset")
         self._handle.close()
         self._handle = open(self.path, "wb", buffering=0)
         os.fsync(self._handle.fileno())

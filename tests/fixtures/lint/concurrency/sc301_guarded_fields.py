@@ -1,0 +1,26 @@
+"""SC301 fixture: guarded-field accesses violating the lock discipline.
+
+``served`` is annotated as guarded by ``lock``; the good method holds
+the exclusive side, the bad ones read with no scope and write under
+only the shared side.
+"""
+
+
+class Stats:
+    def __init__(self, lock):
+        self.lock = lock
+        self.served = 0  # sc: guarded-by(lock)
+
+    def bump(self):
+        # GOOD: write under the exclusive side
+        with self.lock.write(timeout=1.0):
+            self.served += 1
+
+    def peek(self):
+        # BAD: read with no lock scope held
+        return self.served
+
+    def misbump(self):
+        # BAD: write under only the shared side
+        with self.lock.read(timeout=1.0):
+            self.served += 1

@@ -1,0 +1,16 @@
+"""SC302 fixture: blocking I/O and nested acquisition under a lock."""
+
+import os
+
+
+def commit(lock, handle):
+    with lock.write(timeout=1.0):
+        # BAD: every waiter stalls behind this fsync
+        os.fsync(handle.fileno())
+
+
+def reenter(lock):
+    with lock.read(timeout=1.0):
+        # BAD: the lock is not reentrant — self-deadlock
+        with lock.read(timeout=1.0):
+            return 1

@@ -1,0 +1,10 @@
+"""SC303 fixture: a hot-path scan loop that never polls its deadline."""
+# sc: module(repro/sparql/evaluator.py)
+
+
+def count_matches(graph):
+    total = 0
+    # BAD: can stream millions of triples without one poll
+    for _triple in graph.match(None, None, None):
+        total += 1
+    return total

@@ -1,0 +1,33 @@
+"""SC304 fixture: fault-point coverage and registry drift.
+
+A self-contained miniature of ``repro.storage.faults``: its registry
+and announcements disagree in both directions, and one effect has no
+fault point at all.
+"""
+# sc: module(repro/storage/fixture_wal.py)
+
+import os
+
+FAULT_POINTS = (
+    "fixture.append.start",
+    "fixture.orphan",  # BAD: registered but never announced
+)
+
+
+def fault_point(name):
+    return name
+
+
+def append(handle, payload):
+    fault_point("fixture.append.start")
+    handle.write(payload)
+    os.fsync(handle.fileno())
+    # BAD: announced but missing from FAULT_POINTS
+    fault_point("fixture.append.unregistered")
+    return len(payload)
+
+
+def swap(path):
+    # BAD: durability effect with no fault point — the crash suite
+    # cannot kill the process here
+    os.replace(path + ".tmp", path)

@@ -1,0 +1,8 @@
+"""SC305 fixture: an acknowledgement the crash can revoke."""
+# sc: module(repro/storage/fixture_commit.py)
+
+
+def commit(handle, payload):
+    handle.write(payload)
+    # BAD: returns (acks) with the write still in the page cache
+    return len(payload)

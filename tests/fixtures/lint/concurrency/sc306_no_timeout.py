@@ -1,0 +1,13 @@
+"""SC306 fixture: unbounded lock acquisitions on a serving path."""
+# sc: module(repro/server/fixture_worker.py)
+
+
+def fetch(lock, store):
+    # BAD: no timeout — a stuck writer holds this worker forever
+    with lock.read():
+        return dict(store)
+
+
+def hold(lock):
+    # BAD: bare acquire with no deadline
+    lock.acquire_write()

@@ -29,3 +29,22 @@ def safe_different_collection(graph, other, pattern):
     # GOOD: mutating a different collection than the one scanned.
     for triple in graph.match(pattern):
         other.add(triple)
+
+
+def drain_with_cursor(graph, pattern):
+    # BAD: the while loop advances a name-bound cursor over a live
+    # scan of `graph`, then mutates `graph` mid-walk — the for-loop
+    # blind spot the cursor tracker closes.
+    cursor = graph.match(pattern)
+    triple = next(cursor, None)
+    while triple is not None:
+        graph.add(triple)
+        triple = next(cursor, None)
+
+
+def safe_cursor_materialized(graph, pattern):
+    # GOOD: rebinding the name to a materialized list closes the scan
+    # before the loop starts.
+    cursor = list(graph.match(pattern))
+    while cursor:
+        graph.add(cursor.pop())

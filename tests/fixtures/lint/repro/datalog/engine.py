@@ -1,8 +1,10 @@
-"""Lint fixture shadowing a hot-path module name (SC202).
+"""Lint fixture reproducing a hot-path module (SC202).
 
-Its path ends in ``repro/datalog/engine.py``, so the __slots__ rule
-applies; the real engine lives under ``src/`` and stays clean.
+The module pragma below opts this file into the rules of
+``repro/datalog/engine.py``; its on-disk path (a fixtures copy) no
+longer matters.  The real engine lives under ``src/`` and stays clean.
 """
+# sc: module(repro/datalog/engine.py)
 
 
 class SlotlessState:

@@ -9,6 +9,8 @@ only catch indirectly.
 
 import pytest
 
+from repro.cancellation import (CancellationToken, OperationCancelled,
+                                cancellation_scope)
 from repro.rdf import Graph, Triple
 from repro.rdf.columnar import ColumnarTripleIndex, MERGE_MIN_DELTA
 from repro.rdf.index import TripleIndex
@@ -303,3 +305,58 @@ class TestJoinPlans:
             [TriplePattern(V("x"), EX.worksFor, V("org"))],
             distinguished=(V("org"),)).with_modifiers(distinct=True))
         assert len(distinct) == 3
+
+
+# ----------------------------------------------------------------------
+# cooperative cancellation inside the join layer
+# ----------------------------------------------------------------------
+
+class TestCancellationPolls:
+    """Regressions for the polls the concurrency lint (SC303) drove
+    into the step loops: a query cancelled mid-stream must stop within
+    one poll stride, not run to completion."""
+
+    def _chain_graph(self, n=600):
+        graph = Graph(backend="columnar")
+        for i in range(n):
+            graph.add(Triple(EX.term(f"s{i}"), EX.term("p"),
+                             EX.term(f"o{i}")))
+        return graph
+
+    def test_depth_one_scan_polls_mid_stream(self):
+        graph = self._chain_graph()
+        plan = compile_bgp(
+            graph, [TriplePattern(V("x"), EX.term("p"), V("y"))])
+        assert len(plan.steps) == 1  # the flat depth-1 fast path
+        token = CancellationToken(None)
+        consumed = 0
+        with cancellation_scope(token):
+            with pytest.raises(OperationCancelled):
+                for __ in plan.run():
+                    consumed += 1
+                    if consumed == 8:
+                        token.cancel()
+        # stopped within one 256-iteration poll stride of the cancel
+        assert 8 <= consumed < 8 + 257
+
+    def test_uncancelled_token_streams_everything(self):
+        graph = self._chain_graph(n=64)
+        plan = compile_bgp(
+            graph, [TriplePattern(V("x"), EX.term("p"), V("y"))])
+        with cancellation_scope(CancellationToken(None)):
+            assert len(list(plan.run())) == 64
+
+    def test_leapfrog_polls_between_seeks(self):
+        token = CancellationToken(None)
+
+        def seek(value):
+            return value if value < 4096 else None
+
+        stream = leapfrog([seek], [0, 0, 0, 0, 0], token)
+        consumed = 0
+        with pytest.raises(OperationCancelled):
+            for __ in stream:
+                consumed += 1
+                if consumed == 5:
+                    token.cancel()
+        assert 5 <= consumed < 5 + 257

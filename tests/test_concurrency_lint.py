@@ -1,0 +1,353 @@
+"""Tests for the Level-3 concurrency/durability lint family
+(SC301–SC306), the anchored module-path resolver, the schema-/2
+report format, and the ``--select``/``--ignore`` CLI filters."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck import (LINT_SCHEMA, LINT_SCHEMA_V1,
+                               SUPPORTED_LINT_SCHEMAS, Diagnostic,
+                               LintReport, Severity,
+                               lint_concurrency_paths,
+                               lint_concurrency_source, matches_module,
+                               resolve_module, run_lint)
+from repro.staticcheck.modpaths import (allowed_codes,
+                                        guarded_fields_from_comments)
+
+REPO = pathlib.Path(__file__).parent.parent
+CORPUS = REPO / "tests" / "fixtures" / "lint" / "concurrency"
+GOLDEN = CORPUS / "expected_report.json"
+SRC = REPO / "src" / "repro"
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def corpus_file(name):
+    return str(CORPUS / name)
+
+
+# ----------------------------------------------------------------------
+# module-path resolution (anchored, pragma, prefix matching)
+# ----------------------------------------------------------------------
+
+class TestModulePaths:
+    def test_anchored_to_the_package_root(self):
+        assert (resolve_module("/home/x/src/repro/sparql/joins.py", "")
+                == "repro/sparql/joins.py")
+        # the LAST src/repro marker wins: a vendored copy inside a
+        # scratch tree must not resolve to the outer path
+        assert (resolve_module("src/repro/vendor/src/repro/a.py", "")
+                == "repro/a.py")
+
+    def test_verbatim_repro_prefix(self):
+        assert (resolve_module("repro/server/service.py", "")
+                == "repro/server/service.py")
+
+    def test_unanchored_paths_do_not_resolve(self):
+        # a fixture named like a hot-path module must NOT inherit its
+        # module-scoped checks just by filename
+        assert resolve_module("tests/fixtures/lint/evaluator.py", "") is None
+        assert resolve_module("somewhere/else.py", "") is None
+
+    def test_pragma_wins_over_the_path(self):
+        source = '"""doc"""\n# sc: module(repro/sparql/evaluator.py)\n'
+        assert (resolve_module("tests/fixtures/x.py", source)
+                == "repro/sparql/evaluator.py")
+        assert (resolve_module("src/repro/storage/wal.py", source)
+                == "repro/sparql/evaluator.py")
+
+    def test_pragma_must_be_near_the_top(self):
+        source = "\n" * 12 + "# sc: module(repro/sparql/evaluator.py)\n"
+        assert resolve_module("x.py", source) is None
+
+    def test_prefix_and_exact_matching(self):
+        assert matches_module("repro/storage/wal.py", ("repro/storage/",))
+        assert not matches_module("repro/storage2/wal.py",
+                                  ("repro/storage/",))
+        assert matches_module("repro/sparql/joins.py",
+                              ("repro/sparql/joins.py",))
+        assert not matches_module("repro/sparql/joins2.py",
+                                  ("repro/sparql/joins.py",))
+        assert not matches_module(None, ("repro/",))
+
+    def test_allow_comments_and_guard_comments_parse(self):
+        source = ("x = 1  # sc: allow(SC303): drains\n"
+                  "y = 2  # sc: guarded-by(lock)\n")
+        allow = allowed_codes(source)
+        assert allow.get(1) == {"SC303"}
+        assert guarded_fields_from_comments(source) == {2: "lock"}
+
+
+# ----------------------------------------------------------------------
+# one exact diagnostic per fixture
+# ----------------------------------------------------------------------
+
+class TestFixtureDiagnostics:
+    def lint_fixture(self, name):
+        path = corpus_file(name)
+        with open(path, encoding="utf-8") as handle:
+            return lint_concurrency_source(handle.read(), file=path)
+
+    def test_sc301_guarded_fields(self):
+        found = self.lint_fixture("sc301_guarded_fields.py")
+        assert codes_of(found) == ["SC301", "SC301"]
+        unguarded_read, shared_write = found
+        assert unguarded_read.severity is Severity.ERROR
+        assert "outside any 'lock' scope" in unguarded_read.message
+        assert unguarded_read.annotation == "guarded-by(lock)"
+        assert "under only a read lock" in shared_write.message
+
+    def test_sc302_blocking_and_nested(self):
+        found = self.lint_fixture("sc302_blocking_under_lock.py")
+        assert codes_of(found) == ["SC302", "SC302"]
+        blocking, nested = found
+        assert blocking.severity is Severity.WARNING
+        assert "os.fsync" in blocking.message
+        assert nested.severity is Severity.ERROR
+        assert "nested acquisition" in nested.message
+
+    def test_sc303_unpolled_loop(self):
+        (loop,) = self.lint_fixture("sc303_unpolled_loop.py")
+        assert loop.code == "SC303"
+        assert loop.severity is Severity.WARNING
+        assert "cancellation poll" in loop.message
+
+    def test_sc304_fault_points(self):
+        # per-file passes catch the uncovered effect; the registry
+        # drift needs the paths entry point (cross-file accumulation)
+        found = lint_concurrency_paths([corpus_file("sc304_fault_points.py")])
+        assert codes_of(found) == ["SC304", "SC304", "SC304"]
+        orphan, unregistered, uncovered = found
+        assert "never announced" in orphan.message
+        assert "not registered" in unregistered.message
+        assert "no fault_point" in uncovered.message
+        assert all(d.severity is Severity.ERROR for d in found)
+
+    def test_sc305_unsynced_ack(self):
+        (ack,) = self.lint_fixture("sc305_unsynced_ack.py")
+        assert ack.code == "SC305"
+        assert ack.severity is Severity.ERROR
+        assert "no intervening fsync" in ack.message
+
+    def test_sc306_no_timeout(self):
+        found = self.lint_fixture("sc306_no_timeout.py")
+        assert codes_of(found) == ["SC306", "SC306"]
+        assert {d.severity for d in found} == {Severity.WARNING}
+
+    def test_own_source_tree_is_concurrency_clean(self):
+        assert lint_concurrency_paths([str(SRC)]) == []
+
+
+# ----------------------------------------------------------------------
+# the golden report: exact bytes, stable across runs
+# ----------------------------------------------------------------------
+
+class TestGoldenReport:
+    @pytest.fixture(autouse=True)
+    def _from_repo_root(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+
+    def corpus_report(self):
+        return run_lint(["tests/fixtures/lint/concurrency"])
+
+    def test_matches_the_checked_in_golden_bytes(self):
+        produced = self.corpus_report().to_json() + "\n"
+        assert produced == GOLDEN.read_text(encoding="utf-8")
+
+    def test_byte_stable_across_runs(self):
+        assert (self.corpus_report().to_json()
+                == self.corpus_report().to_json())
+
+    def test_covers_every_level3_code(self):
+        found = set(codes_of(self.corpus_report().diagnostics))
+        assert found == {"SC301", "SC302", "SC303", "SC304", "SC305",
+                         "SC306"}
+
+
+# ----------------------------------------------------------------------
+# schema /2 and version negotiation
+# ----------------------------------------------------------------------
+
+class TestReportSchema:
+    def sample(self):
+        return Diagnostic("SC301", Severity.ERROR, "m", file="f.py",
+                          line=3, target="t", hint="h",
+                          annotation="guarded-by(lock)")
+
+    def test_v2_payload_has_pass_level_and_annotation(self):
+        payload = self.sample().to_dict()
+        assert payload["pass_level"] == 3
+        assert payload["annotation"] == "guarded-by(lock)"
+
+    def test_v1_payload_omits_the_new_fields(self):
+        payload = self.sample().to_dict(version=1)
+        assert "pass_level" not in payload
+        assert "annotation" not in payload
+
+    def test_report_writes_both_schema_strings(self):
+        report = LintReport([self.sample()])
+        assert json.loads(report.to_json())["schema"] == LINT_SCHEMA
+        assert (json.loads(report.to_json(version=1))["schema"]
+                == LINT_SCHEMA_V1)
+        assert LINT_SCHEMA_V1 in SUPPORTED_LINT_SCHEMAS
+        assert LINT_SCHEMA in SUPPORTED_LINT_SCHEMAS
+
+    def test_summary_script_accepts_both_versions(self, tmp_path):
+        spec = importlib.util.spec_from_file_location(
+            "lint_report_summary",
+            REPO / "scripts" / "lint_report_summary.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        report = LintReport([self.sample()])
+        for version in (1, 2):
+            summary = module.summarize(
+                json.loads(report.to_json(version=version)))
+            assert summary["total"] == 1
+            # negotiation: /1 derives the level from the code digit,
+            # /2 reads it from the payload — same answer either way
+            assert summary["pass_levels"]["SC301"] == 3
+        assert summary["annotated"] == 1  # only visible in /2
+        with pytest.raises(ValueError, match="unsupported schema"):
+            module.summarize({"schema": "repro-lint-report/99",
+                              "diagnostics": []})
+        # and the CLI surface: exit 0 on summarize, 1 on --fail-on
+        v1 = tmp_path / "report.json"
+        v1.write_text(report.to_json(version=1), encoding="utf-8")
+        assert module.main([str(v1)]) == 0
+        assert module.main([str(v1), "--fail-on", "error"]) == 1
+
+    def test_filtered_by_code_prefix(self):
+        sc301 = self.sample()
+        sc202 = Diagnostic("SC202", Severity.WARNING, "m", file="f.py",
+                           line=9)
+        report = LintReport([sc301, sc202])
+        assert codes_of(report.filtered(select=("SC30",)).diagnostics) \
+            == ["SC301"]
+        assert codes_of(report.filtered(ignore=("SC2",)).diagnostics) \
+            == ["SC301"]
+        assert codes_of(report.filtered(select=("SC",),
+                                        ignore=("SC301",)).diagnostics) \
+            == ["SC202"]
+
+
+# ----------------------------------------------------------------------
+# the CLI filters
+# ----------------------------------------------------------------------
+
+class TestCLIFilters:
+    @pytest.fixture(autouse=True)
+    def _from_repo_root(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+
+    def test_select_narrows_to_the_level3_family(self, capsys):
+        code = main(["lint", "tests/fixtures/lint/concurrency",
+                     "--select", "SC30"])
+        out = capsys.readouterr().out
+        assert code == 1  # SC301/302/304/305 errors survive the filter
+        assert "SC30" in out and "SC2" not in out
+
+    def test_ignore_can_silence_the_corpus(self, capsys):
+        code = main(["lint", "tests/fixtures/lint/concurrency",
+                     "--ignore", "SC3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_select_json_report_keeps_schema(self, capsys, tmp_path):
+        target = tmp_path / "report.json"
+        main(["lint", "tests/fixtures/lint/concurrency", "--select",
+              "SC303", "--json", "-o", str(target)])
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == LINT_SCHEMA
+        assert codes_of_dicts(payload["diagnostics"]) == ["SC303"]
+
+    def test_clean_select_run_over_src(self, capsys):
+        assert main(["lint", "src/repro", "--select", "SC30"]) == 0
+
+
+def codes_of_dicts(diagnostics):
+    return [d["code"] for d in diagnostics]
+
+
+# ----------------------------------------------------------------------
+# targeted source-level behaviours of the new passes
+# ----------------------------------------------------------------------
+
+class TestPassBehaviours:
+    def test_allow_comment_silences_a_poll_warning(self):
+        source = (
+            '"""d"""\n'
+            "# sc: module(repro/sparql/evaluator.py)\n"
+            "def drain(graph):\n"
+            "    for t in graph.match(None):  # sc: allow(SC303): tiny\n"
+            "        print(t)\n")
+        assert lint_concurrency_source(source, file="x.py") == []
+
+    def test_poll_inside_the_loop_satisfies_sc303(self):
+        source = (
+            '"""d"""\n'
+            "# sc: module(repro/sparql/evaluator.py)\n"
+            "def drain(graph, token):\n"
+            "    n = 0\n"
+            "    for t in graph.match(None):\n"
+            "        n += 1\n"
+            "        if token is not None and n & 0xFF == 0:\n"
+            "            token.raise_if_cancelled()\n")
+        assert lint_concurrency_source(source, file="x.py") == []
+
+    def test_guarded_write_under_write_lock_is_clean(self):
+        source = (
+            "class S:\n"
+            "    def __init__(self, lock):\n"
+            "        self.lock = lock\n"
+            "        self.n = 0  # sc: guarded-by(lock)\n"
+            "    def bump(self):\n"
+            "        with self.lock.write(timeout=1.0):\n"
+            "            self.n += 1\n")
+        assert lint_concurrency_source(source, file="x.py") == []
+
+    def test_init_writes_are_exempt_from_sc301(self):
+        source = (
+            "class S:\n"
+            "    def __init__(self, lock):\n"
+            "        self.lock = lock\n"
+            "        self.n = 0  # sc: guarded-by(lock)\n")
+        assert lint_concurrency_source(source, file="x.py") == []
+
+    def test_fsync_after_write_satisfies_sc305(self):
+        source = (
+            '"""d"""\n'
+            "# sc: module(repro/storage/x.py)\n"
+            "import os\n"
+            "def commit(handle, payload):\n"
+            "    handle.write(payload)\n"
+            "    os.fsync(handle.fileno())\n"
+            "    return len(payload)\n")
+        found = lint_concurrency_source(source, file="x.py")
+        assert "SC305" not in codes_of(found)
+
+    def test_timeout_keyword_satisfies_sc306(self):
+        source = (
+            '"""d"""\n'
+            "# sc: module(repro/server/x.py)\n"
+            "def fetch(lock):\n"
+            "    with lock.read(timeout=2.0):\n"
+            "        return 1\n")
+        assert lint_concurrency_source(source, file="x.py") == []
+
+    def test_nonliteral_fault_point_name_is_flagged(self):
+        source = (
+            '"""d"""\n'
+            "# sc: module(repro/storage/x.py)\n"
+            "from repro.storage.faults import fault_point\n"
+            "def announce(name):\n"
+            "    fault_point(name)\n")
+        found = lint_concurrency_source(source, file="x.py")
+        assert codes_of(found) == ["SC304"]
+        assert "literal" in found[0].message

@@ -233,6 +233,37 @@ class TestServingDatabase:
         assert stats["cache"]["misses"] == 1
         assert "graph_version" in stats
 
+    def test_stats_counters_are_exact_under_concurrency(self, lubm_small):
+        """Regression for the unguarded counter bumps the concurrency
+        lint flagged (SC301): hammering query/stats from several
+        threads must lose no increments."""
+        svc = _serving_db(lubm_small)
+        per_thread, nthreads = 25, 4
+
+        def hammer():
+            for __ in range(per_thread):
+                svc.query(Q2)
+                svc.stats()
+
+        threads = [threading.Thread(target=hammer)
+                   for __ in range(nthreads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert svc.stats()["served_queries"] == per_thread * nthreads
+
+    def test_update_log_reads_under_the_lock_with_timeout(self, lubm_small):
+        """``update_log`` now snapshots under the read lock; the
+        optional timeout keeps callers bounded."""
+        svc = _serving_db(lubm_small)
+        svc.update(_insert_text(svc.db.graph, seed=1))
+        log = svc.update_log(timeout=1.0)
+        assert len(log) == 1
+        # the returned list is a copy, not the guarded field itself
+        log.clear()
+        assert len(svc.update_log()) == 1
+
 
 # ----------------------------------------------------------------------
 # the HTTP endpoint

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.db import RDFDatabase, Strategy
-from repro.rdf import Graph, Triple
+from repro.rdf import Triple
 from repro.rdf.namespaces import RDF, RDFS
 from repro.rdf.ntriples import serialize_ntriples
 from repro.storage import (FAULT_POINTS, DurableStore, FaultInjector,
@@ -232,6 +232,42 @@ class TestSnapshotCrashRecovery:
         reopened = RDFDatabase(storage_dir=str(tmp_path))
         assert_same_answers(reopened,
                             mirror_at_version(seed, batches, final_version))
+        reopened.close()
+
+    def test_crash_during_wal_truncation_after_commit(self, tmp_path):
+        """``wal.reset`` fires after CURRENT commits: the crash leaves
+        a committed snapshot plus a stale WAL tail, and recovery must
+        not double-apply those already-folded records."""
+        seed = 13
+        batches = make_batches(seed)
+        db = RDFDatabase(random_rdfs_graph(seed, size=10),
+                         strategy=Strategy.SATURATION, backend="columnar",
+                         storage_dir=str(tmp_path))
+        for op, batch in batches:
+            apply_batch(db, op, batch)
+        acked = db.graph.version
+
+        set_fault_hook(FaultInjector("wal.reset", hits=1))
+        with pytest.raises(InjectedCrash):
+            db.snapshot()
+        set_fault_hook(None)
+        # the snapshot committed before the truncation died
+        with open(tmp_path / "CURRENT", encoding="utf-8") as handle:
+            assert handle.read().strip().endswith(f"v{acked}")
+        db.close()
+
+        recovered = RDFDatabase(storage_dir=str(tmp_path))
+        assert recovered.graph.version == acked
+        assert_same_answers(recovered,
+                            mirror_at_version(seed, batches, acked))
+        # the reopened store still writes and snapshots cleanly
+        recovered.insert([Triple(EX.term("post"), RDF.type,
+                                 EX.term("C0"))])
+        recovered.snapshot()
+        final_version = recovered.graph.version
+        recovered.close()
+        reopened = RDFDatabase(storage_dir=str(tmp_path))
+        assert reopened.graph.version == final_version
         reopened.close()
 
     def test_crash_before_first_commit_reads_as_empty(self, tmp_path):
