@@ -26,6 +26,15 @@ resume the saturated closure, replay the WAL tail through incremental
 maintenance) — once with a WAL tail of streamed updates and once from
 a clean snapshot.
 
+``--suite pr8`` records the vectorized-kernel rewrite: "before" runs
+the saturation fixpoint and the Q1–Q10 workload under the ``scalar``
+kernel mode (the per-element reference loops), "after" under the
+default ``python`` mode (whole-slice bisect/copy kernels), with the
+optional ``numpy`` mode carried as an extra field — plus the serving
+overload comparison: live-request p99 of the thread-per-connection
+front-end vs the asyncio front-end while idle connections and slow
+readers hold the server open.
+
 The output is diffable with ``scripts/bench_compare.py``.  ``--quick``
 shrinks every workload for CI smoke runs; committed baselines should
 be recorded without it.
@@ -310,15 +319,139 @@ def record_pr6(quick: bool, repeat: int) -> dict:
     }
 
 
+def record_pr8(quick: bool, repeat: int) -> dict:
+    import threading
+
+    from repro import kernels
+    from repro.db import RDFDatabase, Strategy
+    from repro.server import (OverloadConfig, ServerConfig, run_overload,
+                              serve, serve_async)
+
+    benchmarks: dict = {}
+    scale = 2 if quick else 8
+    graph = generate_lubm(LUBMConfig(departments=scale)).to_backend("columnar")
+    modes = ["scalar", "python"]
+    if kernels.numpy_available():
+        modes.append("numpy")
+    extra_mode = "numpy" if kernels.numpy_available() else None
+
+    def timed_modes(fn, rounds=None) -> dict:
+        """Best-of-``rounds`` per mode, modes *interleaved* within each
+        repetition so every mode samples the same machine-noise windows
+        (back-to-back per-mode runs skew the ratio on a busy host)."""
+        best: dict = {}
+        for __ in range(repeat if rounds is None else rounds):
+            for mode in modes:
+                with kernels.kernel_scope(mode):
+                    run = best_of(fn, repeat=1)
+                if mode not in best or run.seconds < best[mode].seconds:
+                    best[mode] = run
+        return best
+
+    # -- saturation fixpoint: scalar loops vs vectorized kernels -------
+    sat = lambda: saturate(graph, RDFS_FULL, engine="seminaive-batch")
+    runs = timed_modes(sat)
+    before, after = runs["scalar"], runs["python"]
+    assert after.result.inferred == before.result.inferred
+    extra = {"base_size": before.result.base_size,
+             "inferred": before.result.inferred}
+    if extra_mode:
+        assert runs[extra_mode].result.inferred == before.result.inferred
+        extra["numpy_s"] = round(runs[extra_mode].seconds, 6)
+    benchmarks[f"kernels/lubm_{scale}dept/saturation_rdfs-full"] = _entry(
+        before.seconds, after.seconds, **extra)
+
+    # -- query answering: Q1-Q10 over the saturated columnar store -----
+    with kernels.kernel_scope("python"):
+        saturated = saturate(graph, RDFS_FULL).graph
+    totals = {"scalar": 0.0, "python": 0.0, "numpy": 0.0}
+    # sub-millisecond measurements need more samples than the whole-
+    # fixpoint ones for the best-of to converge on a single-core host
+    qrounds = max(repeat, 3 if quick else 25)
+    for qid in WORKLOAD_QUERIES:
+        query = workload_query(qid)
+        runs = timed_modes(lambda: evaluate(saturated, query),
+                           rounds=qrounds)
+        before, after = runs["scalar"], runs["python"]
+        assert after.result.to_set() == before.result.to_set(), qid
+        totals["scalar"] += before.seconds
+        totals["python"] += after.seconds
+        extra = {"answers": len(before.result)}
+        if extra_mode:
+            assert (runs[extra_mode].result.to_set()
+                    == before.result.to_set()), qid
+            totals["numpy"] += runs[extra_mode].seconds
+            extra["numpy_s"] = round(runs[extra_mode].seconds, 6)
+        benchmarks[f"kernels/lubm_{scale}dept/{qid}"] = _entry(
+            before.seconds, after.seconds, **extra)
+    extra = {"queries": len(WORKLOAD_QUERIES)}
+    if extra_mode:
+        extra["numpy_s"] = round(totals["numpy"], 6)
+    benchmarks[f"kernels/lubm_{scale}dept/aggregate"] = _entry(
+        totals["scalar"], totals["python"], **extra)
+
+    # -- serving overload: threaded vs asyncio front-end p99 -----------
+    overload = OverloadConfig(
+        idle_connections=16 if quick else 128,
+        slow_readers=4 if quick else 16,
+        burst_clients=2 if quick else 8,
+        requests_per_client=5 if quick else 25)
+    serve_db = generate_lubm(LUBMConfig(departments=1))
+    config = ServerConfig(port=0, workers=4, queue_depth=64, timeout=30.0)
+    reports = {}
+    for frontend in ("threaded", "asyncio"):
+        db = RDFDatabase(serve_db.copy(), strategy=Strategy.SATURATION,
+                         backend="columnar")
+        if frontend == "asyncio":
+            server = serve_async(db, config).start()
+            stop = server.shutdown
+        else:
+            server = serve(db, config)
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+            stop = server.shutdown
+        try:
+            reports[frontend] = run_overload(server.base_url, overload)
+        finally:
+            stop()
+        assert reports[frontend].statuses.get(200, 0) > 0, frontend
+    threaded_p99 = reports["threaded"].percentiles()["p99"]
+    asyncio_p99 = reports["asyncio"].percentiles()["p99"]
+    benchmarks["serving/overload/live_p99"] = _entry(
+        threaded_p99, asyncio_p99,
+        idle_connections=overload.idle_connections,
+        slow_readers=overload.slow_readers,
+        burst_clients=overload.burst_clients,
+        threaded=reports["threaded"].to_dict(),
+        asyncio=reports["asyncio"].to_dict())
+
+    return {
+        "format": FORMAT,
+        "label": "pr8-kernels",
+        "quick": quick,
+        "repeat": repeat,
+        "before": "scalar kernels (per-element loops), thread-per-"
+                  "connection front-end under overload",
+        "after": "vectorized python kernels (whole-slice bisect/copy), "
+                 "asyncio front-end under overload",
+        "extra_fields": {"numpy_s": "optional numpy kernel mode"},
+        "workloads": {f"lubm_{scale}dept": len(graph),
+                      "lubm_1dept_serving": len(serve_db)},
+        "benchmarks": benchmarks,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="pr3",
-                        choices=("pr3", "pr5", "pr6"),
+                        choices=("pr3", "pr5", "pr6", "pr8"),
                         help="pr3: hash-vs-columnar backends (default); "
                              "pr5: reformulation strategies "
                              "(ucq vs encoded, plus factorized/saturation); "
                              "pr6: durable-storage restart vs cold "
-                             "re-saturation")
+                             "re-saturation; "
+                             "pr8: scalar-vs-vectorized kernels plus "
+                             "threaded-vs-asyncio overload p99")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON report "
                              "(default: BENCH_<suite>.json)")
@@ -329,7 +462,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.output is None:
         args.output = str(REPO / f"BENCH_{args.suite}.json")
-    recorder = {"pr5": record_pr5, "pr6": record_pr6}.get(args.suite, record)
+    recorder = {"pr5": record_pr5, "pr6": record_pr6,
+                "pr8": record_pr8}.get(args.suite, record)
     report = recorder(args.quick, args.repeat)
     pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     width = max(len(name) for name in report["benchmarks"])

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import Optional, Sequence
 
 from .db import RDFDatabase, Strategy
@@ -268,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="fold the WAL into a snapshot automatically "
                           "after N logged updates (default 512)")
+    sub.add_argument("--frontend", choices=("threaded", "asyncio"),
+                     default="threaded",
+                     help="connection handling: 'threaded' (stdlib "
+                          "thread per connection) or 'asyncio' (one "
+                          "event loop; same routes and status codes, "
+                          "flatter tail latency under connection "
+                          "overload)")
 
     return parser
 
@@ -470,8 +478,26 @@ def _cmd_serve(args) -> int:
         workers=args.workers, queue_depth=args.queue_depth,
         timeout=args.timeout if args.timeout > 0 else None,
         cache_size=args.cache_size, host=args.host, port=args.port)
-    server = serve(db, config)
     durable = f", storage={args.storage_dir}" if args.storage_dir else ""
+    if args.frontend == "asyncio":
+        from .server import serve_async
+
+        aserver = serve_async(db, config)
+        aserver.start()
+        # the port line is machine-read by the smoke harness; keep it first
+        print(f"serving {len(db)} triples on {aserver.base_url} "
+              f"(strategy={db.strategy.value}, backend={db.backend}, "
+              f"workers={config.workers}, frontend=asyncio{durable})",
+              flush=True)
+        try:
+            threading.Event().wait()  # the loop thread does the serving
+        except KeyboardInterrupt:
+            pass
+        finally:
+            aserver.shutdown()
+            db.close()
+        return 0
+    server = serve(db, config)
     # the port line is machine-read by the smoke harness; keep it first
     print(f"serving {len(db)} triples on {server.base_url} "
           f"(strategy={db.strategy.value}, backend={db.backend}, "

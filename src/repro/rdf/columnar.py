@@ -33,8 +33,10 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple, Union)
 
+from .. import kernels
 from ..obs import get_metrics
 from .index import (DEFAULT_ORDERS, EncodedTriple, IndexOrder,
                     ORDER_PERMUTATIONS, invert_order)
@@ -126,12 +128,17 @@ class _OrderRuns:
     index translates to and from (s, p, o).
     """
 
-    __slots__ = ("main", "delta", "dead")
+    __slots__ = ("main", "delta", "dead", "_cviews")
 
     def __init__(self) -> None:
         self.main: Run = array("q")
         self.delta: List[EncodedTriple] = []
         self.dead: Set[EncodedTriple] = set()
+        # (main, (v0, v1, v2)): cached per-component strided views of
+        # the main run, keyed by identity — ``main`` is only ever
+        # rebound (merge, bulk load, storage attach), never resized in
+        # place, so an identity hit proves the views are current
+        self._cviews: Optional[Tuple[Run, Tuple["memoryview", ...]]] = None
 
     def __len__(self) -> int:
         return len(self.main) // 3 - len(self.dead) + len(self.delta)
@@ -143,11 +150,68 @@ class _OrderRuns:
                 return True
         if triple in self.dead:
             return False
-        main = self.main
         a, b, c = triple
+        if kernels.vectorized():
+            # column-at-a-time: five C bisect probes over the strided
+            # component views instead of one interpreted binary search
+            v0, v1, v2 = self._components()
+            lo = bisect_left(v0, a, 0, len(v0))
+            hi = bisect_left(v0, a + 1, lo)
+            lo = bisect_left(v1, b, lo, hi)
+            hi = bisect_left(v1, b + 1, lo, hi)
+            lo = bisect_left(v2, c, lo, hi)
+            return lo < hi and v2[lo] == c
+        main = self.main
         base = 3 * _lower_bound3(main, a, b, c)
         return (base < len(main) and main[base] == a
                 and main[base + 1] == b and main[base + 2] == c)
+
+    def contains_sorted(self, batch: Sequence[EncodedTriple]) -> List[bool]:
+        """Presence flags for an *ascending* batch of permuted triples.
+
+        The set-at-a-time membership probe: because the batch is
+        sorted, each triple's component bisects start where the
+        previous span began and the delta cursor only moves forward —
+        one monotone sweep of C searches instead of an independent
+        :meth:`contains` per triple.
+        """
+        delta = self.delta
+        dead = self.dead
+        v0, v1, v2 = self._components()
+        n = len(v0)
+        flags: List[bool] = []
+        append = flags.append
+        pos = 0
+        di, dn = 0, len(delta)
+        # ascending batches cluster by leading components: the spans
+        # of the previous item's first/second component stay valid for
+        # runs of equal keys, eliding four of the five bisects
+        last_a: Optional[int] = None
+        last_b: Optional[int] = None
+        alo = ahi = blo = bhi = 0
+        for t in batch:
+            if delta:
+                di = bisect_left(delta, t, di, dn)
+                if di < dn and delta[di] == t:
+                    append(True)
+                    continue
+            if dead and t in dead:
+                append(False)
+                continue
+            a, b, c = t
+            if a != last_a:
+                alo = bisect_left(v0, a, pos, n)
+                ahi = bisect_left(v0, a + 1, alo, n)
+                pos = alo
+                last_a = a
+                last_b = None
+            if b != last_b:
+                blo = bisect_left(v1, b, alo, ahi)
+                bhi = bisect_left(v1, b + 1, blo, ahi)
+                last_b = b
+            lo = bisect_left(v2, c, blo, bhi)
+            append(lo < bhi and v2[lo] == c)
+        return flags
 
     def insert(self, triple: EncodedTriple) -> None:
         """Append to the delta log (caller guarantees absence)."""
@@ -187,22 +251,15 @@ class _OrderRuns:
                 or len(self.dead) * 4 > max(main_triples, 1))
 
     def merge(self) -> None:
-        """Merge delta into the main run, dropping tombstoned entries."""
-        main, delta, dead = self.main, self.delta, self.dead
-        out = array("q")
-        di, dn = 0, len(delta)
-        for base in range(0, len(main), 3):
-            t = (main[base], main[base + 1], main[base + 2])
-            if t in dead:
-                continue
-            while di < dn and delta[di] < t:
-                out.extend(delta[di])
-                di += 1
-            out.extend(t)
-        while di < dn:
-            out.extend(delta[di])
-            di += 1
-        self.main = out
+        """Merge delta into the main run, dropping tombstoned entries.
+
+        The merge itself is a kernel (:func:`repro.kernels.merge_runs`):
+        block copies between delta insertion points under the default
+        ``python`` mode, a lexsort under ``numpy``, the per-triple
+        reference loop under ``scalar`` — all three produce the same
+        buffer bit for bit.
+        """
+        self.main = kernels.merge_runs(self.main, self.delta, self.dead)
         self.delta = []
         self.dead = set()
 
@@ -329,6 +386,157 @@ class _OrderRuns:
             yield delta[di]
             di += 1
 
+    # -- zero-copy block views (the vectorized kernel feed) -------------
+    #
+    # Every *_view method returns ``None`` when the order holds delta
+    # or tombstone state that a block could not represent — callers
+    # fall back to the merging scalar scans above.  The semi-naive
+    # engine compacts at round boundaries and queries mostly run on
+    # merged runs, so the block paths serve the hot traffic.
+
+    def _view(self) -> "memoryview":
+        main = self.main
+        return memoryview(main) if isinstance(main, array) else main
+
+    def _components(self) -> Tuple["memoryview", ...]:
+        """The main run's strided per-component views ``(v0, v1, v2)``.
+
+        Every block search bisects these with the C ``bisect`` instead
+        of stepping an interpreted binary search over the flat run.
+        """
+        cached = self._cviews
+        main = self.main
+        if cached is not None and cached[0] is main:
+            return cached[1]
+        view = memoryview(main) if isinstance(main, array) else main
+        views = (view[0::3], view[1::3], view[2::3])
+        self._cviews = (main, views)
+        return views
+
+    def triple_bounds(self, prefix: Tuple[int, ...]) -> Tuple[int, int]:
+        """Triple indexes ``(lo, hi)`` of the main-run segment under
+        ``prefix`` — two C bisects per prefix component."""
+        views = self._components()
+        lo, hi = 0, len(self.main) // 3
+        for depth, component in enumerate(prefix):
+            column = views[depth]
+            lo = bisect_left(column, component, lo, hi)
+            hi = bisect_left(column, component + 1, lo, hi)
+        return lo, hi
+
+    def values_block(self, first: int, second: int
+                     ) -> Optional[Union["memoryview", array]]:
+        """The sorted live third components under ``(first, second)``
+        as one flat buffer — the rule-engine scan shape as a block.
+
+        Clean runs answer with a zero-copy strided view; pending delta
+        state merges into a fresh ``array('q')`` (two sorted sources,
+        so the sort is a C-level run merge).
+        """
+        v0, v1, v2 = self._components()
+        lo = bisect_left(v0, first, 0, len(v0))
+        hi = bisect_left(v0, first + 1, lo)
+        lo = bisect_left(v1, second, lo, hi)
+        hi = bisect_left(v1, second + 1, lo, hi)
+        main_values = v2[lo:hi]
+        delta = self.delta
+        dead = self.dead
+        di = dn = 0
+        if delta:
+            di = bisect_left(delta, (first, second))
+            dn = bisect_left(delta, (first, second + 1), di)
+        if di == dn and not dead:
+            # pending state lives under other prefixes: this span is
+            # still exactly the main run's
+            return main_values
+        live = ([v for v in main_values
+                 if (first, second, v) not in dead]
+                if dead else list(main_values))
+        if di != dn:
+            live.extend(delta[i][2] for i in range(di, dn))
+            live.sort()
+        return array("q", live)
+
+    def values_reader(self, first: int) -> Callable[[int], Union["memoryview", array]]:
+        """A per-``second`` reader with ``first``'s span resolved once.
+
+        The block executor's loops run thousands of
+        :meth:`values_block` probes whose first prefix component is a
+        plan constant (the predicate, usually); the reader pays its
+        two bisects a single time and leaves two per probe.  Only
+        valid while the index is read-stable (plan execution never
+        interleaves with writes).
+        """
+        v0, v1, v2 = self._components()
+        lo0 = bisect_left(v0, first, 0, len(v0))
+        hi0 = bisect_left(v0, first + 1, lo0)
+        delta = self.delta
+        dead = self.dead
+        if not delta and not dead:
+            def read(second: int, _bisect=bisect_left) -> "memoryview":
+                lo = _bisect(v1, second, lo0, hi0)
+                hi = _bisect(v1, second + 1, lo, hi0)
+                return v2[lo:hi]
+
+            return read
+
+        # pending state: narrow the delta log to ``first``'s segment
+        # once and bucket it by second component, so a probe pays one
+        # dict lookup instead of two tuple bisects; the common case
+        # (no delta under this exact prefix, no tombstones) still
+        # answers with the zero-copy view
+        dlo = bisect_left(delta, (first,))
+        dhi = bisect_left(delta, (first + 1,), dlo)
+        if dlo == dhi and not dead:
+            def read(second: int, _bisect=bisect_left) -> "memoryview":
+                lo = _bisect(v1, second, lo0, hi0)
+                hi = _bisect(v1, second + 1, lo, hi0)
+                return v2[lo:hi]
+
+            return read
+        pending: Dict[int, List[int]] = {}
+        for i in range(dlo, dhi):
+            pending.setdefault(delta[i][1], []).append(delta[i][2])
+
+        def read_dirty(second: int, _bisect=bisect_left
+                       ) -> Union["memoryview", array]:
+            lo = _bisect(v1, second, lo0, hi0)
+            hi = _bisect(v1, second + 1, lo, hi0)
+            main_values = v2[lo:hi]
+            extras = pending.get(second)
+            if extras is None and not dead:
+                return main_values
+            live = ([v for v in main_values
+                     if (first, second, v) not in dead]
+                    if dead else list(main_values))
+            if extras:
+                live.extend(extras)
+                live.sort()
+            return array("q", live)
+
+        return read_dirty
+
+    def prefix_view(self, prefix: Tuple[int, ...]) -> Optional["memoryview"]:
+        """Contiguous flat view of the triples extending ``prefix``
+        (permuted component order, ``3 * n`` elements)."""
+        if self.delta or self.dead:
+            return None
+        lo, hi = self.triple_bounds(prefix)
+        return self._view()[3 * lo:3 * hi]
+
+    def range_view(self, prefix: Tuple[int, ...], lo_value: int,
+                   hi_value: int) -> Optional["memoryview"]:
+        """Contiguous flat view of the triples extending ``prefix``
+        whose next component lies in ``[lo_value, hi_value)`` — the
+        interval-scan primitive as one block copy source."""
+        if self.delta or self.dead:
+            return None
+        lo, hi = self.triple_bounds(prefix)
+        column = self._components()[len(prefix)]
+        lo = bisect_left(column, lo_value, lo, hi)
+        hi = bisect_left(column, hi_value, lo, hi)
+        return self._view()[3 * lo:3 * hi]
+
     def seek(self, prefix: Tuple[int, ...], value: int) -> Optional[int]:
         """Smallest component value ``>= value`` directly after
         ``prefix`` among live triples, or ``None`` when exhausted.
@@ -436,11 +644,49 @@ class ColumnarTripleIndex:
         """
         fresh: List[EncodedTriple] = []
         seen: Set[EncodedTriple] = set()
-        for triple in triples:
-            if triple in seen or triple in self:
-                continue
-            seen.add(triple)
-            fresh.append(triple)
+        if kernels.vectorized():
+            # batch membership: one sorted sweep over a single order
+            # instead of a per-triple binary search ("fresh" keeps the
+            # caller's arrival order either way).  The sweep probes the
+            # second order (pos) when present: derived batches cluster
+            # by predicate, so consecutive keys share their leading
+            # components and the sweep's span caches elide most bisects
+            candidates: List[EncodedTriple] = []
+            for triple in triples:
+                if triple not in seen:
+                    seen.add(triple)
+                    candidates.append(triple)
+            if not candidates:
+                return fresh
+            probe = 1 if len(self._orders) > 1 else 0
+            (__, permutation) = self._orders[probe]
+            a, b, c = permutation
+            pairs = sorted([((t[a], t[b], t[c]), t) for t in candidates])
+            flags = self._runs[probe].contains_sorted(
+                [key for key, __ in pairs])
+            present = {t for (__, t), flag in zip(pairs, flags) if flag}
+            fresh = [t for t in candidates if t not in present]
+            if not fresh:
+                return fresh
+            # the pair sweep already produced the probe order's sorted
+            # batch; only the remaining orders pay a sort
+            for i, ((__, perm), runs) in enumerate(zip(self._orders,
+                                                       self._runs)):
+                if i == probe:
+                    batch = [key for (key, t) in pairs if t not in present]
+                else:
+                    a, b, c = perm
+                    batch = sorted([(t[a], t[b], t[c]) for t in fresh])
+                runs.insert_sorted_batch(batch)
+            self._size += len(fresh)
+            self._maybe_merge()
+            return fresh
+        else:
+            for triple in triples:
+                if triple in seen or triple in self:
+                    continue
+                seen.add(triple)
+                fresh.append(triple)
         if not fresh:
             return fresh
         for (__, permutation), runs in zip(self._orders, self._runs):
@@ -603,6 +849,39 @@ class ColumnarTripleIndex:
                 value: int) -> Optional[int]:
         """Leapfrog seek: smallest next-component value >= ``value``."""
         return self._runs[order_index].seek(prefix, value)
+
+    # -- block views (``None`` when delta state forces the scalar path) --
+
+    def values_block_order(self, order_index: int, first: int,
+                           second: int) -> Union["memoryview", array]:
+        """Sorted live last components under a full two-component
+        prefix as one flat buffer (zero-copy view on clean runs)."""
+        return self._runs[order_index].values_block(first, second)
+
+    def values_block_fn(self, order_index: int
+                        ) -> Callable[[int, int],
+                                      Union["memoryview", array]]:
+        """The order's bound :meth:`values_block_order` core — block
+        loops resolve it once instead of paying two dispatches per
+        probe."""
+        return self._runs[order_index].values_block
+
+    def values_reader_order(self, order_index: int, first: int
+                            ) -> Callable[[int], Union["memoryview", array]]:
+        """A :meth:`values_block_order` specialization with ``first``
+        resolved once — for block loops over a constant component."""
+        return self._runs[order_index].values_reader(first)
+
+    def view_order(self, order_index: int,
+                   prefix: Tuple[int, ...] = ()) -> Optional["memoryview"]:
+        """Contiguous flat view of the run under ``prefix``, or ``None``."""
+        return self._runs[order_index].prefix_view(prefix)
+
+    def range_view_order(self, order_index: int, prefix: Tuple[int, ...],
+                         lo: int, hi: int) -> Optional["memoryview"]:
+        """Contiguous flat view of the run's ``[lo, hi)`` identifier
+        interval under ``prefix``, or ``None``."""
+        return self._runs[order_index].range_view(prefix, lo, hi)
 
     # ------------------------------------------------------------------
     # helpers

@@ -77,6 +77,16 @@ class TermDictionary:
         """Iterate all interned terms in allocation order."""
         return iter(self._id_to_term)
 
+    def decode_table(self) -> List[Term]:
+        """The id-indexed term table, for bulk decoding loops.
+
+        Treat as read-only: the table is append-only and entries are
+        never mutated, so indexing it directly is exactly
+        :meth:`decode` without the per-call method dispatch — the
+        block projection path decodes thousands of values per batch.
+        """
+        return self._id_to_term
+
     def copy(self) -> "TermDictionary":
         clone = TermDictionary()
         with self._lock:

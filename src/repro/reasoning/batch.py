@@ -20,8 +20,10 @@ triple for triple.  Works for *any* safe rule set on either backend;
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (AbstractSet, Callable, Dict, List, Optional, Sequence,
+                    Set, Tuple)
 
+from .. import kernels
 from ..cancellation import current_token
 from ..obs import get_metrics, span
 from ..rdf.dictionary import TermDictionary
@@ -70,13 +72,18 @@ class _TermKinds:
 
 
 def _compile_pivot(pattern: TriplePattern, slot_of: Dict[Variable, int],
-                   nslots: int, lookup: Callable[[Term], Optional[int]]
+                   nslots: int, lookup: Callable[[Term], Optional[int]],
+                   pre_checked: Tuple[int, ...] = ()
                    ) -> Optional[Callable[[EncodedTriple],
                                           Optional[List[Optional[int]]]]]:
     """A matcher turning one delta triple into an initial binding.
 
     Returns None when a pivot constant is not even in the dictionary —
-    no delta triple can match this round.
+    no delta triple can match this round.  ``pre_checked`` positions
+    are constants the caller already guarantees (the per-predicate
+    delta partitions): their equality checks are elided, which for the
+    dominant constant-predicate pivot shape leaves a check-free
+    assigner.
     """
     checks: List[Tuple[int, int]] = []      # (position, identifier)
     assigns: List[Tuple[int, int]] = []     # (position, slot)
@@ -94,7 +101,20 @@ def _compile_pivot(pattern: TriplePattern, slot_of: Dict[Variable, int],
             identifier = lookup(term)
             if identifier is None:
                 return None
-            checks.append((position, identifier))
+            if position not in pre_checked:
+                checks.append((position, identifier))
+
+    if not checks and not dup_checks:
+        def match_all(triple: EncodedTriple) -> List[Optional[int]]:
+            binding: List[Optional[int]] = [None] * nslots
+            for position, slot in assigns:
+                binding[slot] = triple[position]
+            return binding
+
+        # every candidate matches: callers can build the seed batch
+        # from the assignment spec directly, skipping a call per triple
+        match_all.assigns_only = tuple(assigns)  # type: ignore[attr-defined]
+        return match_all
 
     def match(triple: EncodedTriple) -> Optional[List[Optional[int]]]:
         for position, identifier in checks:
@@ -112,13 +132,24 @@ def _compile_pivot(pattern: TriplePattern, slot_of: Dict[Variable, int],
 
 
 def _compile_head(head: TriplePattern, slot_of: Dict[Variable, int],
-                  encode: Callable[[Term], int], kinds: _TermKinds
-                  ) -> Callable[[List[Optional[int]]], Optional[EncodedTriple]]:
-    """An instantiator from a full binding to an encoded conclusion.
+                  encode: Callable[[Term], int], kinds: _TermKinds,
+                  nonliteral_slots: AbstractSet[int] = frozenset(),
+                  uri_slots: AbstractSet[int] = frozenset()
+                  ) -> Callable[[Sequence[List[Optional[int]]],
+                                 Set[EncodedTriple]], None]:
+    """A batch instantiator: whole binding blocks to encoded conclusions.
 
     Mirrors :func:`repro.reasoning.rules.instantiate_head`: bindings
     that would ground a malformed triple (literal subject, non-URI
-    property) yield None instead.
+    property) are dropped.  Constant head positions are checked once
+    here instead of once per candidate; the per-binding loop only
+    kind-checks positions that actually vary.
+
+    ``nonliteral_slots`` / ``uri_slots`` are slots the *body* proves
+    safe (bound from subject/predicate positions of stored triples, so
+    never a literal / always a URI): their runtime kind checks are
+    elided, and when nothing is left to check the block folds into the
+    derived set through one C-level ``set.update`` sweep.
     """
     spec: List[Tuple[bool, int]] = []  # (is_slot, slot-or-identifier)
     for term in head:
@@ -127,31 +158,93 @@ def _compile_head(head: TriplePattern, slot_of: Dict[Variable, int],
         else:
             spec.append((False, encode(term)))
     (s_var, s_val), (p_var, p_val), (o_var, o_val) = spec
-
-    def instantiate(binding: List[Optional[int]]) -> Optional[EncodedTriple]:
-        s = binding[s_val] if s_var else s_val
-        p = binding[p_val] if p_var else p_val
-        o = binding[o_val] if o_var else o_val
-        if kinds(s) == _KIND_LITERAL or kinds(p) != _KIND_URI:  # type: ignore[arg-type]
+    if ((not s_var and kinds(s_val) == _KIND_LITERAL)
+            or (not p_var and kinds(p_val) != _KIND_URI)):
+        # every instantiation would be malformed: a constant no-op rule
+        def drop_all(bindings: Sequence[List[Optional[int]]],
+                     derived: Set[EncodedTriple]) -> None:
             return None
-        return (s, p, o)  # type: ignore[return-value]
 
-    return instantiate
+        return drop_all
+
+    s_check = s_var and (s_val not in nonliteral_slots
+                         and s_val not in uri_slots)
+    p_check = p_var and p_val not in uri_slots
+    if not s_check and not p_check:
+        # nothing left to verify per binding: fold whole blocks into
+        # the set with a generator the C update loop drives, with the
+        # dominant head shapes (variable s/o around a constant or
+        # variable p) specialized to direct index expressions
+        if s_var and o_var:
+            if p_var:
+                def update_all(bindings: Sequence[List[Optional[int]]],
+                               derived: Set[EncodedTriple]) -> None:
+                    derived.update((b[s_val], b[p_val], b[o_val])
+                                   for b in bindings)
+            else:
+                def update_all(bindings: Sequence[List[Optional[int]]],
+                               derived: Set[EncodedTriple]) -> None:
+                    derived.update((b[s_val], p_val, b[o_val])
+                                   for b in bindings)
+        else:
+            def update_all(bindings: Sequence[List[Optional[int]]],
+                           derived: Set[EncodedTriple]) -> None:
+                derived.update((b[s_val] if s_var else s_val,
+                                b[p_val] if p_var else p_val,
+                                b[o_val] if o_var else o_val)
+                               for b in bindings)
+
+        return update_all
+
+    def instantiate_block(bindings: Sequence[List[Optional[int]]],
+                          derived: Set[EncodedTriple]) -> None:
+        add = derived.add
+        # index the kind cache directly; fall back to the growing
+        # call only for identifiers minted since the cache last grew
+        kind_list = kinds._kinds
+        cached = len(kind_list)
+        for binding in bindings:
+            s = binding[s_val] if s_var else s_val
+            p = binding[p_val] if p_var else p_val
+            if s_var and ((kind_list[s] if s < cached else kinds(s))  # type: ignore[operator]
+                          == _KIND_LITERAL):
+                continue
+            if p_var and ((kind_list[p] if p < cached else kinds(p))  # type: ignore[operator]
+                          != _KIND_URI):
+                continue
+            o = binding[o_val] if o_var else o_val
+            add((s, p, o))  # type: ignore[arg-type]
+
+    return instantiate_block
 
 
 def _fire_rule_batch(graph: Graph, rule, delta: Sequence[EncodedTriple],
-                     kinds: _TermKinds) -> Set[EncodedTriple]:
+                     kinds: _TermKinds,
+                     by_predicate: Optional[Dict[int, List[EncodedTriple]]]
+                     = None) -> Set[EncodedTriple]:
     """All conclusions of one rule against (graph, delta), encoded.
 
     Implements the semi-naive restriction: one plan per pivot atom,
     seeded with every matching delta triple, joining the remaining
-    atoms against the full graph.
+    atoms against the full graph.  ``by_predicate`` (the vectorized
+    engine's per-round delta grouping) narrows constant-predicate
+    pivots to their own partition instead of matching the full delta.
     """
     lookup = graph.dictionary.lookup
     encode = graph.dictionary.encode
     derived: Set[EncodedTriple] = set()
     body = rule.body
     for pivot, pattern in enumerate(body):
+        candidates = delta
+        pre_checked: Tuple[int, ...] = ()
+        if by_predicate is not None and not isinstance(pattern.p, Variable):
+            identifier = lookup(pattern.p)
+            if identifier is None:
+                continue
+            candidates = by_predicate.get(identifier, ())
+            if not candidates:
+                continue
+            pre_checked = (1,)  # partition key == the predicate check
         pivot_variables: List[Variable] = []
         for term in pattern:
             if isinstance(term, Variable) and term not in pivot_variables:
@@ -161,18 +254,61 @@ def _fire_rule_batch(graph: Graph, rule, delta: Sequence[EncodedTriple],
                                     pre_bound=pivot_variables)
         if plan.empty:
             continue
-        matcher = _compile_pivot(pattern, plan.slot_of, plan.nslots, lookup)
+        matcher = _compile_pivot(pattern, plan.slot_of, plan.nslots, lookup,
+                                 pre_checked)
         if matcher is None:
             continue
-        instantiate = _compile_head(rule.head, plan.slot_of, encode, kinds)
-        seeds = [seed for triple in delta
-                 if (seed := matcher(triple)) is not None]
+        nonliteral_slots: AbstractSet[int] = frozenset()
+        uri_slots: AbstractSet[int] = frozenset()
+        if by_predicate is not None:
+            # vectorized rounds prove head kinds from the body: a slot
+            # bound from a subject position of a stored triple is never
+            # a literal, one bound from a predicate position is a URI —
+            # so those per-binding checks compile away entirely
+            nonliteral, uris = set(), set()
+            for atom in body:
+                for position, term in enumerate(atom):
+                    if isinstance(term, Variable):
+                        slot = plan.slot_of.get(term)
+                        if slot is None:
+                            continue
+                        if position == 0:
+                            nonliteral.add(slot)
+                        elif position == 1:
+                            uris.add(slot)
+            nonliteral_slots, uri_slots = nonliteral, uris
+        instantiate_block = _compile_head(rule.head, plan.slot_of, encode,
+                                          kinds, nonliteral_slots, uri_slots)
+        assigns_only = getattr(matcher, "assigns_only", None)
+        if assigns_only is not None:
+            nslots = plan.nslots
+            seeds = []
+            append = seeds.append
+            if len(assigns_only) == 2:
+                # the dominant pivot shape (?s, const_p, ?o): two
+                # direct stores per delta triple
+                (pos_a, slot_a), (pos_b, slot_b) = assigns_only
+                for triple in candidates:
+                    seed: List[Optional[int]] = [None] * nslots
+                    seed[slot_a] = triple[pos_a]
+                    seed[slot_b] = triple[pos_b]
+                    append(seed)
+            else:
+                for triple in candidates:
+                    seed = [None] * nslots
+                    for position, slot in assigns_only:
+                        seed[slot] = triple[position]
+                    append(seed)
+        else:
+            seeds = [seed for triple in candidates
+                     if (seed := matcher(triple)) is not None]
         if not seeds:
             continue
-        for binding in plan.run_seeds(seeds):
-            conclusion = instantiate(binding)
-            if conclusion is not None and conclusion not in derived:
-                derived.add(conclusion)
+        # block-at-a-time: the plan hands back whole binding lists and
+        # the head instantiator folds each into the derived set without
+        # a per-binding function call
+        for block in plan.run_blocks(seeds):
+            instantiate_block(block, derived)
     return derived
 
 
@@ -207,9 +343,19 @@ def saturate_batch(graph: Graph, ruleset: RuleSet, base_size: int,
         if compact is not None:
             compact()
         new_this_round: List[EncodedTriple] = []
+        by_predicate: Optional[Dict[int, List[EncodedTriple]]] = None
+        if kernels.vectorized():
+            # partition the round's delta by predicate once: every
+            # constant-predicate pivot (the common rule shape) then
+            # seeds from its own partition instead of re-matching the
+            # whole delta per (rule, pivot) pair
+            by_predicate = {}
+            for triple in delta:
+                by_predicate.setdefault(triple[1], []).append(triple)
         with span("saturate.round", round=rounds) as round_span:
             for rule in ruleset:
-                derived = _fire_rule_batch(graph, rule, delta, kinds)
+                derived = _fire_rule_batch(graph, rule, delta, kinds,
+                                           by_predicate)
                 if not derived:
                     continue
                 fresh = graph.add_encoded(derived)

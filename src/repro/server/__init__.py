@@ -18,22 +18,34 @@ CLI; this package turns the store into the system the ROADMAP aims at
   :mod:`repro.cancellation` (HTTP 504);
 * :mod:`repro.server.service` — :class:`ServingDatabase`, the
   transport-free core tying the above together (usable in-process);
-* :mod:`repro.server.http` — the stdlib HTTP endpoint speaking a
-  SPARQL-protocol subset (``GET/POST /sparql``, ``POST /update``,
-  ``GET /healthz``, ``GET /stats``);
+* :mod:`repro.server.protocol` — the transport-independent request
+  contract (routing, parameter merging, format negotiation, the
+  400/503/504 status mapping) shared by both HTTP front-ends;
+* :mod:`repro.server.http` — the thread-per-connection stdlib HTTP
+  endpoint speaking a SPARQL-protocol subset (``GET/POST /sparql``,
+  ``POST /update``, ``GET /healthz``, ``GET /stats``);
+* :mod:`repro.server.aserver` — the asyncio event-loop front-end:
+  same routes and status mapping, but idle/slow sockets cost a
+  coroutine instead of a thread, which keeps tail latency flat under
+  connection overload;
 * :mod:`repro.server.loadgen` — a closed-loop load generator driving
-  mixed Q1–Q10 + update traffic for the serving benchmarks.
+  mixed Q1–Q10 + update traffic, plus an overload profile (idle
+  connections, slow readers, burst arrivals) for front-end p99
+  comparisons.
 """
 
+from .aserver import ReproAsyncServer, serve_async
 from .cache import CacheStats, QueryResultCache
 from .http import ReproHTTPServer, serve
-from .loadgen import LoadgenConfig, LoadReport, run_load
+from .loadgen import (LoadgenConfig, LoadReport, OverloadConfig,
+                      OverloadReport, run_load, run_overload)
 from .pool import AdmissionError, WorkerPool
 from .rwlock import ReadWriteLock
 from .service import ServerConfig, ServingDatabase
 
 __all__ = [
     "AdmissionError", "CacheStats", "LoadReport", "LoadgenConfig",
-    "QueryResultCache", "ReadWriteLock", "ReproHTTPServer", "ServerConfig",
-    "ServingDatabase", "WorkerPool", "run_load", "serve",
+    "OverloadConfig", "OverloadReport", "QueryResultCache", "ReadWriteLock",
+    "ReproAsyncServer", "ReproHTTPServer", "ServerConfig", "ServingDatabase",
+    "WorkerPool", "run_load", "run_overload", "serve", "serve_async",
 ]

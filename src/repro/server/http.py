@@ -19,11 +19,11 @@ Routes (rooted at the server's base URL):
 * ``GET /stats`` — serving statistics plus the full
   :func:`repro.obs.observability_report` of the process registry.
 
-Status mapping (the contract the load generator and tests rely on):
-``400`` parse/semantics errors, ``503`` admission queue full
-(backpressure; ``Retry-After`` is set), ``504`` deadline exceeded —
-the in-flight work is cancelled cooperatively through
-:mod:`repro.cancellation`.
+Routing, parameter handling and the status mapping (``400`` parse
+errors, ``503`` queue full with ``Retry-After``, ``504`` deadline)
+live in :mod:`repro.server.protocol`, shared with the asyncio
+front-end (:mod:`repro.server.aserver`) — this module only binds them
+to the stdlib socket machinery.
 
 Connection handling is one thread per connection (stdlib
 ``ThreadingHTTPServer``); *execution* is not — every query/update is
@@ -33,25 +33,18 @@ concurrency and memory stay bounded no matter how many sockets open.
 
 from __future__ import annotations
 
-import json
+import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Optional
 
-from ..cancellation import CancellationToken, OperationCancelled
-from ..db import RDFDatabase, UnsupportedGraphError
-from ..obs import get_metrics, observability_report
-from ..sparql.parser import SPARQLSyntaxError
-from ..sparql.results import (boolean_to_csv, boolean_to_json,
-                              results_to_csv, results_to_json)
-from ..sparql.evaluator import REFORMULATION_STRATEGIES
+from ..cancellation import OperationCancelled
+from ..db import RDFDatabase
+from ..obs import get_metrics
 from .pool import AdmissionError, WorkerPool
-from .service import QueryOutcome, ServerConfig, ServingDatabase
+from .protocol import Response, Work, plan_request
+from .service import ServerConfig, ServingDatabase
 
 __all__ = ["ReproHTTPServer", "serve"]
-
-_JSON_TYPE = "application/sparql-results+json"
-_CSV_TYPE = "text/csv; charset=utf-8"
 
 
 class ReproHTTPServer(ThreadingHTTPServer):
@@ -81,6 +74,17 @@ class ReproHTTPServer(ThreadingHTTPServer):
         super().shutdown()
         self.pool.shutdown(wait=False)
 
+    def handle_error(self, request, client_address) -> None:
+        """Clients that hang up mid-request are routine under load
+        (the overload profile creates them on purpose): count them
+        instead of printing a traceback per dropped socket."""
+        error = sys.exc_info()[1]
+        if isinstance(error, (BrokenPipeError, ConnectionResetError,
+                              TimeoutError)):
+            get_metrics().counter("server.client_disconnects").inc()
+            return
+        super().handle_error(request, client_address)
+
 
 def serve(db: RDFDatabase,
           config: Optional[ServerConfig] = None) -> ReproHTTPServer:
@@ -94,6 +98,29 @@ def serve(db: RDFDatabase,
     return ReproHTTPServer(service, config)
 
 
+def run_work(pool: WorkerPool, work: Work) -> Response:
+    """Admit, block for, and render one :class:`Work` plan.
+
+    The threaded front-end's execution of the shared protocol: the
+    connection thread parks in ``job.wait`` (the asyncio front-end
+    awaits a future instead).  Unmapped exceptions propagate to the
+    stdlib handler machinery, exactly as before the refactor.
+    """
+    try:
+        job = pool.submit(work.fn, work.token)
+        outcome = job.wait(work.token.remaining)
+    except AdmissionError:
+        return work.admission_error()
+    except OperationCancelled:
+        return work.deadline_error()
+    except Exception as error:
+        response = work.map_exception(error)
+        if response is None:
+            raise
+        return response
+    return work.render(outcome)
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request; all real work is delegated to the worker pool."""
 
@@ -103,223 +130,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
 
-    # -- plumbing -------------------------------------------------------
-
     def log_message(self, format: str, *args: object) -> None:
         """Access logs go to metrics, not stderr (tests boot servers)."""
 
-    def _reply(self, status: int, body: bytes, content_type: str,
-               endpoint: str, extra: Optional[Dict[str, str]] = None) -> None:
+    def _send(self, response: Response) -> None:
         # count before the body goes out: a client that has read the
         # response must be able to observe the incremented counter
-        get_metrics().counter("server.responses", endpoint=endpoint,
-                              status=status).inc()
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra or {}).items():
+        get_metrics().counter("server.responses", endpoint=response.endpoint,
+                              status=response.status).inc()
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(response.body)
 
-    def _reply_json(self, status: int, document: object, endpoint: str,
-                    extra: Optional[Dict[str, str]] = None) -> None:
-        body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode()
-        self._reply(status, body, "application/json", endpoint, extra)
+    def do_GET(self) -> None:
+        self._dispatch()
 
-    def _error(self, status: int, message: str, endpoint: str,
-               extra: Optional[Dict[str, str]] = None) -> None:
-        self._reply_json(status, {"error": message}, endpoint, extra)
+    def do_POST(self) -> None:
+        self._dispatch()
 
-    def _request_params(self) -> Dict[str, str]:
-        """Query-string plus (for POST) body parameters, merged."""
-        split = urlsplit(self.path)
-        params = {key: values[0]
-                  for key, values in parse_qs(split.query).items()}
+    def _dispatch(self) -> None:
+        body = ""
         if self.command == "POST":
             length = int(self.headers.get("Content-Length") or 0)
             body = self.rfile.read(length).decode("utf-8") if length else ""
-            content_type = (self.headers.get("Content-Type") or "").lower()
-            if "application/x-www-form-urlencoded" in content_type:
-                for key, values in parse_qs(body).items():
-                    params.setdefault(key, values[0])
-            elif body:
-                # bare application/sparql-query / -update bodies
-                key = "update" if split.path.rstrip("/") == "/update" \
-                    else "query"
-                params.setdefault(key, body)
-        return params
-
-    def _format(self, params: Dict[str, str]) -> str:
-        requested = params.get("format")
-        if requested in ("json", "csv"):
-            return requested
-        accept = (self.headers.get("Accept") or "").lower()
-        return "csv" if "text/csv" in accept else "json"
-
-    def _deadline(self, params: Dict[str, str]) -> Optional[float]:
-        """The request's deadline: the server default, tightened by an
-        explicit ``timeout=`` parameter (clients cannot loosen it)."""
-        base = self.server.config.timeout
-        raw = params.get("timeout")
-        if raw is None:
-            return base
-        try:
-            requested = float(raw)
-        except ValueError:
-            return base
-        if requested < 0:
-            return base
-        return requested if base is None else min(requested, base)
-
-    # -- routes ---------------------------------------------------------
-
-    def do_GET(self) -> None:
-        path = urlsplit(self.path).path.rstrip("/") or "/"
-        if path == "/sparql":
-            self._handle_query()
-        elif path == "/healthz":
-            self._handle_healthz()
-        elif path == "/stats":
-            self._handle_stats()
-        else:
-            self._error(404, f"unknown path {path!r}", endpoint="other")
-
-    def do_POST(self) -> None:
-        path = urlsplit(self.path).path.rstrip("/") or "/"
-        if path == "/sparql":
-            self._handle_query()
-        elif path == "/update":
-            self._handle_update()
-        elif path == "/snapshot":
-            self._handle_snapshot()
-        else:
-            self._error(404, f"unknown path {path!r}", endpoint="other")
-
-    def _handle_healthz(self) -> None:
-        service = self.server.service
-        document = {
-            "status": "ok",
-            "triples": len(service.db),
-            "version": service.db.graph.version,
-            "backend": service.db.backend,
-            "strategy": service.db.strategy.value,
-            "reformulation_strategy": service.db.reformulation_strategy,
-        }
-        if service.db.storage is not None:
-            document["storage"] = service.db.storage.stats()
-        self._reply_json(200, document, endpoint="healthz")
-
-    def _handle_snapshot(self) -> None:
-        service = self.server.service
-        if service.db.storage is None:
-            self._error(409, "server has no storage directory "
-                        "(start with --storage-dir)", endpoint="snapshot")
+        plan = plan_request(
+            self.server.service, self.server.pool, self.server.config,
+            self.command, self.path, body,
+            self.headers.get("Content-Type") or "",
+            self.headers.get("Accept") or "")
+        if isinstance(plan, Response):
+            self._send(plan)
             return
-        params = self._request_params()
-        token = CancellationToken(self._deadline(params))
-        try:
-            job = self.server.pool.submit(
-                lambda: service.snapshot(token=token), token)
-            outcome = job.wait(token.remaining)
-        except AdmissionError:
-            self._error(503, "server overloaded: admission queue full",
-                        endpoint="snapshot", extra={"Retry-After": "1"})
-            return
-        except OperationCancelled:
-            self._error(504, "snapshot exceeded its deadline",
-                        endpoint="snapshot")
-            return
-        self._reply_json(200, outcome, endpoint="snapshot")
-
-    def _handle_stats(self) -> None:
-        self._reply_json(200, {
-            "server": self.server.service.stats(),
-            "pool": {"workers": self.server.pool.workers,
-                     "queue_depth": self.server.pool.queue_depth,
-                     "queued": self.server.pool.depth},
-            "obs": observability_report(command="serve"),
-        }, endpoint="stats")
-
-    def _handle_query(self) -> None:
-        params = self._request_params()
-        text = params.get("query")
-        if not text:
-            self._error(400, "missing 'query' parameter", endpoint="sparql")
-            return
-        form = self._format(params)
-        strategy = params.get("strategy")
-        if strategy is not None and strategy not in REFORMULATION_STRATEGIES:
-            self._error(400, "unknown strategy "
-                        f"{strategy!r}; expected one of "
-                        + ", ".join(REFORMULATION_STRATEGIES),
-                        endpoint="sparql")
-            return
-        token = CancellationToken(self._deadline(params))
-        service = self.server.service
-        try:
-            job = self.server.pool.submit(
-                lambda: service.query(text, token=token,
-                                      reformulation_strategy=strategy),
-                token)
-            outcome = job.wait(token.remaining)
-        except AdmissionError:
-            self._error(503, "server overloaded: admission queue full",
-                        endpoint="sparql", extra={"Retry-After": "1"})
-            return
-        except OperationCancelled:
-            self._error(504, "query exceeded its deadline",
-                        endpoint="sparql")
-            return
-        except (SPARQLSyntaxError, UnsupportedGraphError, ValueError) as error:
-            self._error(400, str(error), endpoint="sparql")
-            return
-        assert isinstance(outcome, QueryOutcome)
-        extra = {"X-Repro-Graph-Version": str(outcome.version),
-                 "X-Repro-Cache": "hit" if outcome.cached else "miss"}
-        if outcome.kind == "boolean":
-            answer = bool(outcome.boolean)
-            if form == "csv":
-                self._reply(200, boolean_to_csv(answer).encode(), _CSV_TYPE,
-                            "sparql", extra)
-            else:
-                self._reply(200, boolean_to_json(answer).encode(), _JSON_TYPE,
-                            "sparql", extra)
-            return
-        results = outcome.results
-        assert results is not None
-        if form == "csv":
-            self._reply(200, results_to_csv(results).encode(), _CSV_TYPE,
-                        "sparql", extra)
-        else:
-            self._reply(200, results_to_json(results).encode(), _JSON_TYPE,
-                        "sparql", extra)
-
-    def _handle_update(self) -> None:
-        params = self._request_params()
-        text = params.get("update")
-        if not text:
-            self._error(400, "missing 'update' parameter", endpoint="update")
-            return
-        token = CancellationToken(self._deadline(params))
-        service = self.server.service
-        try:
-            job = self.server.pool.submit(
-                lambda: service.update(text, token=token), token)
-            outcome = job.wait(token.remaining)
-        except AdmissionError:
-            self._error(503, "server overloaded: admission queue full",
-                        endpoint="update", extra={"Retry-After": "1"})
-            return
-        except OperationCancelled:
-            self._error(504, "update exceeded its deadline",
-                        endpoint="update")
-            return
-        except (SPARQLSyntaxError, UnsupportedGraphError, ValueError) as error:
-            self._error(400, str(error), endpoint="update")
-            return
-        self._reply_json(200, {
-            "removed": outcome.removed,  # type: ignore[union-attr]
-            "added": outcome.added,  # type: ignore[union-attr]
-            "version": outcome.version,  # type: ignore[union-attr]
-        }, endpoint="update")
+        self._send(run_work(self.server.pool, plan))

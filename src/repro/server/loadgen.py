@@ -28,7 +28,9 @@ timing source) and every sample is kept, so the percentiles are exact.
 
 from __future__ import annotations
 
+import socket
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -44,7 +46,8 @@ from ..workloads import WORKLOAD_QUERIES, instance_insertions
 from .pool import AdmissionError
 from .service import ServingDatabase
 
-__all__ = ["LoadgenConfig", "LoadReport", "run_load", "update_texts"]
+__all__ = ["LoadgenConfig", "LoadReport", "OverloadConfig", "OverloadReport",
+           "run_load", "run_overload", "update_texts"]
 
 #: a transport maps (kind, text) -> HTTP-style status code
 Transport = Callable[[str, str], int]
@@ -255,6 +258,202 @@ def run_load(target: Union[ServingDatabase, str],
         thread.start()
     for thread in threads:
         thread.join()
+    wall.finish()
+    report.wall_seconds = wall.duration
+    return report
+
+
+# ----------------------------------------------------------------------
+# the overload profile: idle sockets + slow readers + a live burst
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class OverloadConfig:
+    """A connection-overload scenario for comparing front-ends.
+
+    While ``idle_connections`` raw sockets sit open without ever
+    completing a request and ``slow_readers`` trickle-read keep-alive
+    responses byte by byte, ``burst_clients`` live closed-loop clients
+    issue real queries.  The report's live-request p99 is the metric:
+    a thread-per-connection server spends a parked thread on every
+    held socket, an event-loop server an awaited read future.
+    """
+
+    idle_connections: int = 64   #: sockets opened, half a request sent
+    slow_readers: int = 8        #: keep-alive clients that read slowly
+    slow_read_chunk: int = 32    #: bytes per slow read
+    slow_read_pause: float = 0.02  #: seconds between slow reads
+    burst_clients: int = 8       #: live closed-loop clients
+    requests_per_client: int = 25
+    timeout: float = 30.0        #: live-request socket timeout
+    seed: int = 20150413
+    queries: Optional[Sequence[Tuple[str, str]]] = None  #: (id, sparql)
+
+
+@dataclass(slots=True)
+class OverloadReport:
+    """Live-request latencies measured while the server was held."""
+
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    statuses: Dict[int, int] = field(default_factory=dict)
+    requests: int = 0
+    connect_errors: int = 0      #: live requests that never got an answer
+    idle_held: int = 0           #: idle sockets actually connected
+    slow_held: int = 0           #: slow readers actually connected
+
+    def percentiles(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies)
+        if not ordered:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                    "max": 0.0}
+        return {
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+            "mean": sum(ordered) / len(ordered),
+            "max": ordered[-1],
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-friendly form ``BENCH_pr8.json`` records."""
+        return {
+            "requests": self.requests,
+            "connect_errors": self.connect_errors,
+            "idle_held": self.idle_held,
+            "slow_held": self.slow_held,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "statuses": {str(code): count
+                         for code, count in sorted(self.statuses.items())},
+            "live_latency_seconds": {
+                name: round(value, 6)
+                for name, value in self.percentiles().items()},
+        }
+
+
+def _split_host_port(base_url: str) -> Tuple[str, int]:
+    parts = urllib.parse.urlsplit(base_url)
+    if parts.hostname is None or parts.port is None:
+        raise ValueError(f"overload targets need host:port, got {base_url!r}")
+    return parts.hostname, parts.port
+
+
+def _slow_reader(host: str, port: int, config: OverloadConfig,
+                 stop: threading.Event) -> None:
+    """One keep-alive connection that drains responses in tiny sips."""
+    request = (b"GET /healthz HTTP/1.1\r\n"
+               b"Host: overload\r\n\r\n")
+    try:
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            while not stop.is_set():
+                sock.sendall(request)
+                # read one response slowly; framing by Content-Length is
+                # deliberately ignored — we sip until the server would
+                # block, then issue the next keep-alive request
+                for _ in range(64):  # sc: allow(SC303): stop-gated sips
+                    if stop.is_set():
+                        return
+                    try:
+                        chunk = sock.recv(config.slow_read_chunk)
+                    except socket.timeout:
+                        break
+                    if not chunk:
+                        return
+                    if stop.wait(config.slow_read_pause):
+                        return
+                    if len(chunk) < config.slow_read_chunk:
+                        break  # drained the buffered response
+    except OSError:
+        return  # server refused/reset under load: the hold simply ends
+
+
+def run_overload(base_url: str,
+                 config: Optional[OverloadConfig] = None) -> OverloadReport:
+    """Measure live-request latency while holding the server open.
+
+    Opens ``idle_connections`` raw sockets (each sends half a request
+    line, then goes silent), starts ``slow_readers`` trickle-reading
+    keep-alive clients, then drives ``burst_clients`` closed-loop
+    clients through the normal HTTP transport and reports their
+    latency percentiles.  Works against either front-end.
+    """
+    config = config if config is not None else OverloadConfig()
+    host, port = _split_host_port(base_url)
+    report = OverloadReport()
+    report_lock = threading.Lock()
+    stop = threading.Event()
+
+    # 1. idle sockets: a partial request line parks the reader forever
+    idle: List[socket.socket] = []
+    for _ in range(config.idle_connections):
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.sendall(b"GET /healthz HT")  # never finished
+            idle.append(sock)
+        except OSError:
+            break  # accept backlog exhausted: hold what we got
+    report.idle_held = len(idle)
+
+    # 2. slow readers: keep-alive clients that sip their responses
+    readers = [threading.Thread(target=_slow_reader,
+                                args=(host, port, config, stop), daemon=True)
+               for _ in range(config.slow_readers)]
+    for thread in readers:
+        thread.start()
+    report.slow_held = len(readers)
+
+    # 3. the live burst, through the standard transport
+    load_config = LoadgenConfig(timeout=config.timeout, seed=config.seed,
+                                queries=config.queries)
+    transport = _http_transport(base_url, load_config)
+    if config.queries is not None:
+        query_pool = list(config.queries)
+    else:
+        query_pool = [(qid, query.to_sparql())
+                      for qid, (__, query) in WORKLOAD_QUERIES.items()]
+    if not query_pool:
+        raise ValueError("empty query pool")
+
+    def live_client(index: int) -> None:
+        rng = Random(config.seed * 1031 + index)
+        local: List[Tuple[int, float]] = []
+        failures = 0
+        for _ in range(config.requests_per_client):
+            text = rng.choice(query_pool)[1]
+            stopwatch = Span("loadgen.overload.request")
+            try:
+                status = transport("query", text)
+            except (OSError, urllib.error.URLError):
+                failures += 1
+                continue
+            finally:
+                stopwatch.finish()
+            local.append((status, stopwatch.duration))
+        with report_lock:
+            report.connect_errors += failures
+            for status, seconds in local:
+                report.requests += 1
+                report.statuses[status] = report.statuses.get(status, 0) + 1
+                report.latencies.append(seconds)
+
+    wall = Span("loadgen.overload")
+    burst = [threading.Thread(target=live_client, args=(i,), daemon=True)
+             for i in range(config.burst_clients)]
+    try:
+        for thread in burst:
+            thread.start()
+        for thread in burst:
+            thread.join()
+    finally:
+        stop.set()
+        for sock in idle:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in readers:
+            thread.join(timeout=5.0)
     wall.finish()
     report.wall_seconds = wall.duration
     return report

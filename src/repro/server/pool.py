@@ -35,7 +35,8 @@ class AdmissionError(RuntimeError):
 class Job:
     """One admitted unit of work; the submitter waits on :meth:`wait`."""
 
-    __slots__ = ("fn", "token", "_done", "_result", "_error")
+    __slots__ = ("fn", "token", "_done", "_result", "_error", "_callbacks",
+                 "_lock")
 
     def __init__(self, fn: Callable[[], object],
                  token: Optional[CancellationToken]):
@@ -44,6 +45,8 @@ class Job:
         self._done = threading.Event()
         self._result: object = None
         self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Job"], None]] = []
+        self._lock = threading.Lock()
 
     def run(self) -> None:
         try:
@@ -54,7 +57,30 @@ class Job:
         except BaseException as error:  # delivered to the submitter
             self._error = error
         finally:
-            self._done.set()
+            with self._lock:
+                self._done.set()
+                callbacks, self._callbacks = self._callbacks, []
+            for callback in callbacks:
+                try:
+                    callback(self)
+                except Exception:  # a callback must never kill a worker
+                    get_metrics().counter("server.callback_errors").inc()
+
+    def add_done_callback(self, callback: Callable[["Job"], None]) -> None:
+        """Invoke ``callback(job)`` exactly once, when the job is done.
+
+        Fires on the worker thread that completes the job, or
+        immediately on the caller's thread when the job already
+        finished.  Callbacks must be non-blocking — the asyncio
+        front-end uses this to hop completion onto its event loop via
+        ``call_soon_threadsafe`` instead of parking a thread in
+        :meth:`wait`.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def wait(self, timeout: Optional[float] = None) -> object:
         """Block for the result.

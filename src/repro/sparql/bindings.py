@@ -9,7 +9,8 @@ set view used whenever answer sets are compared (e.g. the
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from ..rdf.terms import Term, Variable
 
@@ -26,7 +27,9 @@ class ResultSet:
     def __init__(self, variables: Sequence[Variable], distinct: bool = False):
         self.variables: Tuple[Variable, ...] = tuple(variables)
         self._rows: List[Row] = []
-        self._row_set: Set[Row] = set()
+        # None after a bulk append that already proved uniqueness:
+        # the set view rebuilds lazily the next time it is needed
+        self._row_set: Optional[Set[Row]] = set()
         self.distinct = distinct
 
     def add(self, row: Row) -> bool:
@@ -36,11 +39,84 @@ class ResultSet:
         """
         if len(row) != len(self.variables):
             raise ValueError(f"row arity {len(row)} != query arity {len(self.variables)}")
-        if self.distinct and row in self._row_set:
+        row_set = self._row_set
+        if row_set is None:
+            row_set = self._row_set = set(self._rows)
+        if self.distinct and row in row_set:
             return False
         self._rows.append(row)
-        self._row_set.add(row)
+        row_set.add(row)
         return True
+
+    def extend_rows(self, rows: "Iterator[Row]",
+                    limit: Optional[int] = None) -> bool:
+        """Bulk-append projected rows; returns True once ``limit`` holds.
+
+        Semantically ``for row in rows: add(row)`` with an early stop
+        at ``limit`` appended rows, but with the per-row attribute
+        lookups hoisted — the block projection pipeline lands whole
+        binding blocks here.  Rows must already have the query arity
+        (the bulk producers project from a fixed spec).
+        """
+        rows_list = self._rows
+        row_set = self._row_set
+        if row_set is None:
+            row_set = self._row_set = set(rows_list)
+        if self.distinct:
+            for row in rows:
+                if row in row_set:
+                    continue
+                rows_list.append(row)
+                row_set.add(row)
+                if limit is not None and len(rows_list) >= limit:
+                    return True
+        else:
+            for row in rows:
+                rows_list.append(row)
+                row_set.add(row)
+                if limit is not None and len(rows_list) >= limit:
+                    return True
+        return limit is not None and len(rows_list) >= limit
+
+    def extend_unique_rows(self, rows: "Iterator[Row]",
+                           limit: Optional[int] = None) -> bool:
+        """Bulk-append rows without per-row set maintenance.
+
+        For result sets that are not ``distinct`` (or when the caller
+        has already deduplicated), nothing needs the hash set during
+        the append — the set view rebuilds lazily on the next
+        operation that compares answer sets.  Returns True once
+        ``limit`` holds.
+        """
+        self._row_set = None
+        rows_list = self._rows
+        if limit is None:
+            rows_list.extend(rows)
+            return False
+        for row in rows:
+            rows_list.append(row)
+            if len(rows_list) >= limit:
+                return True
+        return False
+
+    def extend_rows_dedup(self, rows: "Iterable[Row]") -> None:
+        """Append ``rows`` keeping the first occurrence of each.
+
+        The order-preserving dedup runs at C level
+        (``dict.fromkeys``), so ``distinct`` producers without a row
+        limit can land an entire result stream in one call instead of
+        testing membership row by row.
+        """
+        unique = dict.fromkeys(rows)
+        rows_list = self._rows
+        if rows_list:
+            row_set = self._set_view()
+            fresh = [row for row in unique if row not in row_set]
+            rows_list.extend(fresh)
+            row_set.update(fresh)
+        else:
+            rows_list.extend(unique)
+            self._row_set = None
 
     def add_binding(self, binding: Dict[Variable, Term]) -> bool:
         """Append the row obtained by projecting ``binding``."""
@@ -52,14 +128,20 @@ class ResultSet:
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
 
+    def _set_view(self) -> Set[Row]:
+        row_set = self._row_set
+        if row_set is None:
+            row_set = self._row_set = set(self._rows)
+        return row_set
+
     def __contains__(self, row: Row) -> bool:
-        return row in self._row_set
+        return row in self._set_view()
 
     def __eq__(self, other) -> bool:
         """Set-semantics equality (the paper's answer-set equality)."""
         if isinstance(other, ResultSet):
             return (self.variables == other.variables
-                    and self._row_set == other._row_set)
+                    and self._set_view() == other._set_view())
         return NotImplemented
 
     def __repr__(self) -> str:
@@ -68,7 +150,7 @@ class ResultSet:
 
     def to_set(self) -> FrozenSet[Row]:
         """The answer *set* (distinct rows)."""
-        return frozenset(self._row_set)
+        return frozenset(self._set_view())
 
     def rows(self) -> List[Row]:
         return list(self._rows)

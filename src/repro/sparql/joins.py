@@ -25,12 +25,31 @@ back to scans, so plans exist for every query on every layout.
 
 Only terms leaving the pipeline are decoded; intermediate bindings
 are flat integer lists.
+
+Execution comes in two shapes sharing one compiled plan.  The
+*scalar* path (kernel mode ``scalar``) is the per-binding generator
+descent — the reference implementation.  The default *block* path
+(:func:`repro.kernels.vectorized`) pushes whole lists of bindings
+through each step: scan and interval steps read zero-copy run views
+(:meth:`~repro.rdf.columnar.ColumnarTripleIndex.values_block_order`
+and friends), intersections call the
+:func:`~repro.kernels.intersect_pair`/:func:`~repro.kernels.
+intersect_many` kernels on those views, and only the binding
+extension itself remains a Python loop.  Both paths produce the same
+bindings in the same order and keep the mode-invariant observability
+counters (``joins.scan_steps``, ``joins.intersect_steps``,
+``joins.intermediate_bindings``, ``encoding.*``) identical;
+``joins.leapfrog_seeks`` only advances where a seek loop actually ran
+(scalar mode or a delta-state fallback).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from itertools import chain, islice
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
+from .. import kernels
 from ..cancellation import CancellationToken, current_token
 from ..obs import get_metrics, span
 from ..rdf.columnar import ColumnarTripleIndex
@@ -49,6 +68,74 @@ EncodedBinding = List[Optional[int]]
 
 #: Compiled atom position: (is_variable, identifier-or-slot).
 _Position = Tuple[bool, int]
+
+#: seeds pulled per driver chunk / re-chunk cap between block steps
+_BLOCK_SEEDS = 256
+_BLOCK_CAP = 4096
+
+#: rows emitted between cancellation polls inside block loops
+_POLL_BLOCK = 1024
+
+
+def _emit_values(binding: EncodedBinding, slot: int, values,
+                 out: List[EncodedBinding],
+                 token: Optional[CancellationToken]) -> int:
+    """Extend ``binding`` once per value in a flat buffer; the shared
+    inner loop of the block scan/intersect paths.  Polls are strided:
+    one check per :data:`_POLL_BLOCK` emitted rows."""
+    append = out.append
+    if token is None:
+        for value in values:
+            extended = binding[:]
+            extended[slot] = value
+            append(extended)
+    else:
+        for start in range(0, len(values), _POLL_BLOCK):
+            token.raise_if_cancelled()
+            for value in values[start:start + _POLL_BLOCK]:
+                extended = binding[:]
+                extended[slot] = value
+                append(extended)
+    return len(values)
+
+
+def _emit_rows(binding: EncodedBinding, view, checks, assigns, dup_checks,
+               out: List[EncodedBinding],
+               token: Optional[CancellationToken],
+               scanned: int) -> Tuple[int, int]:
+    """Generic row loop over a flat ``3*n`` triple view: filter by
+    ``checks``, extend by ``assigns``.  Returns ``(emitted, scanned)``
+    so callers carry the poll stride across views."""
+    emitted = 0
+    append = out.append
+    for base in range(0, len(view), 3):
+        scanned += 1
+        if token is not None and scanned & 0xFF == 0:
+            token.raise_if_cancelled()
+        if checks and any(view[base + j] != value for j, value in checks):
+            continue
+        extended = binding[:]
+        for j, slot in assigns:
+            extended[slot] = view[base + j]
+        if dup_checks and any(view[base + j] != extended[slot]
+                              for j, slot in dup_checks):
+            continue
+        emitted += 1
+        append(extended)
+    return emitted, scanned
+
+
+def _default_extend_block(step, graph: Graph, block: List[EncodedBinding],
+                          counts: List[int],
+                          token: Optional[CancellationToken]
+                          ) -> List[EncodedBinding]:
+    """Block execution by looping the step's scalar ``run`` — the
+    fallback for steps with no block specialization (hash-backend
+    scans, member expansions)."""
+    out: List[EncodedBinding] = []
+    for binding in block:
+        out.extend(step.run(graph, binding, counts, token))
+    return out
 
 
 class IntervalPattern:
@@ -135,6 +222,10 @@ class _ScanStep:
                 continue
             counts[3] += 1
             yield extended
+
+    # hash indexes expose no sorted runs to slice: block execution is
+    # the scalar scan per binding (still skips the generator descent)
+    extend_block = _default_extend_block
 
 
 class _SortedScanStep:
@@ -237,6 +328,73 @@ class _SortedScanStep:
             counts[3] += 1
             yield extended
 
+    def extend_block(self, graph: Graph, block: List[EncodedBinding],
+                     counts: List[int],
+                     token: Optional[CancellationToken]
+                     ) -> List[EncodedBinding]:
+        """Block scan: one zero-copy run view per binding, no
+        per-triple generator machinery.  Bindings whose range has
+        pending delta state fall back to the scalar ``run``."""
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        out: List[EncodedBinding] = []
+        order_index = self.order_index
+        prefix_spec = self.prefix_spec
+        slot = self.value_slot
+        if slot is not None:
+            (a_var, a_val), (b_var, b_val) = prefix_spec
+            if not a_var:
+                # constant leading component (the dominant shape —
+                # it's usually the predicate): bisect its span once
+                # for the whole block
+                read = index.values_reader_order(order_index, a_val)
+                for binding in block:
+                    values = read(binding[b_val] if b_var else b_val)
+                    counts[0] += 1
+                    counts[3] += _emit_values(binding, slot, values, out,
+                                              token)
+                return out
+            # leading component is a bound variable: consecutive
+            # bindings usually repeat it (blocks are binding-major),
+            # so memoize one reader per distinct value seen
+            make_reader = index.values_reader_order
+            readers: Dict[int, Callable[[int], Any]] = {}
+            for binding in block:
+                first = binding[a_val]
+                read = readers.get(first)
+                if read is None:
+                    read = readers[first] = make_reader(order_index, first)
+                values = read(binding[b_val] if b_var else b_val)
+                counts[0] += 1
+                counts[3] += _emit_values(binding, slot, values, out, token)
+            return out
+        view_order = index.view_order
+        const_checks = self.const_checks
+        bound_checks = self.bound_checks
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        scanned = 0
+        for binding in block:
+            prefix = tuple(binding[value] if is_var else value
+                           for is_var, value in prefix_spec)
+            view = view_order(order_index, prefix)
+            if view is None:
+                out.extend(self.run(graph, binding, counts, token))
+                continue
+            counts[0] += 1
+            checks = const_checks
+            if bound_checks:
+                checks = checks + [(j, binding[s]) for j, s in bound_checks]
+            if not checks and not dup_checks and len(assigns) == 1:
+                j, free_slot = assigns[0]
+                counts[3] += _emit_values(binding, free_slot, view[j::3],
+                                          out, token)
+                continue
+            emitted, scanned = _emit_rows(binding, view, checks, assigns,
+                                          dup_checks, out, token, scanned)
+            counts[3] += emitted
+        return out
+
 
 class _IntersectStep:
     """Merge (k=2) / leapfrog (k>2) intersection of sorted suffix runs.
@@ -276,6 +434,38 @@ class _IntersectStep:
             extended[slot] = value
             counts[3] += 1
             yield extended
+
+    def extend_block(self, graph: Graph, block: List[EncodedBinding],
+                     counts: List[int],
+                     token: Optional[CancellationToken]
+                     ) -> List[EncodedBinding]:
+        """Block intersection: fetch every cursor's value run as one
+        flat buffer and hand the whole set to the intersection
+        kernels — no per-value seek loop."""
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        out: List[EncodedBinding] = []
+        slot = self.slot
+        intersect = kernels.intersect_many
+        # one resolved cursor per atom: (reader-or-None, spec parts);
+        # constant leading components bisect their span once per block
+        resolved = []
+        for order_index, prefix_spec in self.cursors:
+            (a_var, a_val), (b_var, b_val) = prefix_spec
+            read = (index.values_reader_order(order_index, a_val)
+                    if not a_var else None)
+            resolved.append((read, order_index, a_val, b_var, b_val))
+        values_block = index.values_block_order
+        for binding in block:
+            counts[1] += 1
+            buffers = [
+                read(binding[b_val] if b_var else b_val) if read is not None
+                else values_block(order_index, binding[a_val],
+                                  binding[b_val] if b_var else b_val)
+                for read, order_index, a_val, b_var, b_val in resolved]
+            common = intersect(buffers, token)
+            counts[3] += _emit_values(binding, slot, common, out, token)
+        return out
 
 
 class _IntervalSortedScanStep:
@@ -371,6 +561,47 @@ class _IntervalSortedScanStep:
                 counts[3] += 1
                 yield extended
 
+    def extend_block(self, graph: Graph, block: List[EncodedBinding],
+                     counts: List[int],
+                     token: Optional[CancellationToken]
+                     ) -> List[EncodedBinding]:
+        """Block interval scan: each ``(lo, hi)`` range is one
+        contiguous zero-copy view (two binary searches), walked with
+        the shared row loop."""
+        index = graph.index
+        assert isinstance(index, ColumnarTripleIndex)
+        out: List[EncodedBinding] = []
+        order_index = self.order_index
+        range_view = index.range_view_order
+        assigns = self.assigns
+        dup_checks = self.dup_checks
+        scanned = 0
+        for binding in block:
+            prefix = tuple(binding[value] if is_var else value
+                           for is_var, value in self.prefix_spec)
+            views = [range_view(order_index, prefix, lo, hi)
+                     for lo, hi in self.ranges]
+            if any(view is None for view in views):
+                out.extend(self.run(graph, binding, counts, token))
+                continue
+            checks = self.const_checks
+            if self.bound_checks:
+                checks = checks + [(j, binding[s])
+                                   for j, s in self.bound_checks]
+            simple = (not checks and not dup_checks and len(assigns) == 1)
+            for view in views:
+                counts[5] += 1
+                if simple:
+                    j, free_slot = assigns[0]
+                    counts[3] += _emit_values(binding, free_slot,
+                                              view[j::3], out, token)
+                    continue
+                emitted, scanned = _emit_rows(binding, view, checks,
+                                              assigns, dup_checks, out,
+                                              token, scanned)
+                counts[3] += emitted
+        return out
+
 
 class _IntervalMemberScanStep:
     """Member-expansion fallback for an interval atom.
@@ -439,6 +670,9 @@ class _IntervalMemberScanStep:
                 counts[3] += 1
                 yield extended
 
+    # point lookups per explicit member: nothing to slice
+    extend_block = _default_extend_block
+
 
 class _AlternativesStep:
     """Union of alternative sub-steps for one atom.
@@ -465,6 +699,20 @@ class _AlternativesStep:
             yield from step.run(graph, binding, counts,  # type: ignore[attr-defined]
                                 token)
 
+    def extend_block(self, graph: Graph, block: List[EncodedBinding],
+                     counts: List[int],
+                     token: Optional[CancellationToken]
+                     ) -> List[EncodedBinding]:
+        # per binding so branch outputs interleave exactly as the
+        # scalar union does (binding-major, branch-minor)
+        out: List[EncodedBinding] = []
+        for binding in block:
+            single = [binding]
+            for step in self.steps:
+                out.extend(step.extend_block(  # type: ignore[attr-defined]
+                    graph, single, counts, token))
+        return out
+
 
 def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
              counts: Optional[List[int]] = None,
@@ -480,6 +728,10 @@ def leapfrog(seeks: Sequence[Callable[[int], Optional[int]]],
     if counts is None:
         counts = [0, 0, 0, 0, 0]
     k = len(seeks)
+    if k == 0:
+        # the intersection of no cursors is empty (not "everything"):
+        # a group can lose every cursor to unsatisfiable prefixes
+        return
     counts[2] += 1
     current = seeks[0](0)
     counts[4] += 1
@@ -561,16 +813,78 @@ class BGPPlan:
         call, so per-execution bookkeeping (metrics flush, closure
         setup) is paid once per batch rather than once per seed.
         Seeds are never mutated (every step extends by copy).
+
+        Kernel-mode dependent plumbing, mode-invariant results: under
+        :func:`repro.kernels.vectorized` the plan executes block-at-a-
+        time; ``scalar`` keeps the per-binding generator descent.  Both
+        produce the same bindings in the same order.
         """
         if self.empty:
             return
         # [scans, intersections, leapfrogs, bindings, seeks,
         #  interval range scans, interval member expansions]
         counts = [0, 0, 0, 0, 0, 0, 0]
+        token = current_token()  # serving deadline, if one is armed
+        try:
+            if not self.steps:
+                yield from seeds
+                return
+            if kernels.vectorized():
+                emitted = 0
+                for block in self._drive_blocks(seeds, counts, token):
+                    if token is None:
+                        yield from block
+                        continue
+                    # consumers can cancel between pulls: poll while
+                    # draining the buffered block, same stride as the
+                    # scalar descent
+                    for binding in block:
+                        emitted += 1
+                        if emitted & 0x3F == 0:
+                            token.raise_if_cancelled()
+                        yield binding
+                return
+            yield from self._descend_scalar(seeds, counts, token)
+        finally:
+            self._flush_counts(counts)
+
+    def run_blocks(self, seeds: Iterable[EncodedBinding]
+                   ) -> Iterator[List[EncodedBinding]]:
+        """Stream the satisfying extensions as lists — the block entry
+        point for set-at-a-time consumers (the batch saturation
+        engine's head instantiation).  Concatenating the blocks yields
+        exactly the ``run_seeds`` stream.
+        """
+        if self.empty:
+            return
+        counts = [0, 0, 0, 0, 0, 0, 0]
+        token = current_token()
+        try:
+            if not self.steps:
+                passthrough = list(seeds)
+                if passthrough:
+                    yield passthrough
+                return
+            if kernels.vectorized():
+                yield from self._drive_blocks(seeds, counts, token)
+                return
+            scalar = self._descend_scalar(seeds, counts, token)
+            while True:  # sc: allow(SC303): the scalar stream polls inside
+                block = list(islice(scalar, _BLOCK_CAP))
+                if not block:
+                    return
+                yield block
+        finally:
+            self._flush_counts(counts)
+
+    def _descend_scalar(self, seeds: Iterable[EncodedBinding],
+                        counts: List[int],
+                        token: Optional[CancellationToken]
+                        ) -> Iterator[EncodedBinding]:
+        """The per-binding reference execution (kernel mode ``scalar``)."""
         graph = self.graph
         steps = self.steps
         depth = len(steps)
-        token = current_token()  # serving deadline, if one is armed
 
         def descend(at: int, binding: EncodedBinding
                     ) -> Iterator[EncodedBinding]:
@@ -582,32 +896,68 @@ class BGPPlan:
                     token.raise_if_cancelled()
                 yield from descend(at + 1, extended)
 
-        try:
-            if depth == 0:
-                yield from seeds
-                return
-            first = steps[0]
-            if depth == 1:
-                # flat loop: no recursion for the 1-step plans the
-                # rule engine compiles for 2-atom rule bodies
-                for seed in seeds:
-                    if token is not None:
-                        token.raise_if_cancelled()
-                    yield from first.run(graph, seed, counts, token)
-                return
+        first = steps[0]
+        if depth == 1:
+            # flat loop: no recursion for the 1-step plans the
+            # rule engine compiles for 2-atom rule bodies
             for seed in seeds:
-                for extended in first.run(graph, seed, counts, token):
-                    yield from descend(1, extended)
-        finally:
-            metrics = get_metrics()
-            metrics.counter("joins.scan_steps").inc(counts[0])
-            metrics.counter("joins.intersect_steps").inc(counts[1])
-            metrics.counter("joins.leapfrog_seeks").inc(counts[4])
-            metrics.counter("joins.intermediate_bindings").inc(counts[3])
-            if counts[5]:
-                metrics.counter("encoding.range_scans").inc(counts[5])
-            if counts[6]:
-                metrics.counter("encoding.member_scans").inc(counts[6])
+                if token is not None:
+                    token.raise_if_cancelled()
+                yield from first.run(graph, seed, counts, token)
+            return
+        for seed in seeds:
+            for extended in first.run(graph, seed, counts, token):
+                yield from descend(1, extended)
+
+    def _drive_blocks(self, seeds: Iterable[EncodedBinding],
+                      counts: List[int],
+                      token: Optional[CancellationToken]
+                      ) -> Iterator[List[EncodedBinding]]:
+        """Block-at-a-time execution: push binding lists level by level.
+
+        Finishing each level before the next preserves the scalar DFS
+        output order (steps emit extensions binding-major, value-minor);
+        oversized intermediate blocks re-chunk so memory stays bounded
+        and LIMIT-style consumers never overpay by more than a chunk.
+        """
+        graph = self.graph
+        steps = self.steps
+        depth = len(steps)
+
+        def advance(at: int, block: List[EncodedBinding]
+                    ) -> Iterator[List[EncodedBinding]]:
+            # each extend_block polls through its own scan/seek loops
+            while at < depth and block:  # sc: allow(SC303): depth-bounded
+                block = steps[at].extend_block(  # type: ignore[attr-defined]
+                    graph, block, counts, token)
+                at += 1
+                if at < depth and len(block) > _BLOCK_CAP:
+                    for start in range(0, len(block), _BLOCK_CAP):
+                        yield from advance(at,
+                                           block[start:start + _BLOCK_CAP])
+                    return
+            if block:
+                yield block
+
+        iterator = iter(seeds)
+        while True:  # sc: allow(SC303): polls once per seed chunk below
+            if token is not None:
+                token.raise_if_cancelled()
+            chunk = list(islice(iterator, _BLOCK_SEEDS))
+            if not chunk:
+                return
+            yield from advance(0, chunk)
+
+    def _flush_counts(self, counts: List[int]) -> None:
+        metrics = get_metrics()
+        metrics.counter("joins.scan_steps").inc(counts[0])
+        metrics.counter("joins.intersect_steps").inc(counts[1])
+        metrics.counter("joins.leapfrog_seeks").inc(counts[4])
+        metrics.counter("joins.intermediate_bindings").inc(counts[3])
+        if counts[5]:
+            metrics.counter("encoding.range_scans").inc(counts[5])
+        if counts[6]:
+            metrics.counter("encoding.member_scans").inc(counts[6])
 
 
 def _compile_positions(pattern: TriplePattern, slot_of: Dict[Variable, int],
@@ -881,6 +1231,46 @@ def iter_bindings(graph: Graph, patterns: Sequence[TriplePattern],
                if binding[slot] is not None}
 
 
+def _compile_projection(projection: Sequence[Tuple[Optional[int],
+                                                   Optional[Term]]],
+                        table: Sequence[Term], query: BGPQuery
+                        ) -> Callable[[EncodedBinding], Tuple[Term, ...]]:
+    """A row projector for the block pipeline.
+
+    Slot-only projections (the common SELECT shape: every
+    distinguished variable appears in the patterns, no presets) get a
+    closed-over fast form indexing the decode table directly; anything
+    with presets or potentially-unbound variables keeps the general
+    per-position loop with the same diagnostics as the scalar path.
+    """
+    if all(slot is not None and constant is None
+           for slot, constant in projection):
+        slots = tuple(slot for slot, __ in projection)
+        if len(slots) == 1:
+            (s0,) = slots
+            return lambda binding: (table[binding[s0]],)
+        if len(slots) == 2:
+            s0, s1 = slots
+            return lambda binding: (table[binding[s0]], table[binding[s1]])
+        return lambda binding: tuple(table[binding[s]] for s in slots)
+
+    def project(binding: EncodedBinding) -> Tuple[Term, ...]:
+        row: List[Term] = []
+        for slot, constant in projection:
+            value = binding[slot] if slot is not None else None
+            if value is not None:
+                row.append(table[value])
+            elif constant is not None:
+                row.append(constant)
+            else:
+                raise ValueError(
+                    f"unbound distinguished variable in "
+                    f"{query.to_sparql()!r}")
+        return tuple(row)
+
+    return project
+
+
 def evaluate_columnar(graph: Graph, query: BGPQuery,
                       optimize: bool = True) -> ResultSet:
     """Evaluate a BGP query through the set-at-a-time pipeline.
@@ -903,20 +1293,48 @@ def evaluate_columnar(graph: Graph, query: BGPQuery,
             projection.append((plan.slot_of.get(variable),
                                preset.get(variable)))
         limit = query.limit
-        for binding in plan.run():
-            row: List[Term] = []
-            for slot, constant in projection:
-                value = binding[slot] if slot is not None else None
-                if value is not None:
-                    row.append(decode(value))
-                elif constant is not None:
-                    row.append(constant)
-                else:
-                    raise ValueError(
-                        f"unbound distinguished variable in "
-                        f"{query.to_sparql()!r}")
-            results.add(tuple(row))
-            if limit is not None and len(results) >= limit:
-                break
+        if kernels.vectorized():
+            # block pipeline: project each binding block with the
+            # decode table indexed directly and land it through one
+            # bulk extend — row materialization is part of the
+            # vectorized path, not a per-row tail on top of it
+            table = graph.dictionary.decode_table()
+            project = _compile_projection(projection, table, query)
+            start: EncodedBinding = [None] * plan.nslots
+            if results.distinct and limit is None:
+                # no row limit: stream every block through one
+                # C-level order-preserving dedup instead of testing
+                # membership row by row
+                results.extend_rows_dedup(chain.from_iterable(
+                    map(project, block)
+                    for block in plan.run_blocks((start,))))
+            elif results.distinct:
+                for block in plan.run_blocks((start,)):
+                    if results.extend_rows(map(project, block), limit):
+                        break
+            else:
+                # without DISTINCT every produced row is kept; skip
+                # per-row set maintenance — the set view (answer-set
+                # comparisons) rebuilds lazily if ever needed
+                for block in plan.run_blocks((start,)):
+                    if results.extend_unique_rows(map(project, block),
+                                                  limit):
+                        break
+        else:
+            for binding in plan.run():
+                row: List[Term] = []
+                for slot, constant in projection:
+                    value = binding[slot] if slot is not None else None
+                    if value is not None:
+                        row.append(decode(value))
+                    elif constant is not None:
+                        row.append(constant)
+                    else:
+                        raise ValueError(
+                            f"unbound distinguished variable in "
+                            f"{query.to_sparql()!r}")
+                results.add(tuple(row))
+                if limit is not None and len(results) >= limit:
+                    break
         sp.set(answers=len(results))
     return results

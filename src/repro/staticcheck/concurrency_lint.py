@@ -85,8 +85,10 @@ FAULT_EXEMPT: frozenset = frozenset({
 HOT_LOOP_MODULES: Tuple[str, ...] = (
     "repro/sparql/evaluator.py",
     "repro/sparql/joins.py",
+    "repro/kernels.py",
     "repro/reasoning/saturation.py",
     "repro/reasoning/batch.py",
+    "repro/server/aserver.py",
 )
 
 #: The durability-protocol modules (SC304/SC305).

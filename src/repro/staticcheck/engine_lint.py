@@ -71,6 +71,7 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/rdf/graph.py",
     "repro/rdf/dictionary.py",
     "repro/sparql/joins.py",
+    "repro/kernels.py",
     "repro/datalog/program.py",
     "repro/datalog/engine.py",
     "repro/reasoning/rules.py",

@@ -307,6 +307,66 @@ class TestJoinPlans:
         assert len(distinct) == 3
 
 
+class TestLeapfrogEdgeCases:
+    """Boundary behaviour of the leapfrog primitive: exhausted and
+    empty cursors, the k=1 degenerate ring, and duplicate-heavy runs
+    (unsorted-run duplicates never reach leapfrog, but a cursor may
+    legitimately report the same value for many consecutive seeks)."""
+
+    @staticmethod
+    def _cursor(values):
+        def seek(v):
+            for value in values:
+                if value >= v:
+                    return value
+            return None
+        return seek
+
+    def test_no_cursors_is_the_empty_intersection(self):
+        assert list(leapfrog([])) == []
+
+    def test_empty_cursor_in_any_position_kills_the_ring(self):
+        full = [1, 2, 3]
+        for position in range(3):
+            cursors = [self._cursor(full)] * 3
+            cursors[position] = self._cursor([])
+            assert list(leapfrog(cursors)) == []
+
+    def test_single_cursor_streams_its_run(self):
+        assert list(leapfrog([self._cursor([0, 2, 9])])) == [0, 2, 9]
+
+    def test_single_empty_cursor(self):
+        assert list(leapfrog([self._cursor([])])) == []
+
+    def test_single_cursor_collapses_duplicates(self):
+        # seek(current + 1) skips past every copy of the value just
+        # emitted, so a duplicate-heavy run yields distinct values
+        assert list(leapfrog([self._cursor([5, 5, 5, 8, 8])])) == [5, 8]
+
+    def test_duplicate_heavy_cursors_intersect_once_per_value(self):
+        a = self._cursor([1, 1, 1, 4, 4, 7])
+        b = self._cursor([1, 4, 4, 4, 9])
+        assert list(leapfrog([a, b])) == [1, 4]
+
+    def test_cursor_exhausted_mid_chase(self):
+        # the second cursor dies while chasing the first's maximum
+        a = self._cursor([10, 20, 30])
+        b = self._cursor([10, 15])
+        assert list(leapfrog([a, b])) == [10]
+
+    def test_disjoint_runs_seek_to_exhaustion(self):
+        counts = [0, 0, 0, 0, 0]
+        evens = self._cursor(list(range(0, 40, 2)))
+        odds = self._cursor(list(range(1, 40, 2)))
+        assert list(leapfrog([evens, odds], counts)) == []
+        assert counts[4] > 0  # the seeks were counted, not elided
+
+    def test_zero_identifier_participates(self):
+        # identifiers start at 0; the initial seek must not skip it
+        assert list(leapfrog([self._cursor([0, 3]),
+                              self._cursor([0, 4])])) == [0]
+
+
 # ----------------------------------------------------------------------
 # cooperative cancellation inside the join layer
 # ----------------------------------------------------------------------
