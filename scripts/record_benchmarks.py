@@ -35,6 +35,14 @@ overload comparison: live-request p99 of the thread-per-connection
 front-end vs the asyncio front-end while idle connections and slow
 readers hold the server open.
 
+``--suite pr9`` records the materialized-view layer: "before" replays
+a repeated join workload (LUBM Q3/Q7/Q9/Q10) against a plain saturated
+database, "after" replays it with workload-mined views installed — plus
+the update-stream maintenance overhead the views charge for staying
+fresh, and the serving-cache retention win of per-view fingerprint keys
+(an unrelated update drops every version-keyed entry but none of the
+view-covered ones).
+
 The output is diffable with ``scripts/bench_compare.py``.  ``--quick``
 shrinks every workload for CI smoke runs; committed baselines should
 be recorded without it.
@@ -441,17 +449,126 @@ def record_pr8(quick: bool, repeat: int) -> dict:
     }
 
 
+def record_pr9(quick: bool, repeat: int) -> dict:
+    from repro.db import RDFDatabase, Strategy
+    from repro.server import ServingDatabase
+    from repro.workloads import instance_deletions, instance_insertions
+
+    benchmarks: dict = {}
+    scale = 1 if quick else 2
+    graph = generate_lubm(LUBMConfig(departments=scale))
+    workload_ids = ("Q3", "Q7", "Q9", "Q10")
+    queries = {qid: workload_query(qid) for qid in workload_ids}
+    mining_workload = [(query, 10, 0.0) for query in queries.values()]
+
+    def fresh(enable_views: bool) -> RDFDatabase:
+        db = RDFDatabase(graph, strategy=Strategy.SATURATION,
+                         enable_views=enable_views)
+        if enable_views:
+            report = db.advise_views(workload=mining_workload,
+                                     min_support=1)
+            db.install_views(list(report["selected"]))
+        return db
+
+    # -- repeated-workload replay: plain joins vs view scans -----------
+    base = fresh(enable_views=False)
+    viewed = fresh(enable_views=True)
+    installed = len(viewed.views)
+    assert installed > 0, "the join workload must mine at least one view"
+    qrounds = max(repeat, 5 if quick else 25)
+    totals = {"before": 0.0, "after": 0.0}
+    for qid, query in queries.items():
+        before = best_of(lambda: base.query(query), repeat=qrounds)
+        after = best_of(lambda: viewed.query(query), repeat=qrounds)
+        assert after.result.to_set() == before.result.to_set(), qid
+        totals["before"] += before.seconds
+        totals["after"] += after.seconds
+        benchmarks[f"views/workload/{qid}"] = _entry(
+            before.seconds, after.seconds, answers=len(before.result))
+    stats = viewed.views.stats()
+    hits, misses = stats["rewrite_hits"], stats["rewrite_misses"]
+    benchmarks["views/workload/aggregate"] = _entry(
+        totals["before"], totals["after"],
+        queries=len(queries), installed_views=installed,
+        rewrite_hit_rate=round(hits / (hits + misses), 3)
+        if hits + misses else None)
+
+    # -- update stream: the maintenance overhead views charge ----------
+    ins = instance_insertions(graph, 8 if quick else 24, seed=9)
+    dels = instance_deletions(graph, 8 if quick else 24, seed=11)
+
+    def stream(enable_views: bool) -> None:
+        db = fresh(enable_views)
+        db.insert(ins.triples)
+        db.delete(dels.triples)
+
+    before = best_of(lambda: stream(False), repeat=repeat)
+    after = best_of(lambda: stream(True), repeat=repeat)
+    benchmarks["views/update_stream"] = _entry(
+        before.seconds, after.seconds,
+        inserted=len(ins.triples), deleted=len(dels.triples),
+        note="after includes saturation + per-view delta maintenance; "
+             "below-1x is the price of view freshness")
+
+    # -- serving cache: full invalidation vs per-view fingerprints -----
+    from repro.workloads.lubm import UNIV
+
+    def retention(enable_views: bool):
+        db = fresh(enable_views)
+        svc = ServingDatabase(db)
+        covered = (db.views.definitions()[0] if enable_views
+                   else queries["Q9"]).to_sparql()
+        svc.query(covered)  # warm the entry
+        rounds = 5 if quick else 20
+        retained = 0
+        seconds = 0.0
+        for i in range(rounds):
+            # an update no installed view depends on
+            svc.update("INSERT DATA { "
+                       f"<{UNIV.term(f'note{i}')}> <{UNIV.annotation}> "
+                       f"<{UNIV.term(f'doc{i}')}> }}")
+            outcome = svc.query(covered)
+            retained += int(outcome.cached)
+            seconds += outcome.seconds
+        return seconds, retained, rounds
+
+    before_s, before_hits, rounds = retention(False)
+    after_s, after_hits, __ = retention(True)
+    assert before_hits == 0 and after_hits == rounds
+    benchmarks["views/cache_retention"] = _entry(
+        before_s, after_s, updates=rounds,
+        retained_before=before_hits, retained_after=after_hits,
+        note="post-update latency of a view-covered query: version "
+             "keys drop the entry every update, fingerprint keys keep it")
+
+    return {
+        "format": FORMAT,
+        "label": "pr9-views",
+        "quick": quick,
+        "repeat": repeat,
+        "before": "saturated database answering the repeated join "
+                  "workload from base joins; version-keyed result cache",
+        "after": "workload-mined materialized views spliced into the "
+                 "same queries; per-view fingerprint cache keys",
+        "workloads": {f"lubm_{scale}dept": len(graph),
+                      "queries": list(workload_ids)},
+        "benchmarks": benchmarks,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="pr3",
-                        choices=("pr3", "pr5", "pr6", "pr8"),
+                        choices=("pr3", "pr5", "pr6", "pr8", "pr9"),
                         help="pr3: hash-vs-columnar backends (default); "
                              "pr5: reformulation strategies "
                              "(ucq vs encoded, plus factorized/saturation); "
                              "pr6: durable-storage restart vs cold "
                              "re-saturation; "
                              "pr8: scalar-vs-vectorized kernels plus "
-                             "threaded-vs-asyncio overload p99")
+                             "threaded-vs-asyncio overload p99; "
+                             "pr9: materialized views — repeated-workload "
+                             "replay, maintenance overhead, cache retention")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON report "
                              "(default: BENCH_<suite>.json)")
@@ -463,7 +580,7 @@ def main(argv=None) -> int:
     if args.output is None:
         args.output = str(REPO / f"BENCH_{args.suite}.json")
     recorder = {"pr5": record_pr5, "pr6": record_pr6,
-                "pr8": record_pr8}.get(args.suite, record)
+                "pr8": record_pr8, "pr9": record_pr9}.get(args.suite, record)
     report = recorder(args.quick, args.repeat)
     pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     width = max(len(name) for name in report["benchmarks"])

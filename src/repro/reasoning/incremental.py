@@ -29,7 +29,7 @@ Insertions use the same semi-naive delta propagation in both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..obs import get_metrics, span
 from ..rdf.graph import Graph
@@ -109,6 +109,11 @@ class IncrementalReasoner:
         self.ruleset = ruleset
         self.explicit: Set[Triple] = set(graph)
         self.graph: Graph = graph.copy()
+        #: the (added, removed) triples of the last insert()/delete(),
+        #: explicit *and* implicit — the delta consumers (per-view
+        #: incremental maintenance) need the triples themselves, not
+        #: just the counts in :class:`MaintenanceResult`
+        self.last_delta: Tuple[List[Triple], List[Triple]] = ([], [])
         self._initial_saturation()
 
     def _initial_saturation(self) -> None:
@@ -131,6 +136,7 @@ class IncrementalReasoner:
             reasoner.ruleset = ruleset
             reasoner.explicit = set(explicit)
             reasoner.graph = saturated
+            reasoner.last_delta = ([], [])
             reasoner._resume_derived_state()
         return reasoner
 
@@ -168,7 +174,9 @@ class IncrementalReasoner:
                 if self.graph.add(triple):
                     delta.append(triple)
                     self._on_explicit_added(triple)
-            implicit_added = self._propagate_insertions(delta)
+            implicit = self._propagate_insertions(delta)
+            implicit_added = len(implicit)
+            self.last_delta = (delta + implicit, [])
             sp.set(implicit_added=implicit_added)
             result = MaintenanceResult(
                 operation="insert", algorithm=self.algorithm,
@@ -201,14 +209,14 @@ class IncrementalReasoner:
     #: which routes insertion through the justification-recording path.
     records_justifications = False
 
-    def _propagate_insertions(self, delta: List[Triple]) -> int:
+    def _propagate_insertions(self, delta: List[Triple]) -> List[Triple]:
         """Semi-naive insertion propagation; returns implicit additions.
 
         Downstream justifications depend on *triples*, not on how many
         ways those triples are derived, so a new justification for an
         already-present triple needs no further propagation.
         """
-        implicit_added = 0
+        implicit_added: List[Triple] = []
         while delta:
             next_delta: List[Triple] = []
             for rule in self.ruleset:
@@ -219,13 +227,13 @@ class IncrementalReasoner:
                     for derivation in list(rule.fire(self.graph, delta)):
                         self._record(derivation)
                         if self.graph.add(derivation.conclusion):
-                            implicit_added += 1
+                            implicit_added.append(derivation.conclusion)
                             next_delta.append(derivation.conclusion)
                 else:
                     for conclusion in list(
                             rule.fire_conclusions(self.graph, delta)):
                         if self.graph.add(conclusion):
-                            implicit_added += 1
+                            implicit_added.append(conclusion)
                             next_delta.append(conclusion)
             delta = next_delta
         return implicit_added
@@ -309,7 +317,10 @@ class DRedReasoner(IncrementalReasoner):
                                 next_delta.append(conclusion)
                     delta = next_delta
 
-            removed = len(overdeleted) - len(set(rederived) & overdeleted)
+            rederived_set = set(rederived)
+            self.last_delta = ([], [t for t in overdeleted
+                                    if t not in rederived_set])
+            removed = len(overdeleted) - len(rederived_set & overdeleted)
             explicit_removed = sum(1 for t in seeds if t not in self.graph)
             sp.set(overdeleted=len(overdeleted), rederived=len(set(rederived)))
             result = MaintenanceResult(
@@ -388,6 +399,7 @@ class CountingReasoner(IncrementalReasoner):
 
             implicit_removed = 0
             explicit_seed_removed = 0
+            gone: List[Triple] = []
             while queue:
                 triple = queue.pop()
                 if triple not in self.graph:
@@ -395,6 +407,7 @@ class CountingReasoner(IncrementalReasoner):
                 if triple in self.explicit or self._justifications.get(triple):
                     continue
                 self.graph.remove(triple)
+                gone.append(triple)
                 if triple in batch:
                     explicit_seed_removed += 1
                 else:
@@ -417,6 +430,7 @@ class CountingReasoner(IncrementalReasoner):
                             queue.append(conclusion)
                 self._justifications.pop(triple, None)
 
+            self.last_delta = ([], gone)
             sp.set(implicit_removed=implicit_removed)
             result = MaintenanceResult(
                 operation="delete", algorithm=self.algorithm,

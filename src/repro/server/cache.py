@@ -31,9 +31,12 @@ from ..sparql.bindings import ResultSet
 
 __all__ = ["QueryResultCache", "CacheStats"]
 
-#: (query text, ruleset name, backend, strategy,
-#:  reformulation strategy, graph version)
-CacheKey = Tuple[str, str, str, str, str, int]
+#: (query text, ruleset name, backend, strategy, reformulation
+#: strategy, validity token).  The validity token is the graph version
+#: — or, for a query answered entirely from a materialized view, the
+#: view's ``("views", (name, version))`` fingerprint, which survives
+#: updates that leave that view untouched (partial invalidation).
+CacheKey = Tuple[str, str, str, str, str, Hashable]
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,11 +83,11 @@ class QueryResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                metrics.counter("server.cache_misses").inc()
+                metrics.counter("cache.misses").inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-        metrics.counter("server.cache_hits").inc()
+        metrics.counter("cache.hits").inc()
         return entry
 
     def put(self, key: CacheKey, results: ResultSet) -> None:
@@ -97,7 +100,7 @@ class QueryResultCache:
                 self._evictions += 1
                 evicted += 1
         if evicted:
-            get_metrics().counter("server.cache_evictions").inc(evicted)
+            get_metrics().counter("cache.evictions").inc(evicted)
 
     def clear(self) -> None:
         with self._lock:

@@ -89,6 +89,8 @@ HOT_LOOP_MODULES: Tuple[str, ...] = (
     "repro/reasoning/saturation.py",
     "repro/reasoning/batch.py",
     "repro/server/aserver.py",
+    "repro/views/materialize.py",
+    "repro/views/rewriter.py",
 )
 
 #: The durability-protocol modules (SC304/SC305).

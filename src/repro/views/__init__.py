@@ -1,0 +1,34 @@
+"""Workload-driven materialized views: mining, selection, rewriting,
+incremental maintenance.
+
+The tunable middle ground between the paper's two extremes: instead
+of saturating everything (fast queries, expensive updates) or
+reformulating everything (free updates, expensive queries), the
+database materializes the workload's *frequent join subexpressions*
+and answers recurring queries through them, maintaining only those
+relations incrementally (Goasdoué et al., "View Selection in Semantic
+Web Databases").
+
+Pipeline: :mod:`~repro.views.log` records the served workload →
+:mod:`~repro.views.miner` enumerates candidate subquery views →
+:mod:`~repro.views.selector` picks a set under a row budget →
+:mod:`~repro.views.materialize` stores and maintains each view →
+:mod:`~repro.views.rewriter` splices view scans into query plans —
+all orchestrated per-database by :mod:`~repro.views.registry`.
+"""
+
+from .log import DEFAULT_LOG_CAPACITY, LoggedQuery, WorkloadLog, \
+    aggregate_entries
+from .materialize import MaterializedView
+from .miner import ViewCandidate, mine_candidates, subquery_views
+from .registry import ViewRegistry
+from .rewriter import ViewMatch, best_match, match_view
+from .selector import (DEFAULT_BUDGET_ROWS, ScoredCandidate,
+                       select_views)
+
+__all__ = [
+    "DEFAULT_BUDGET_ROWS", "DEFAULT_LOG_CAPACITY", "LoggedQuery",
+    "MaterializedView", "ScoredCandidate", "ViewCandidate", "ViewMatch",
+    "ViewRegistry", "WorkloadLog", "aggregate_entries", "best_match",
+    "match_view", "mine_candidates", "select_views", "subquery_views",
+]

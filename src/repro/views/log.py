@@ -1,0 +1,101 @@
+"""A bounded, thread-safe log of answered queries.
+
+The workload miner's input: the serving layer records every parsed
+BGP it answers, with its measured latency, into one of these.  The
+log is deliberately *lossy* — a bounded ring, oldest entries evicted
+first — because mining wants the recent workload, not an unbounded
+history, and because the serving hot path must never block on it
+beyond one short mutex hold.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+from ..sparql.ast import BGPQuery, canonical_form
+
+__all__ = ["LoggedQuery", "WorkloadLog", "aggregate_entries"]
+
+DEFAULT_LOG_CAPACITY = 512
+
+
+@dataclass(frozen=True, slots=True)
+class LoggedQuery:
+    """One answered query: the parsed BGP plus what answering cost."""
+
+    query: BGPQuery
+    seconds: float
+    answers: int
+
+
+class WorkloadLog:
+    """Bounded ring of :class:`LoggedQuery` entries (thread-safe).
+
+    All state is guarded by the internal mutex; ``record`` is the only
+    hot-path operation and holds it for one append.
+    """
+
+    __slots__ = ("capacity", "_lock", "_entries", "_recorded")
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY):
+        if capacity < 1:
+            raise ValueError("query-log capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Deque[LoggedQuery] = \
+            deque(maxlen=capacity)  # sc: guarded-by(_lock)
+        self._recorded = 0  # sc: guarded-by(_lock)
+
+    def record(self, query: BGPQuery, seconds: float, answers: int) -> None:
+        """Append one answered query (evicting the oldest when full)."""
+        entry = LoggedQuery(query=query, seconds=seconds, answers=answers)
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+
+    def snapshot(self) -> List[LoggedQuery]:
+        """A point-in-time copy of the retained entries (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def recorded(self) -> int:
+        """Total entries ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._recorded
+
+
+@dataclass(slots=True)
+class _Bucket:
+    query: BGPQuery
+    frequency: int
+    seconds: float
+
+
+def aggregate_entries(entries: List[LoggedQuery]
+                      ) -> List[Tuple[BGPQuery, int, float]]:
+    """Collapse a log snapshot into ``(query, frequency, total_seconds)``
+    rows, one per distinct query (up to existential renaming / atom
+    order — the same key the reformulation engine deduplicates with).
+    """
+    buckets: Dict[tuple, _Bucket] = {}
+    for entry in entries:
+        key = canonical_form(entry.query)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = _Bucket(entry.query, 1, entry.seconds)
+        else:
+            bucket.frequency += 1
+            bucket.seconds += entry.seconds
+    return [(b.query, b.frequency, b.seconds) for b in buckets.values()]

@@ -1,0 +1,299 @@
+"""Materialized view storage + per-view incremental maintenance.
+
+A materialized view is a k-ary relation over dictionary-encoded
+identifiers, stored like the columnar triple runs
+(:mod:`repro.rdf.columnar`): one flat sorted ``array('q')``, row
+major, searched by binary search — generalizing the triple runs'
+3-wide layout to the view's head arity.
+
+Maintenance is by *delta rules*.  For a view ``V(h̄) ← a_1 … a_n``
+and an update delta ``Δ`` (the explicit **and** implicit changed
+triples, from the incremental reasoners' ``last_delta``):
+
+* insertions — for every atom ``a_i`` and every added triple ``t``
+  unifying with it (or with one of its reformulation alternatives,
+  whose ground matches entail ``a_i``), the rows the rest of the body
+  derives under that unifier are new candidates; anything not already
+  stored is appended.
+* deletions — any row whose witness join used a removed triple must
+  have matched some ``a_i`` against it, so its head values agree with
+  the unifier on the atom's head variables.  Those rows are the
+  *suspects*; each is re-probed with a ``LIMIT 1`` residual query and
+  dropped only when no alternative witness remains (the DRed
+  overdelete/rederive discipline, transposed to view rows).
+
+Both rules answer their residual queries through a caller-supplied
+callback, so the view layer stays ignorant of reasoning strategies —
+the database routes the probe through whatever regime it runs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..rdf.dictionary import TermDictionary
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import Triple, TriplePattern
+from ..sparql.ast import BGPQuery
+
+__all__ = ["MaterializedView", "AnswerCallback", "AtomAlternatives",
+           "delta_insert_rows", "delta_suspect_rows", "reprobe_suspects"]
+
+#: Answers a BGP (rows of terms, one per distinguished variable, preset
+#: values included) under the owning database's reasoning strategy.
+AnswerCallback = Callable[[BGPQuery], List[Tuple[Term, ...]]]
+
+#: The patterns whose ground matches entail an atom: the identity
+#: singleton under NONE/SATURATION, the reformulation alternatives
+#: (subproperties, subclasses, domains/ranges) under REFORMULATION.
+AtomAlternatives = Callable[[TriplePattern], Sequence[TriplePattern]]
+
+EncodedRow = Tuple[int, ...]
+
+
+class MaterializedView:
+    """One materialized view: definition, sorted encoded rows, version.
+
+    Rows are identifiers from the *answering graph's* dictionary; the
+    registry rebuilds the view whenever that graph is replaced.  The
+    ``version`` counter bumps only when the stored rows actually
+    change — it is the unit of partial cache invalidation (a cached
+    result rewritten over this view stays valid across updates that
+    did not touch it).
+    """
+
+    __slots__ = ("name", "query", "arity", "version", "rows")
+
+    def __init__(self, name: str, query: BGPQuery):
+        if not query.distinguished:
+            raise ValueError("a materialized view needs head variables")
+        self.name = name
+        self.query = query
+        self.arity = query.arity()
+        self.version = 0
+        self.rows: array = array("q")
+
+    # -- sorted-run access ---------------------------------------------
+
+    def row_count(self) -> int:
+        return len(self.rows) // self.arity
+
+    def __len__(self) -> int:
+        return self.row_count()
+
+    def _row_at(self, index: int) -> EncodedRow:
+        base = index * self.arity
+        return tuple(self.rows[base:base + self.arity])
+
+    def _lower_bound(self, row: EncodedRow) -> int:
+        """Index of the first stored row comparing >= ``row`` — the
+        same discipline as the columnar runs' ``_lower_bound``,
+        generalized to width k."""
+        width = self.arity
+        buf = self.rows
+        lo, hi = 0, len(buf) // width
+        while lo < hi:  # sc: allow(SC303): log2(rows) bisection
+            mid = (lo + hi) // 2
+            base = mid * width
+            if tuple(buf[base:base + width]) < row:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def contains(self, row: EncodedRow) -> bool:
+        index = self._lower_bound(row)
+        return index < self.row_count() and self._row_at(index) == row
+
+    def iter_encoded(self) -> Iterator[EncodedRow]:
+        """Stored rows in sorted order."""
+        width = self.arity
+        buf = self.rows
+        for base in range(0, len(buf), width):
+            yield tuple(buf[base:base + width])
+
+    def rows_decoded(self, dictionary: TermDictionary
+                     ) -> List[Tuple[Term, ...]]:
+        table = dictionary.decode_table()
+        return [tuple(table[i] for i in row) for row in self.iter_encoded()]
+
+    # -- mutation -------------------------------------------------------
+
+    def replace(self, rows: Iterable[EncodedRow]) -> bool:
+        """Install a full row set; returns True (and bumps the
+        version) iff the content changed."""
+        fresh = array("q")
+        for row in sorted(set(rows)):
+            fresh.extend(row)
+        if fresh == self.rows:
+            return False
+        self.rows = fresh
+        self.version += 1
+        return True
+
+    def apply_delta(self, added: Iterable[EncodedRow],
+                    removed: Iterable[EncodedRow]) -> Tuple[int, int]:
+        """Fold a row delta in; returns ``(rows_added, rows_removed)``
+        actually applied (version bumps only when either is nonzero)."""
+        gone = {row for row in removed if self.contains(row)}
+        new = sorted({row for row in added
+                      if row not in gone and not self.contains(row)})
+        if not gone and not new:
+            return (0, 0)
+        merged = array("q")
+        ni, nn = 0, len(new)
+        for row in self.iter_encoded():
+            if row in gone:
+                continue
+            while ni < nn and new[ni] < row:  # sc: allow(SC303): len(new)-bounded
+                merged.extend(new[ni])
+                ni += 1
+            merged.extend(row)
+        while ni < nn:  # sc: allow(SC303): drains the remaining new rows
+            merged.extend(new[ni])
+            ni += 1
+        self.rows = merged
+        self.version += 1
+        return (len(new), len(gone))
+
+    # -- materialization ------------------------------------------------
+
+    def refresh(self, answer: AnswerCallback,
+                dictionary: TermDictionary) -> bool:
+        """(Re)compute the full extent through ``answer``; returns
+        True iff the stored rows changed."""
+        produced = answer(self.query)
+        return self.replace(
+            tuple(dictionary.encode(term) for term in row)
+            for row in produced)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "definition": self.query.to_sparql(),
+            "arity": self.arity,
+            "rows": self.row_count(),
+            "bytes": len(self.rows) * self.rows.itemsize,
+            "version": self.version,
+        }
+
+
+# ----------------------------------------------------------------------
+# delta rules
+# ----------------------------------------------------------------------
+
+def _atom_unifier(atom: TriplePattern, alternative: TriplePattern,
+                  triple: Triple) -> Optional[Dict[Variable, Term]]:
+    """The binding of ``atom``'s variables entailed by ``triple``
+    matching ``alternative`` — ``None`` when it does not match or
+    leaves an atom variable undetermined (alternatives introduce fresh
+    variables for domain/range rewritings; a match that fails to pin
+    every original variable gives the delta rule nothing to join on)."""
+    full = alternative.matches(triple)
+    if full is None:
+        return None
+    atom_vars = atom.variables()
+    unifier = {v: full[v] for v in atom_vars if v in full}
+    if len(unifier) != len(atom_vars):
+        return None
+    return unifier
+
+
+def delta_insert_rows(view: MaterializedView, added: Sequence[Triple],
+                      alternatives: AtomAlternatives,
+                      answer: AnswerCallback,
+                      dictionary: TermDictionary) -> Set[EncodedRow]:
+    """Encoded rows newly derivable because of ``added`` (the insert
+    delta rule: one residual join per (atom, unifying triple) pair)."""
+    query = view.query
+    head = list(query.distinguished)
+    fresh: Set[EncodedRow] = set()
+    probed: Set[tuple] = set()
+    for i, atom in enumerate(query.patterns):
+        for alternative in alternatives(atom):
+            for triple in added:
+                unifier = _atom_unifier(atom, alternative, triple)
+                if unifier is None:
+                    continue
+                residual = [p.substitute(unifier)
+                            for j, p in enumerate(query.patterns) if j != i]
+                if not residual:
+                    row = tuple(unifier[h] for h in head)
+                    fresh.add(tuple(dictionary.encode(t) for t in row))
+                    continue
+                probe_key = (i, tuple(sorted(
+                    (v.name,) + unifier[v].sort_key() for v in unifier)))
+                if probe_key in probed:
+                    continue  # same unifier from another delta triple
+                probed.add(probe_key)
+                preset = {h: unifier[h] for h in head if h in unifier}
+                residual_query = BGPQuery(residual, head, preset,
+                                          distinct=True)
+                for produced in answer(residual_query):
+                    fresh.add(tuple(dictionary.encode(t)
+                                    for t in produced))
+    return {row for row in fresh if not view.contains(row)}
+
+
+def delta_suspect_rows(view: MaterializedView, removed: Sequence[Triple],
+                       alternatives: AtomAlternatives,
+                       dictionary: TermDictionary) -> Set[EncodedRow]:
+    """Stored rows that *may* have lost their witness join.
+
+    Complete by construction: a dying row's witness matched some atom
+    against a removed triple, so its head values agree with that
+    unifier wherever the unifier pins a head variable.  (A unifier
+    pinning no head variable makes every row a suspect.)
+    """
+    query = view.query
+    head = list(query.distinguished)
+    lookup = dictionary.lookup
+    suspects: Set[EncodedRow] = set()
+    total = view.row_count()
+    for atom in query.patterns:
+        for alternative in alternatives(atom):
+            for triple in removed:
+                if len(suspects) == total:
+                    return suspects
+                full = alternative.matches(triple)
+                if full is None:
+                    continue
+                constraints: List[Tuple[int, int]] = []
+                unsatisfiable = False
+                for column, h in enumerate(head):
+                    term = full.get(h)
+                    if term is None:
+                        continue
+                    term_id = lookup(term)
+                    if term_id is None:
+                        unsatisfiable = True  # term never interned:
+                        break                 # no stored row can match
+                    constraints.append((column, term_id))
+                if unsatisfiable:
+                    continue
+                if not constraints:
+                    return set(view.iter_encoded())
+                for row in view.iter_encoded():
+                    if all(row[c] == value for c, value in constraints):
+                        suspects.add(row)
+    return suspects
+
+
+def reprobe_suspects(view: MaterializedView,
+                     suspects: Iterable[EncodedRow],
+                     answer: AnswerCallback,
+                     dictionary: TermDictionary) -> Set[EncodedRow]:
+    """The suspects that actually died: each is re-probed with its
+    head values substituted into the view body (``LIMIT 1`` — one
+    surviving witness keeps the row)."""
+    head = list(view.query.distinguished)
+    table = dictionary.decode_table()
+    dead: Set[EncodedRow] = set()
+    for row in suspects:
+        binding = {h: table[row[column]] for column, h in enumerate(head)}
+        probe = view.query.substitute(binding).with_modifiers(limit=1)
+        if not answer(probe):
+            dead.add(row)
+    return dead

@@ -1,0 +1,209 @@
+"""Workload mining: frequent join subexpressions as view candidates.
+
+Following the workload-driven view selection of Goasdoué et al.
+("View Selection in Semantic Web Databases"), candidates are the
+*connected subqueries* of the logged BGPs: every connected subset of a
+query's atoms, up to a size cap, projected onto the variables the rest
+of the query (or the SELECT clause) needs.  Candidates are
+deduplicated up to isomorphism — cheaply by
+:func:`~repro.sparql.ast.canonical_form`, then exactly by mutual
+containment (:func:`~repro.sparql.containment.is_contained_in`, i.e.
+two homomorphism searches) — so ``?x p ?y . ?y q ?z`` mined from two
+differently-named queries counts once with their combined frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..rdf.namespaces import RDF
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast import BGPQuery, canonical_form
+from ..sparql.containment import is_contained_in
+
+__all__ = ["ViewCandidate", "mine_candidates", "subquery_views"]
+
+#: Atom-count cap for enumerated subqueries (the enumeration is
+#: exponential in this; chains/cliques of 4 already cover SP2Bench's
+#: shapes).
+DEFAULT_MAX_ATOMS = 4
+
+
+@dataclass(slots=True)
+class ViewCandidate:
+    """A candidate view: a subquery plus its workload support."""
+
+    query: BGPQuery           #: patterns + head (distinguished) variables
+    frequency: int            #: how many logged queries contain it
+    seconds: float            #: summed latency of the covering queries
+    covered_atoms: int        #: total atoms it covers across the workload
+
+    def describe(self) -> str:
+        return (f"{self.query.to_sparql()}  "
+                f"[freq={self.frequency}, {self.seconds * 1000:.1f} ms logged]")
+
+
+def _eligible(query: BGPQuery) -> bool:
+    """Candidates keep to the fragment the maintainer supports: no
+    presets, constant properties, and constant classes in ``rdf:type``
+    position (variable property/class positions reformulate through
+    query-wide binding expansion, which per-atom delta maintenance
+    does not track)."""
+    if query.preset:
+        return False
+    for atom in query.patterns:
+        if isinstance(atom.p, Variable):
+            return False
+        if atom.p == RDF.type and isinstance(atom.o, Variable):
+            return False
+    return True
+
+
+def _connected_subsets(query: BGPQuery, max_atoms: int) -> List[Tuple[int, ...]]:
+    """All connected atom-index subsets of size 1..max_atoms.
+
+    Two atoms are connected when they share a variable.  Grown
+    canonically (only indices above the subset's seed join), so each
+    subset is enumerated exactly once.
+    """
+    atoms = query.patterns
+    n = len(atoms)
+    variables = [atoms[i].variables() for i in range(n)]
+    results: List[Tuple[int, ...]] = []
+
+    def grow(subset: Tuple[int, ...], subset_vars: frozenset) -> None:
+        results.append(subset)
+        if len(subset) >= max_atoms:
+            return
+        seed = subset[0]
+        for j in range(seed + 1, n):
+            if j in subset:
+                continue
+            if j < subset[-1]:
+                # canonical growth order: only append increasing indices
+                continue
+            if variables[j] & subset_vars:
+                grow(subset + (j,), subset_vars | variables[j])
+
+    for i in range(n):
+        grow((i,), variables[i])
+    return results
+
+
+#: Head arity beyond which permutation search is skipped (k! keys).
+_MAX_PERMUTED_ARITY = 4
+
+
+def _normalize(patterns: Sequence[TriplePattern], head: Sequence[Variable]
+               ) -> BGPQuery:
+    """Rename a candidate to canonical variable names.
+
+    Heads become ``?h0..?hk`` and existentials ``?e0..`` so that two
+    isomorphic candidates mined from differently-named queries render
+    identically (:func:`canonical_form` only canonicalizes existential
+    names, not head names or head order).  Among the head orderings —
+    a view's columns are unordered — the one minimizing the canonical
+    key is chosen, capped at arity 4 to bound the ``k!`` search.
+    """
+    head_list = sorted(set(head), key=lambda v: v.name)
+    existential = sorted(
+        {v for p in patterns for v in p.variables()} - set(head_list),
+        key=lambda v: v.name)
+    orders = (permutations(head_list)
+              if len(head_list) <= _MAX_PERMUTED_ARITY
+              else (tuple(head_list),))
+    best: BGPQuery | None = None
+    best_key: tuple | None = None
+    for order in orders:
+        renaming = {v: Variable(f"h{i}") for i, v in enumerate(order)}
+        renaming.update(
+            (v, Variable(f"e{i}")) for i, v in enumerate(existential))
+        candidate = BGPQuery(
+            [p.substitute(renaming) for p in patterns],
+            [renaming[v] for v in order], distinct=True)
+        key = canonical_form(candidate)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None
+    return best
+
+
+def subquery_views(query: BGPQuery,
+                   max_atoms: int = DEFAULT_MAX_ATOMS) -> List[BGPQuery]:
+    """The candidate subquery views of one BGP (canonically renamed).
+
+    Each connected atom subset becomes a view whose head is every
+    subset variable the rest of the query — or the SELECT clause —
+    mentions (dropping any other variable is what makes the view
+    smaller than the subjoin it caches).
+    """
+    if not _eligible(query):
+        return []
+    distinguished = set(query.distinguished)
+    candidates: List[BGPQuery] = []
+    for subset in _connected_subsets(query, max_atoms):
+        chosen = [query.patterns[i] for i in subset]
+        inside: Set[Variable] = set()
+        for atom in chosen:
+            inside |= atom.variables()
+        outside: Set[Variable] = set()
+        for i, atom in enumerate(query.patterns):
+            if i not in subset:
+                outside |= atom.variables()
+        head = sorted((inside & (distinguished | outside)),
+                      key=lambda v: v.name)
+        if not head:
+            continue
+        candidates.append(_normalize(chosen, head))
+    return candidates
+
+
+def mine_candidates(workload: Sequence[Tuple[BGPQuery, int, float]],
+                    max_atoms: int = DEFAULT_MAX_ATOMS,
+                    min_support: int = 2) -> List[ViewCandidate]:
+    """Mine view candidates from an aggregated workload.
+
+    ``workload`` rows are ``(query, frequency, total_seconds)`` (see
+    :func:`~repro.views.log.aggregate_entries`).  Returns candidates
+    with at least ``min_support`` total frequency, most valuable
+    first (frequency, then covered atoms).
+    """
+    by_key: Dict[tuple, ViewCandidate] = {}
+    for query, frequency, seconds in workload:
+        for sub in subquery_views(query, max_atoms):
+            key = canonical_form(sub)
+            entry = by_key.get(key)
+            if entry is None:
+                by_key[key] = ViewCandidate(
+                    query=sub, frequency=frequency, seconds=seconds,
+                    covered_atoms=frequency * sub.size())
+            else:
+                entry.frequency += frequency
+                entry.seconds += seconds
+                entry.covered_atoms += frequency * sub.size()
+
+    # exact isomorphism dedup on top of the canonical-form buckets:
+    # mutual containment with matching heads means the same view
+    merged: List[ViewCandidate] = []
+    for candidate in by_key.values():
+        absorbed = False
+        for kept in merged:
+            if (kept.query.arity() == candidate.query.arity()
+                    and kept.query.size() == candidate.query.size()
+                    and is_contained_in(kept.query, candidate.query)
+                    and is_contained_in(candidate.query, kept.query)):
+                kept.frequency += candidate.frequency
+                kept.seconds += candidate.seconds
+                kept.covered_atoms += candidate.covered_atoms
+                absorbed = True
+                break
+        if not absorbed:
+            merged.append(candidate)
+
+    mined = [c for c in merged if c.frequency >= min_support]
+    mined.sort(key=lambda c: (-c.frequency, -c.covered_atoms,
+                              canonical_form(c.query)))
+    return mined

@@ -1,0 +1,317 @@
+"""The view registry: installed views, rewriting, maintenance, state.
+
+One registry lives inside each :class:`~repro.db.database.RDFDatabase`.
+It owns the installed :class:`~repro.views.materialize.MaterializedView`
+objects and everything about their lifecycle:
+
+* **freshness** — views are materialized against one specific
+  *answering graph* (the saturated graph under SATURATION, the
+  explicit graph otherwise).  The registry keeps a strong reference
+  to that graph and its version; when the database swaps the graph
+  out (strategy change, closure rebuild, load) or the version moved
+  without a delta passing through :meth:`on_update`, every view is
+  recomputed wholesale.  Deltas that do pass through run the per-view
+  insert/suspect rules instead.
+* **rewriting** — incoming queries are matched against the installed
+  views (memoized per registry generation: the workload the views
+  were mined from repeats, so the same BGPs recur) and executed over
+  the matched view when one applies.
+* **partial invalidation** — :meth:`fingerprint` names the (view,
+  version) pairs a fully-covered query depends on, so the serving
+  cache can key on view versions instead of the graph version and
+  survive updates that left those views untouched.
+* **durability** — :meth:`to_meta`/:meth:`apply_meta` round-trip the
+  configuration and view definitions (as SPARQL text) through the
+  database's manifest, for ``save``/``load`` and the durable store.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_metrics
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from ..rdf.triples import Triple
+from ..sparql.ast import BGPQuery
+from .materialize import (AnswerCallback, AtomAlternatives,
+                          MaterializedView, delta_insert_rows,
+                          delta_suspect_rows, reprobe_suspects)
+from .rewriter import ViewMatch, best_match, execute_full, execute_joined, \
+    execute_seeded, rewrite_eligible
+
+__all__ = ["ViewRegistry"]
+
+#: Bound on the per-generation match memo (same spirit as the
+#: database's reformulation cache: repeated workloads hit, one-off
+#: queries must not grow it without limit).
+MATCH_MEMO_CAPACITY = 512
+
+Row = Tuple[Term, ...]
+
+
+class ViewRegistry:
+    """Installed materialized views plus their rewrite/maintenance
+    machinery.  Thread-safe: mutation and snapshotting happen under
+    the internal mutex; query-time execution runs on a snapshot so
+    the lock is never held across an evaluation."""
+
+    __slots__ = ("enabled", "budget_rows", "_lock", "_views", "_graph",
+                 "_graph_version", "_generation", "_memo",
+                 "_rewrite_hits", "_rewrite_misses", "_rows_added",
+                 "_rows_removed", "_refreshes")
+
+    def __init__(self, enabled: bool = False,
+                 budget_rows: int = 50_000):
+        self.enabled = enabled
+        self.budget_rows = budget_rows
+        self._lock = threading.Lock()
+        self._views: List[MaterializedView] = []  # sc: guarded-by(_lock)
+        # strong reference: identity comparison against a dead graph's
+        # reused id() must never pass  # sc: guarded-by(_lock)
+        self._graph: Optional[Graph] = None
+        self._graph_version = -1  # sc: guarded-by(_lock)
+        self._generation = 0  # sc: guarded-by(_lock)
+        # query -> (generation, match) ; None = known non-match
+        self._memo: Dict[BGPQuery, Optional[ViewMatch]] = {}  # sc: guarded-by(_lock)
+        self._rewrite_hits = 0  # sc: guarded-by(_lock)
+        self._rewrite_misses = 0  # sc: guarded-by(_lock)
+        self._rows_added = 0  # sc: guarded-by(_lock)
+        self._rows_removed = 0  # sc: guarded-by(_lock)
+        self._refreshes = 0  # sc: guarded-by(_lock)
+
+    # ------------------------------------------------------------------
+    # installation + freshness
+    # ------------------------------------------------------------------
+
+    def install(self, definitions: Sequence[BGPQuery], graph: Graph,
+                answer: AnswerCallback) -> List[MaterializedView]:
+        """Replace the installed view set and materialize each
+        definition against ``graph`` through ``answer``."""
+        views = []
+        for position, definition in enumerate(definitions):
+            view = MaterializedView(f"v{position}", definition)
+            view.refresh(answer, graph.dictionary)
+            views.append(view)
+        with self._lock:
+            self._views = views
+            self._graph = graph
+            self._graph_version = graph.version
+            self._generation += 1
+            self._memo.clear()
+        get_metrics().counter("views.materializations").inc(len(views))
+        return views
+
+    def drop_all(self) -> None:
+        with self._lock:
+            self._views = []
+            self._graph = None
+            self._graph_version = -1
+            self._generation += 1
+            self._memo.clear()
+
+    def definitions(self) -> List[BGPQuery]:
+        with self._lock:
+            return [view.query for view in self._views]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def _refresh_all_locked(self, graph: Graph,
+                            answer: AnswerCallback) -> None:
+        changed = 0
+        for view in self._views:  # sc: allow(SC301): caller holds _lock
+            if view.refresh(answer, graph.dictionary):
+                changed += 1
+        self._graph = graph
+        self._graph_version = graph.version  # sc: allow(SC301): caller holds _lock
+        self._refreshes += 1  # sc: allow(SC301): caller holds _lock
+        if changed:
+            self._generation += 1  # sc: allow(SC301): caller holds _lock
+            self._memo.clear()  # sc: allow(SC301): caller holds _lock
+        get_metrics().counter("views.refreshes").inc()
+
+    def ensure_fresh(self, graph: Graph, answer: AnswerCallback) -> None:
+        """Recompute every view unless it is already materialized
+        against exactly this graph object at exactly this version."""
+        with self._lock:
+            if not self._views:
+                return
+            if self._graph is graph and self._graph_version == graph.version:
+                return
+            self._refresh_all_locked(graph, answer)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def on_update(self, graph: Graph, added: Sequence[Triple],
+                  removed: Sequence[Triple],
+                  alternatives: AtomAlternatives,
+                  answer: AnswerCallback) -> None:
+        """Fold one update delta into every view.
+
+        ``added``/``removed`` must be the *complete* delta of the
+        answering graph (explicit and implicit — the incremental
+        reasoners' ``last_delta``).  A graph swap since the last
+        materialization falls back to wholesale recomputation.
+        """
+        with self._lock:
+            if not self._views:
+                return
+            if self._graph is not graph:
+                self._refresh_all_locked(graph, answer)
+                return
+            total_added = total_removed = 0
+            for view in self._views:
+                fresh = (delta_insert_rows(view, added, alternatives,
+                                           answer, graph.dictionary)
+                         if added else set())
+                dead: set = set()
+                if removed:
+                    suspects = delta_suspect_rows(
+                        view, removed, alternatives, graph.dictionary)
+                    dead = reprobe_suspects(view, suspects, answer,
+                                            graph.dictionary)
+                applied_add, applied_remove = view.apply_delta(fresh, dead)
+                total_added += applied_add
+                total_removed += applied_remove
+            self._graph_version = graph.version
+            self._rows_added += total_added
+            self._rows_removed += total_removed
+        metrics = get_metrics()
+        if total_added:
+            metrics.counter("views.rows_added").inc(total_added)
+        if total_removed:
+            metrics.counter("views.rows_removed").inc(total_removed)
+
+    # ------------------------------------------------------------------
+    # rewriting
+    # ------------------------------------------------------------------
+
+    def _match_for(self, query: BGPQuery) -> Optional[ViewMatch]:
+        """Memoized view match (must be called with the lock held)."""
+        if query in self._memo:  # sc: allow(SC301): caller holds _lock
+            return self._memo[query]  # sc: allow(SC301): caller holds _lock
+        match = best_match(query, self._views)  # sc: allow(SC301): caller holds _lock
+        if len(self._memo) >= MATCH_MEMO_CAPACITY:  # sc: allow(SC301): caller holds _lock
+            self._memo.clear()  # sc: allow(SC301): caller holds _lock
+        self._memo[query] = match  # sc: allow(SC301): caller holds _lock
+        return match
+
+    def rewrite(self, query: BGPQuery, graph: Graph, reformulating: bool,
+                answer: AnswerCallback
+                ) -> Optional[Tuple[List[Row], Tuple[str, ...]]]:
+        """Answer ``query`` through a view when one applies.
+
+        Returns ``(rows, view_names)`` on a hit, ``None`` on a miss.
+        ``reformulating`` picks the residual-execution path: seeded
+        join-pipeline splice when the graph answers atoms directly,
+        wholesale-answer hash join when residual atoms must be
+        reformulated first.
+        """
+        if not self.enabled or not rewrite_eligible(query):
+            return None
+        with self._lock:
+            if not self._views:
+                return None
+            if (self._graph is not graph
+                    or self._graph_version != graph.version):
+                return None  # stale: the database refreshes first
+            match = self._match_for(query)
+            if match is None:
+                self._rewrite_misses += 1
+            else:
+                self._rewrite_hits += 1
+        metrics = get_metrics()
+        if match is None:
+            metrics.counter("views.rewrite_misses").inc()
+            return None
+        metrics.counter("views.rewrite_hits").inc()
+        if match.is_full(query):
+            rows = execute_full(match, query, graph)
+        elif reformulating:
+            rows = execute_joined(match, query, graph, answer)
+        else:
+            rows = execute_seeded(match, query, graph)
+        return rows, (match.view.name,)
+
+    def match_names(self, query: BGPQuery) -> Tuple[str, ...]:
+        """The views ``query`` would be answered through right now
+        (empty when none) — the serving layer's hit attribution."""
+        if not self.enabled or not rewrite_eligible(query):
+            return ()
+        with self._lock:
+            if not self._views:
+                return ()
+            match = self._match_for(query)
+        return (match.view.name,) if match is not None else ()
+
+    def fingerprint(self, query: BGPQuery,
+                    graph: Optional[Graph] = None) -> Optional[tuple]:
+        """A cache-key component pinning exactly what the answer
+        depends on — only for *fully covered* queries, whose answers
+        are a function of view content alone.  ``None`` means the
+        caller must fall back to version-keyed caching.  When
+        ``graph`` is given, a registry that is stale with respect to
+        it also answers ``None``: a view version only names the right
+        content once the pending refresh has bumped it."""
+        if not self.enabled or not rewrite_eligible(query):
+            return None
+        with self._lock:
+            if not self._views:
+                return None
+            if graph is not None and (self._graph is not graph
+                                      or self._graph_version != graph.version):
+                return None
+            match = self._match_for(query)
+            if match is None or not match.is_full(query):
+                return None
+            # the generation distinguishes same-named views across
+            # re-installs, whose versions restart from scratch
+            return ("views", (self._generation, match.view.name,
+                              match.view.version))
+
+    # ------------------------------------------------------------------
+    # durability + introspection
+    # ------------------------------------------------------------------
+
+    def to_meta(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "budget_rows": self.budget_rows,
+                "definitions": [view.query.to_sparql()
+                                for view in self._views],
+            }
+
+    def apply_meta(self, meta: Dict[str, object],
+                   parse: Callable[[str], BGPQuery], graph: Graph,
+                   answer: AnswerCallback) -> None:
+        """Restore configuration + definitions saved by
+        :meth:`to_meta`, rematerializing against ``graph``."""
+        self.enabled = bool(meta.get("enabled", False))
+        budget = meta.get("budget_rows")
+        if isinstance(budget, int) and budget > 0:
+            self.budget_rows = budget
+        definitions = [parse(text)
+                       for text in meta.get("definitions", ())]  # type: ignore[union-attr]
+        if definitions:
+            self.install(definitions, graph, answer)
+        else:
+            self.drop_all()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "budget_rows": self.budget_rows,
+                "views": [view.stats() for view in self._views],
+                "rewrite_hits": self._rewrite_hits,
+                "rewrite_misses": self._rewrite_misses,
+                "maintenance_rows_added": self._rows_added,
+                "maintenance_rows_removed": self._rows_removed,
+                "refreshes": self._refreshes,
+            }

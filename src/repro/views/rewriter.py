@@ -1,0 +1,322 @@
+"""Rewriting BGPs over materialized views.
+
+The matcher looks for a mapping φ of a view's variables into an
+incoming query's terms that sends every view atom onto a query atom —
+the containment direction of Chandra–Merlin, as in
+:func:`repro.sparql.containment.find_pattern_homomorphism`, but
+tracked at the atom level because the rewrite needs to know *which*
+query atoms the view covers.  φ witnesses that the covered subjoin's
+answers are a subset of the view's rows; the extra side conditions
+below make it an exact match, so view rows can replace the subjoin:
+
+* existential view variables must map injectively to query variables
+  that occur only in covered atoms and are neither distinguished nor
+  images of head variables — otherwise the view's projection forgets
+  a binding (or its extra freedom admits rows) the query still needs;
+* every covered-atom variable the query still needs (distinguished,
+  or shared with residual atoms) must be the image of a head
+  variable, i.e. *provided* by a view column;
+* head variables mapping to constants or to a shared query variable
+  become per-row equality filters over the stored columns.
+
+Execution then splices the view in as the join pipeline's seed
+relation: full covers answer straight off the filtered rows, partial
+covers feed the provided columns to
+:func:`repro.sparql.joins.compile_bgp` as pre-bound slots
+(``run_seeds``), and reformulation regimes — whose residual atoms
+must themselves be reformulated — hash-join the view rows against a
+wholesale answering of the residual query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, Variable
+from ..sparql.ast import BGPQuery
+from ..sparql.joins import compile_bgp
+from .materialize import AnswerCallback, MaterializedView
+
+__all__ = ["ViewMatch", "match_view", "best_match", "execute_full",
+           "execute_seeded", "execute_joined", "rewrite_eligible"]
+
+Row = Tuple[Term, ...]
+
+
+def rewrite_eligible(query: BGPQuery) -> bool:
+    """Only set-semantics, preset-free BGPs are rewritten: view rows
+    are deduplicated, so bag-semantics answers could diverge, and a
+    preset changes the answer columns in ways φ does not model."""
+    return query.distinct and not query.preset
+
+
+@dataclass(slots=True)
+class ViewMatch:
+    """A successful view→query match, ready to execute."""
+
+    view: MaterializedView
+    covered: Tuple[int, ...]             #: covered query-atom indices
+    provided: Dict[Variable, int]        #: query variable → view column
+    const_filters: Tuple[Tuple[int, Term], ...]   #: column == constant
+    pair_filters: Tuple[Tuple[int, int], ...]     #: column == column
+
+    def is_full(self, query: BGPQuery) -> bool:
+        return len(self.covered) == query.size()
+
+    def residual_atoms(self, query: BGPQuery) -> List[int]:
+        covered = set(self.covered)
+        return [i for i in range(query.size()) if i not in covered]
+
+
+def _check_sides(query: BGPQuery, view: MaterializedView,
+                 mapping: Dict[Variable, object],
+                 covered: Set[int]) -> Optional[ViewMatch]:
+    """Validate φ's side conditions; build the match if they hold."""
+    head = list(view.query.distinguished)
+    existential = view.query.existential_variables()
+    distinguished = set(query.distinguished)
+
+    residual_vars: Set[Variable] = set()
+    for i, atom in enumerate(query.patterns):
+        if i not in covered:
+            residual_vars |= atom.variables()
+
+    head_images = {mapping[h] for h in head if h in mapping}
+    seen_existential_images: Set[Variable] = set()
+    for e in existential:
+        image = mapping.get(e)
+        if image is None:
+            # an unconstrained existential (view atom mapped onto a
+            # ground query atom never pins it) adds no requirement
+            continue
+        if not isinstance(image, Variable):
+            return None
+        if image in distinguished or image in residual_vars:
+            return None
+        if image in head_images or image in seen_existential_images:
+            return None
+        seen_existential_images.add(image)
+
+    provided: Dict[Variable, int] = {}
+    const_filters: List[Tuple[int, Term]] = []
+    pair_filters: List[Tuple[int, int]] = []
+    for column, h in enumerate(head):
+        image = mapping.get(h)
+        if image is None:
+            continue
+        if isinstance(image, Variable):
+            first = provided.get(image)
+            if first is None:
+                provided[image] = column
+            else:
+                pair_filters.append((first, column))
+        else:
+            const_filters.append((column, image))  # type: ignore[arg-type]
+
+    covered_vars: Set[Variable] = set()
+    for i in covered:
+        covered_vars |= query.patterns[i].variables()
+    for v in covered_vars:
+        if (v in distinguished or v in residual_vars) and v not in provided:
+            return None
+
+    return ViewMatch(view=view, covered=tuple(sorted(covered)),
+                     provided=provided,
+                     const_filters=tuple(const_filters),
+                     pair_filters=tuple(pair_filters))
+
+
+def match_view(query: BGPQuery,
+               view: MaterializedView) -> Optional[ViewMatch]:
+    """The first φ (in backtracking order) satisfying every side
+    condition, or ``None``.  Unlike plain containment, the search
+    keeps going past homomorphisms whose covered set fails the side
+    conditions — different atom assignments provide different
+    columns."""
+    if not rewrite_eligible(query):
+        return None
+    view_atoms = view.query.patterns
+    query_atoms = query.patterns
+    n = len(view_atoms)
+
+    def assign(index: int, mapping: Dict[Variable, object],
+               covered: Set[int]) -> Optional[ViewMatch]:
+        if index == n:
+            return _check_sides(query, view, mapping, covered)
+        atom = view_atoms[index]
+        for i, candidate in enumerate(query_atoms):
+            extended: Optional[Dict[Variable, object]] = dict(mapping)
+            for term, target in zip(atom, candidate):
+                assert extended is not None
+                if isinstance(term, Variable):
+                    bound = extended.get(term)
+                    if bound is None:
+                        extended[term] = target
+                    elif bound != target:
+                        extended = None
+                elif term != target:
+                    extended = None
+                if extended is None:
+                    break
+            if extended is None:
+                continue
+            added = i not in covered
+            if added:
+                covered.add(i)
+            result = assign(index + 1, extended, covered)
+            if result is not None:
+                return result
+            if added:
+                covered.discard(i)
+        return None
+
+    return assign(0, {}, set())
+
+
+def best_match(query: BGPQuery, views: Sequence[MaterializedView]
+               ) -> Optional[ViewMatch]:
+    """The strongest match across ``views``: most atoms covered, then
+    fewest stored rows (cheapest scan), then name for determinism."""
+    matches = [m for m in (match_view(query, v) for v in views)
+               if m is not None]
+    if not matches:
+        return None
+    matches.sort(key=lambda m: (-len(m.covered), m.view.row_count(),
+                                m.view.name))
+    return matches[0]
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def _encode_filters(match: ViewMatch, graph: Graph
+                    ) -> Optional[List[Tuple[int, int]]]:
+    """Constant filters in identifier space; ``None`` when a constant
+    was never interned (no stored row can match it)."""
+    encoded: List[Tuple[int, int]] = []
+    for column, term in match.const_filters:
+        term_id = graph.dictionary.lookup(term)
+        if term_id is None:
+            return None
+        encoded.append((column, term_id))
+    return encoded
+
+
+def _filtered_rows(match: ViewMatch, graph: Graph
+                   ) -> List[Tuple[int, ...]]:
+    """The stored rows passing the match's equality filters."""
+    encoded = _encode_filters(match, graph)
+    if encoded is None:
+        return []
+    pairs = match.pair_filters
+    rows = []
+    for row in match.view.iter_encoded():
+        if encoded and any(row[c] != value for c, value in encoded):
+            continue
+        if pairs and any(row[a] != row[b] for a, b in pairs):
+            continue
+        rows.append(row)
+    return rows
+
+
+def _project(query: BGPQuery, assignments: List[Dict[Variable, Term]]
+             ) -> List[Row]:
+    """Distinct rows in distinguished order, honoring LIMIT."""
+    out: List[Row] = []
+    seen: Set[Row] = set()
+    limit = query.limit
+    for binding in assignments:
+        row = tuple(binding[v] for v in query.distinguished)
+        if row in seen:
+            continue
+        seen.add(row)
+        out.append(row)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def execute_full(match: ViewMatch, query: BGPQuery,
+                 graph: Graph) -> List[Row]:
+    """Full cover: the answer is a projection of the filtered rows."""
+    table = graph.dictionary.decode_table()
+    provided = match.provided
+    assignments = [
+        {v: table[row[column]] for v, column in provided.items()}
+        for row in _filtered_rows(match, graph)
+    ]
+    return _project(query, assignments)
+
+
+def execute_seeded(match: ViewMatch, query: BGPQuery,
+                   graph: Graph) -> List[Row]:
+    """Partial cover over a directly-answerable graph: compile the
+    residual atoms with the provided variables pre-bound and push the
+    view rows through as the seed relation
+    (:meth:`~repro.sparql.joins.BGPPlan.run_seeds`) — the view scan
+    spliced in as the pipeline's first step."""
+    residual = [query.patterns[i] for i in match.residual_atoms(query)]
+    provided_vars = sorted(match.provided, key=lambda v: v.name)
+    plan = compile_bgp(graph, residual, pre_bound=provided_vars)
+    if plan.empty:
+        return []
+    seeds = []
+    seen_seeds: Set[Tuple[int, ...]] = set()
+    for row in _filtered_rows(match, graph):
+        key = tuple(row[match.provided[v]] for v in provided_vars)
+        if key in seen_seeds:
+            continue
+        seen_seeds.add(key)
+        seed: List[Optional[int]] = [None] * plan.nslots
+        for position, value in enumerate(key):
+            seed[position] = value
+        seeds.append(seed)
+    table = graph.dictionary.decode_table()
+    slot_of = plan.slot_of
+    assignments = []
+    for binding in plan.run_seeds(seeds):
+        assignments.append({v: table[binding[slot]]
+                            for v, slot in slot_of.items()})
+    return _project(query, assignments)
+
+
+def execute_joined(match: ViewMatch, query: BGPQuery, graph: Graph,
+                   answer: AnswerCallback) -> List[Row]:
+    """Partial cover under a reformulating regime: the residual atoms
+    must themselves be reformulated, so they are answered wholesale
+    through ``answer`` and hash-joined with the view rows on the
+    shared provided variables."""
+    residual_indices = match.residual_atoms(query)
+    residual = [query.patterns[i] for i in residual_indices]
+    residual_vars: Set[Variable] = set()
+    for atom in residual:
+        residual_vars |= atom.variables()
+    join_vars = sorted((residual_vars & set(match.provided)),
+                       key=lambda v: v.name)
+    needed = sorted(residual_vars
+                    & (set(query.distinguished) | set(match.provided)),
+                    key=lambda v: v.name)
+    residual_query = BGPQuery(residual, needed, distinct=True)
+    residual_rows = answer(residual_query)
+
+    buckets: Dict[Tuple[Term, ...], List[Dict[Variable, Term]]] = {}
+    positions = {v: i for i, v in enumerate(needed)}
+    for row in residual_rows:
+        binding = {v: row[positions[v]] for v in needed}
+        key = tuple(binding[v] for v in join_vars)
+        buckets.setdefault(key, []).append(binding)
+
+    table = graph.dictionary.decode_table()
+    assignments: List[Dict[Variable, Term]] = []
+    for view_row in _filtered_rows(match, graph):
+        view_binding = {v: table[view_row[column]]
+                        for v, column in match.provided.items()}
+        key = tuple(view_binding[v] for v in join_vars)
+        for residual_binding in buckets.get(key, ()):
+            merged = dict(residual_binding)
+            merged.update(view_binding)
+            assignments.append(merged)
+    return _project(query, assignments)

@@ -1,0 +1,119 @@
+"""Cost-based greedy view selection.
+
+Scores each mined candidate with the optimizer's cardinality
+statistics: the *benefit* is how much join work the workload saves by
+scanning the view instead of re-running its subjoin (frequency ×
+saved work), the *cost* is what the view costs to keep — storage
+rows plus a maintenance surcharge proportional to how wide its delta
+footprint is.  Selection is the classical greedy knapsack over
+benefit density under a row budget, which is how the view-selection
+literature (Goasdoué et al.) makes the search tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..rdf.graph import Graph
+from ..sparql.ast import BGPQuery
+from ..sparql.optimizer import estimate_cardinality, order_patterns
+from .miner import ViewCandidate
+
+__all__ = ["ScoredCandidate", "estimate_view_rows", "estimate_view_work",
+           "select_views", "DEFAULT_BUDGET_ROWS"]
+
+#: Default row budget across all materialized views.
+DEFAULT_BUDGET_ROWS = 50_000
+
+#: Per-row maintenance surcharge, per atom: each atom of the view body
+#: is one more delta rule every update batch has to run.
+MAINTENANCE_WEIGHT = 0.1
+
+
+def estimate_view_rows(graph: Graph, query: BGPQuery) -> float:
+    """Estimated materialized size: the joint cardinality of the body
+    join in the optimizer's greedy order (projection to the head can
+    only shrink it, so this is a safe overestimate)."""
+    patterns = query.patterns
+    order = order_patterns(graph, patterns)
+    bound: set = set()
+    rows = 1.0
+    for index in order:
+        pattern = patterns[index]
+        step = estimate_cardinality(graph, pattern, frozenset(bound))
+        rows *= max(step, 0.0)
+        bound |= pattern.variables()
+    return rows
+
+
+def estimate_view_work(graph: Graph, query: BGPQuery) -> float:
+    """Estimated join work of evaluating the view body from scratch:
+    the sum of intermediate result sizes along the greedy plan (what
+    the pipeline materializes step by step)."""
+    patterns = query.patterns
+    order = order_patterns(graph, patterns)
+    bound: set = set()
+    rows = 1.0
+    work = 0.0
+    for index in order:
+        pattern = patterns[index]
+        step = estimate_cardinality(graph, pattern, frozenset(bound))
+        rows *= max(step, 0.0)
+        work += rows
+        bound |= pattern.variables()
+    return work
+
+
+@dataclass(slots=True)
+class ScoredCandidate:
+    """A candidate with its estimated economics attached."""
+
+    candidate: ViewCandidate
+    rows: float        #: estimated materialized rows (storage cost)
+    saved_work: float  #: per-use join work avoided by scanning the view
+    benefit: float     #: frequency × saved_work
+    cost: float        #: rows + maintenance surcharge
+
+    def density(self) -> float:
+        return self.benefit / self.cost if self.cost > 0 else float("inf")
+
+
+def score_candidate(graph: Graph, candidate: ViewCandidate
+                    ) -> ScoredCandidate:
+    rows = estimate_view_rows(graph, candidate.query)
+    work = estimate_view_work(graph, candidate.query)
+    # a view scan still touches each stored row once
+    saved = max(work - rows, 0.0)
+    benefit = candidate.frequency * saved
+    cost = rows * (1.0 + MAINTENANCE_WEIGHT * candidate.query.size())
+    return ScoredCandidate(candidate=candidate, rows=rows,
+                           saved_work=saved, benefit=benefit, cost=cost)
+
+
+def select_views(graph: Graph, candidates: Sequence[ViewCandidate],
+                 budget_rows: int = DEFAULT_BUDGET_ROWS,
+                 max_views: int = 8) -> Tuple[List[ScoredCandidate],
+                                              List[ScoredCandidate]]:
+    """Greedy selection under the row budget.
+
+    Returns ``(selected, rejected)``, both scored, selected in pick
+    order.  Single-atom candidates are skipped — a one-atom view is
+    just an index scan the backends already do well — as are
+    candidates with no estimated benefit.
+    """
+    scored = [score_candidate(graph, c) for c in candidates
+              if c.query.size() >= 2]
+    scored.sort(key=lambda s: (-s.density(), -s.benefit,
+                               s.candidate.query.to_sparql()))
+    selected: List[ScoredCandidate] = []
+    rejected: List[ScoredCandidate] = []
+    remaining = float(budget_rows)
+    for item in scored:
+        if (item.benefit > 0 and len(selected) < max_views
+                and item.rows <= remaining):
+            selected.append(item)
+            remaining -= item.rows
+        else:
+            rejected.append(item)
+    return selected, rejected

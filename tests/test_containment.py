@@ -196,3 +196,76 @@ class TestMinimizeUCQ:
         expected = evaluate(saturate(graph).graph, query).to_set()
         assert evaluate_ucq(closed,
                             reformulation.to_minimized_ucq()).to_set() == expected
+
+
+class TestSP2BenchShapes:
+    """Containment over the query shapes the SP2Bench-style workloads
+    stress: long reference chains, shared-variable cliques, and
+    duplicate-atom conjuncts."""
+
+    S, T = V("s"), V("t")
+
+    def _chain(self, length, head):
+        hops = [self.S] + [V(f"m{i}") for i in range(length - 1)] + [self.T]
+        return BGPQuery([TP(hops[i], EX.references, hops[i + 1])
+                         for i in range(length)], head)
+
+    def test_chains_of_different_length_are_incomparable(self):
+        short = self._chain(2, [self.S, self.T])
+        long = self._chain(4, [self.S, self.T])
+        assert not is_contained_in(short, long)
+        assert not is_contained_in(long, short)
+
+    def test_longer_chain_with_existential_tail_is_weaker(self):
+        # with only the source distinguished, a k-chain maps onto any
+        # shorter witness extended by a self-loop — and in particular a
+        # document referencing itself answers every chain length
+        loop = BGPQuery([TP(self.S, EX.references, self.S)], [self.S])
+        chain = self._chain(4, [self.S])
+        assert is_contained_in(loop, chain)
+        assert not is_contained_in(chain, loop)
+
+    def test_triangle_clique_is_contained_in_single_edge(self):
+        triangle = BGPQuery([TP(X, EX.cites, Y), TP(Y, EX.cites, Z),
+                             TP(Z, EX.cites, X)], [X])
+        edge = BGPQuery([TP(X, EX.cites, Y)], [X])
+        assert is_contained_in(triangle, edge)
+        assert not is_contained_in(edge, triangle)
+
+    def test_self_citation_is_contained_in_triangle(self):
+        triangle = BGPQuery([TP(X, EX.cites, Y), TP(Y, EX.cites, Z),
+                             TP(Z, EX.cites, X)], [X])
+        loop = BGPQuery([TP(X, EX.cites, X)], [X])
+        assert is_contained_in(loop, triangle)
+        assert not is_contained_in(triangle, loop)
+
+    def test_two_cycle_and_triangle_are_incomparable(self):
+        # shared-variable cliques of coprime cycle length only relate
+        # through their common collapse (the self-loop), not directly
+        two_cycle = BGPQuery([TP(X, EX.cites, Y), TP(Y, EX.cites, X)], [X])
+        triangle = BGPQuery([TP(X, EX.cites, Y), TP(Y, EX.cites, Z),
+                             TP(Z, EX.cites, X)], [X])
+        assert not is_contained_in(two_cycle, triangle)
+        assert not is_contained_in(triangle, two_cycle)
+
+    def test_duplicate_atom_conjunct_is_equivalent_to_its_core(self):
+        dup = BGPQuery([TP(X, EX.creator, Y), TP(X, EX.creator, Y),
+                        TP(X, EX.creator, Z)], [X])
+        core = BGPQuery([TP(X, EX.creator, Y)], [X])
+        assert is_contained_in(dup, core)
+        assert is_contained_in(core, dup)
+
+    def test_minimize_ucq_drops_duplicate_atom_variant(self):
+        dup = BGPQuery([TP(X, EX.creator, Y), TP(X, EX.creator, Z)], [X])
+        core = BGPQuery([TP(X, EX.creator, Y)], [X])
+        chain = BGPQuery([TP(X, EX.references, Y),
+                          TP(Y, EX.references, Z)], [X])
+        minimized = minimize_ucq([dup, core, chain])
+        assert minimized == [dup, chain]
+
+    def test_star_with_constant_hub_specializes_the_star(self):
+        hub = EX.article1
+        star = BGPQuery([TP(X, EX.cites, Y), TP(X, EX.cites, Z)], [X])
+        pinned = BGPQuery([TP(X, EX.cites, hub), TP(X, EX.cites, Z)], [X])
+        assert is_contained_in(pinned, star)
+        assert not is_contained_in(star, pinned)
