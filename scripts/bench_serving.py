@@ -1,15 +1,38 @@
 #!/usr/bin/env python
-"""Record serving-layer benchmark numbers into ``BENCH_pr4.json``.
+"""Record serving-layer benchmark numbers.
 
-Drives the in-process closed-loop load generator
-(:mod:`repro.server.loadgen`) against a :class:`ServingDatabase` for
-each backend (hash and columnar): mixed Q1–Q10 + ``INSERT DATA``
-traffic, reporting throughput and p50/p95/p99 latency, plus the
-version-keyed cache's hit statistics for the run.
+Two suites:
 
-A second pass per backend runs with the cache disabled-in-effect
-(capacity 1 with >1 distinct queries in flight barely ever hits) to
-show what the cache buys under this mix.
+* ``--suite serving`` (default, ``BENCH_pr4.json``) drives the
+  in-process closed-loop load generator
+  (:mod:`repro.server.loadgen`) against a :class:`ServingDatabase` for
+  each backend (hash and columnar): mixed Q1–Q10 + ``INSERT DATA``
+  traffic, reporting throughput and p50/p95/p99 latency, plus the
+  version-keyed cache's hit statistics for the run.  A second pass per
+  backend runs with the cache disabled-in-effect (capacity 1 with >1
+  distinct queries in flight barely ever hits) to show what the cache
+  buys under this mix.
+
+* ``--suite shards`` (``BENCH_pr10.json``) records the sharded tier's
+  scaling curves against :func:`repro.server.build_sharded_database`
+  at 1/2/4/8 shards, cache-starved.  Two families of entries, both in
+  the ``repro-bench/1`` shape (``before_s``/``after_s``/``speedup``)
+  so ``bench_compare.py --fail-below`` can gate them in CI:
+
+  - ``shard_capacity/N shards`` — the headline scaling number.
+    Aggregate query throughput is ``queries / bottleneck-shard CPU
+    seconds``: each worker accumulates ``time.process_time()`` across
+    request dispatch, and the busiest shard's CPU demand bounds the
+    cluster's throughput when every shard has a core.  CPU time (not
+    wall) is deliberate — on a host with fewer cores than shards the
+    workers time-slice one core, so wall clock measures the host, not
+    the tier.  The recording host's core count is in the workload
+    metadata; best-of-R repetitions defend against scheduler noise.
+  - ``shard_closedloop/{mix}/N shards`` — honest closed-loop wall
+    numbers for a read-only mix, a 90/10 read-write mix and a
+    Zipf-skewed (s = 1.1) read-only mix.  On a single-core host these
+    stay flat (or dip — more processes, one core); they are recorded
+    for latency distributions and update-path coverage, not scaling.
 
 ``--quick`` shrinks the run for CI smoke jobs; committed baselines
 should be recorded without it.  ``--baseline BENCH_pr4.json`` prints a
@@ -21,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -29,10 +53,13 @@ if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
 from repro.db import RDFDatabase, Strategy                   # noqa: E402
-from repro.server import LoadgenConfig, ServingDatabase, run_load  # noqa: E402
-from repro.workloads import LUBMConfig, generate_lubm        # noqa: E402
+from repro.server import (LoadgenConfig, ServingDatabase,    # noqa: E402
+                          build_sharded_database, run_load)
+from repro.workloads import (LUBMConfig, WORKLOAD_QUERIES,   # noqa: E402
+                             generate_lubm)
 
 FORMAT = "repro-serving-bench/1"
+SHARD_FORMAT = "repro-bench/1"
 
 
 def _run(graph, backend: str, config: LoadgenConfig,
@@ -80,6 +107,137 @@ def record(quick: bool) -> dict:
     return document
 
 
+def _shard_mixes(quick: bool) -> dict:
+    clients = 4 if quick else 8
+    requests = 15 if quick else 60
+    base = dict(clients=clients, requests_per_client=requests,
+                timeout=60.0)
+    return {
+        "readonly": LoadgenConfig(update_every=0, **base),
+        "readwrite_90_10": LoadgenConfig(update_every=10, update_size=3,
+                                         **base),
+        "readonly_zipf": LoadgenConfig(update_every=0, skew=1.1, **base),
+    }
+
+
+def _shard_busy(sharded) -> list:
+    """Per-shard cumulative dispatch CPU seconds, ascending shard id."""
+    return [detail["busy_seconds"]
+            for detail in sharded.stats()["shards_detail"]]
+
+
+def _measure_capacity(sharded, rounds: int, reps: int) -> dict:
+    """Bottleneck-shard CPU demand for the Q1–Q10 cache-starved block.
+
+    Runs ``reps`` repetitions of ``rounds`` passes over the workload
+    queries and keeps the repetition with the smallest bottleneck
+    (best-of-R: per-process CPU time on a shared host is noisy in the
+    *slow* direction only, so the minimum is the cleanest estimate of
+    the tier's actual demand).
+    """
+    texts = [query.to_sparql()
+             for _, (_, query) in WORKLOAD_QUERIES.items()]
+    for text in texts:  # warm the workers' parse caches
+        sharded.cache.clear()
+        sharded.query(text)
+    best = None
+    for _ in range(reps):
+        before = _shard_busy(sharded)
+        for _ in range(rounds):
+            for text in texts:
+                sharded.cache.clear()  # every query pays full scatter
+                sharded.query(text)
+        delta = [after - b for b, after in zip(before, _shard_busy(sharded))]
+        if best is None or max(delta) < max(best):
+            best = delta
+    queries = rounds * len(texts)
+    bottleneck = max(best)
+    return {
+        "queries": queries,
+        "reps": reps,
+        "busy_cpu_seconds": [round(x, 6) for x in best],
+        "bottleneck_cpu_s": round(bottleneck, 6),
+        "capacity_qps": round(queries / bottleneck, 3)
+        if bottleneck else None,
+    }
+
+
+def _run_sharded(sharded, graph, config: LoadgenConfig) -> dict:
+    """One cache-starved closed-loop run against a live shard cluster."""
+    report = run_load(sharded, config, graph=graph)
+    wall = report.wall_seconds
+    return {
+        "wall_s": round(wall, 6),
+        "requests": report.requests,
+        "queries": report.queries,
+        "updates": report.updates,
+        "throughput_rps": round(report.throughput, 3),
+        "query_rps": round(report.queries / wall if wall else 0.0, 3),
+        "statuses": {str(code): count
+                     for code, count in sorted(report.statuses.items())},
+        "latency_all_seconds": report.to_dict()["latency_all_seconds"],
+    }
+
+
+def record_shards(quick: bool) -> dict:
+    departments = 1 if quick else 16
+    graph = generate_lubm(LUBMConfig(departments=departments))
+    shard_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
+    rounds, reps = (2, 2) if quick else (10, 5)
+    document = {
+        "format": SHARD_FORMAT,
+        "label": "pr10-shard-scaling",
+        "quick": quick,
+        "workload": {
+            "graph": f"lubm_{departments}dept",
+            "triples": len(graph),
+            "strategy": "saturation",
+            "backend": "hash",
+            "cache": "starved (capacity 1, cleared between queries)",
+            "cpus": os.cpu_count(),
+            "capacity_metric": "workload queries / bottleneck-shard "
+                               "dispatch CPU seconds, best of "
+                               f"{reps} repetitions",
+            "mixes": {name: {"clients": cfg.clients,
+                             "requests_per_client":
+                                 cfg.requests_per_client,
+                             "update_every": cfg.update_every,
+                             "skew": cfg.skew}
+                      for name, cfg in _shard_mixes(quick).items()},
+        },
+        "benchmarks": {},
+    }
+    capacity = {}
+    closedloop = {mix: {} for mix in _shard_mixes(quick)}
+    for n in shard_counts:
+        with build_sharded_database(graph, n, cache_size=1) as sharded:
+            capacity[n] = _measure_capacity(sharded, rounds, reps)
+            # read-only mixes first: the read-write mix mutates the store
+            for mix, config in sorted(
+                    _shard_mixes(quick).items(),
+                    key=lambda item: item[1].update_every or 0):
+                closedloop[mix][n] = _run_sharded(sharded, graph, config)
+    base_busy = capacity[shard_counts[0]]["bottleneck_cpu_s"]
+    for n in shard_counts:
+        entry = dict(capacity[n])
+        entry["before_s"] = base_busy  # the 1-shard CPU demand
+        entry["after_s"] = entry["bottleneck_cpu_s"]
+        entry["speedup"] = (round(base_busy / entry["after_s"], 3)
+                            if entry["after_s"] else None)
+        document["benchmarks"][f"shard_capacity/{n}shards"] = entry
+    for mix, runs in closedloop.items():
+        base_wall = runs[shard_counts[0]]["wall_s"]
+        for n in shard_counts:
+            entry = dict(runs[n])
+            entry["before_s"] = base_wall            # the 1-shard wall
+            entry["after_s"] = entry["wall_s"]
+            entry["speedup"] = (round(base_wall / entry["wall_s"], 3)
+                                if entry["wall_s"] else None)
+            document["benchmarks"][f"shard_closedloop/{mix}/{n}shards"] \
+                = entry
+    return document
+
+
 def diff(current: dict, baseline: dict) -> int:
     """Print throughput/latency movement vs a previous recording."""
     status = 0
@@ -88,6 +246,8 @@ def diff(current: dict, baseline: dict) -> int:
         if old is None:
             print(f"{name}: new benchmark (no baseline)")
             continue
+        if "throughput_rps" not in entry or "throughput_rps" not in old:
+            continue  # capacity entries are gated by bench_compare.py
         now_rps = entry["throughput_rps"]
         then_rps = old["throughput_rps"]
         ratio = now_rps / then_rps if then_rps else float("inf")
@@ -104,25 +264,46 @@ def diff(current: dict, baseline: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=("serving", "shards"),
+                        default="serving",
+                        help="serving: single-process backends "
+                             "(BENCH_pr4); shards: sharded scaling "
+                             "curves (BENCH_pr10)")
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI smoke jobs")
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_pr4.json"))
+    parser.add_argument("-o", "--output", default=None)
     parser.add_argument("--baseline",
                         help="previous BENCH_pr4.json to diff against")
     args = parser.parse_args()
+    if args.output is None:
+        args.output = str(REPO / ("BENCH_pr10.json"
+                                  if args.suite == "shards"
+                                  else "BENCH_pr4.json"))
 
-    document = record(args.quick)
+    if args.suite == "shards":
+        document = record_shards(args.quick)
+    else:
+        document = record(args.quick)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1)
         handle.write("\n")
     print(f"wrote {args.output}")
     for name, entry in sorted(document["benchmarks"].items()):
-        lat = entry["latency_all_seconds"]
-        print(f"  {name}: {entry['throughput_rps']:.0f} rps, "
-              f"p50 {lat['p50'] * 1e3:.2f} ms, "
-              f"p95 {lat['p95'] * 1e3:.2f} ms, "
-              f"p99 {lat['p99'] * 1e3:.2f} ms, "
-              f"cache hit-rate {entry['cache']['hit_rate']:.2f}")
+        if "capacity_qps" in entry:
+            line = (f"  {name}: {entry['capacity_qps']:.0f} qps capacity "
+                    f"(bottleneck CPU {entry['bottleneck_cpu_s'] * 1e3:.1f}"
+                    f" ms / {entry['queries']} queries)")
+        else:
+            lat = entry["latency_all_seconds"]
+            line = (f"  {name}: {entry['throughput_rps']:.0f} rps, "
+                    f"p50 {lat['p50'] * 1e3:.2f} ms, "
+                    f"p95 {lat['p95'] * 1e3:.2f} ms, "
+                    f"p99 {lat['p99'] * 1e3:.2f} ms")
+        if "cache" in entry:
+            line += f", cache hit-rate {entry['cache']['hit_rate']:.2f}"
+        if entry.get("speedup") is not None and args.suite == "shards":
+            line += f", {entry['speedup']:.2f}x vs 1 shard"
+        print(line)
 
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

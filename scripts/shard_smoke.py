@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro serve --shards`` as a subprocess.
+
+Boots the CLI server with a four-shard cluster on an ephemeral port
+against a generated LUBM graph, then drives the documented protocol
+over actual HTTP:
+
+1. ``GET /healthz`` answers ok with four live shard pids;
+2. a scatter-gather query misses the cache, the same query then hits
+   it (``X-Repro-Cache`` headers);
+3. ``POST /update`` routes an ``INSERT DATA`` to the owning shard,
+   bumps the version vector, and invalidates the cached answer;
+4. a short closed-loop load-generator burst completes with only 200s;
+5. one shard worker is SIGKILLed: ``/healthz`` degrades to 503 with
+   the dead shard listed, and a scatter query answers 503 with a
+   ``Retry-After`` header instead of hanging.
+
+Exits non-zero on any violated expectation.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+QUERY = ("SELECT DISTINCT ?x WHERE { ?x "
+         "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+         "<http://repro.example.org/univ#Professor> }")
+UPDATE = ("INSERT DATA { <http://smoke.example/alice> "
+          "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+          "<http://repro.example.org/univ#Professor> . }")
+
+
+def _check(condition: bool, what: str) -> None:
+    if condition:
+        print(f"ok: {what}")
+    else:
+        print(f"FAIL: {what}")
+        raise SystemExit(1)
+
+
+def _get(url: str):
+    """GET returning (status, headers, body) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _post(url: str, payload: dict):
+    body = urllib.parse.urlencode(payload).encode()
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/x-www-form-urlencoded"})
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--obs-out", default="shard_smoke_obs.json",
+                        help="write the /stats document here")
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-shard-smoke-"))
+    graph_path = workdir / "university.ttl"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "generate", "--departments", "1",
+         "-o", str(graph_path)],
+        cwd=REPO, check=True, env={"PYTHONPATH": str(REPO / "src")})
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(graph_path),
+         "--strategy", "saturation", "--port", "0", "--workers", "2",
+         "--shards", str(args.shards), "--timeout", "30"],
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src")},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        assert process.stdout is not None
+        line = process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        _check(match is not None,
+               f"server announced its port: {line.strip()}")
+        base = match.group(0)
+
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                status, __, body = _get(base + "/healthz")
+                break
+            except (urllib.error.URLError, ConnectionError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        health = json.loads(body)
+        _check(status == 200 and health["status"] == "ok",
+               f"healthz ok ({health['triples']} triples)")
+        _check(health["shards"] == args.shards
+               and len(health["shard_pids"]) == args.shards,
+               f"{args.shards} live shard pids: {health['shard_pids']}")
+
+        url = base + "/sparql?" + urllib.parse.urlencode({"query": QUERY})
+        status, headers, body = _get(url)
+        rows = len(json.loads(body)["results"]["bindings"])
+        _check(status == 200 and headers["X-Repro-Cache"] == "miss",
+               f"first scatter query: miss, {rows} rows")
+        __, headers, __ = _get(url)
+        _check(headers["X-Repro-Cache"] == "hit",
+               "repeat query: version-vector cache hit")
+        version_before = headers["X-Repro-Graph-Version"]
+
+        status, __, body = _post(base + "/update", {"update": UPDATE})
+        reply = json.loads(body)
+        _check(status == 200 and reply["added"] == 1,
+               f"update routed to the owner shard "
+               f"(version {reply['version']})")
+        _check(str(reply["version"]) != version_before,
+               "update bumped the version vector")
+
+        __, headers, body = _get(url)
+        _check(headers["X-Repro-Cache"] == "miss",
+               "post-update query: invalidated by the version vector")
+        _check(len(json.loads(body)["results"]["bindings"]) == rows + 1,
+               "post-update query sees the inserted professor")
+
+        from repro.server import LoadgenConfig, run_load  # noqa: E402
+        report = run_load(base, LoadgenConfig(clients=2,
+                                              requests_per_client=10,
+                                              update_every=0))
+        _check(report.statuses.get(200, 0) == report.requests,
+               f"loadgen burst: {report.requests} requests all 200 "
+               f"({report.throughput:.0f} rps)")
+
+        __, __, body = _get(base + "/stats")
+        stats = json.loads(body)
+        _check(len(stats["server"]["shards_detail"]) == args.shards,
+               "stats report covers every shard")
+        with open(args.obs_out, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.obs_out}")
+
+        # ---- failure injection: SIGKILL one worker ------------------
+        victim = health["shard_pids"][1]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while True:
+            status, __, body = _get(base + "/healthz")
+            health = json.loads(body)
+            if health["status"] == "degraded":
+                break
+            _check(time.monotonic() < deadline,
+                   "healthz noticed the killed shard before the deadline")
+            time.sleep(0.1)
+        _check(status == 503 and 1 in health["shards_down"],
+               f"healthz degraded to 503, shards_down="
+               f"{health['shards_down']}")
+
+        # the earlier query's answer is still cached (the version
+        # vector is coordinator-maintained), so probe with a fresh
+        # text that must scatter to the dead shard
+        fresh = QUERY.replace("Professor", "Student")
+        status, headers, body = _get(
+            base + "/sparql?" + urllib.parse.urlencode({"query": fresh}))
+        _check(status == 503 and "Retry-After" in headers,
+               "scatter query on a degraded cluster: fast 503 with "
+               "Retry-After, no hang")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

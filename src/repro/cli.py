@@ -278,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "event loop; same routes and status codes, "
                           "flatter tail latency under connection "
                           "overload)")
+    sub.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="serve from N forked shard worker processes: "
+                          "instance triples hash-partitioned by subject "
+                          "(schema replicated), queries scatter-gathered "
+                          "by the coordinator; incompatible with "
+                          "--storage-dir (default 0: single process)")
 
     sub = subparsers.add_parser(
         "views",
@@ -495,48 +501,76 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .server import ServerConfig, serve
+    from typing import cast
+
+    from .server import (ReproHTTPServer, ServerConfig, ServingDatabase,
+                         build_sharded_database)
     from .storage import DEFAULT_SNAPSHOT_EVERY, DurableStore
 
     strategy, reformulation_strategy = _resolve_strategy(args.strategy)
-    snapshot_every = (args.snapshot_every if args.snapshot_every
-                      else DEFAULT_SNAPSHOT_EVERY)
-    if args.storage_dir and DurableStore.exists(args.storage_dir):
-        # a committed store carries its graph and configuration;
-        # mixing in a fresh graph file would silently fork history
-        if args.graph:
-            raise SystemExit(
-                f"{args.storage_dir} already holds a committed store; "
-                "drop the graph argument to reopen it (or point "
-                "--storage-dir at an empty directory to start fresh)")
-        db = RDFDatabase(storage_dir=args.storage_dir,
-                         snapshot_every=snapshot_every)
-    else:
-        if args.graph:
-            graph = _load_graph(args.graph, args.backend)
-        elif args.storage_dir:
-            graph = Graph(backend=args.backend)
-        else:
-            raise SystemExit("serve needs a graph file or --storage-dir")
-        db = RDFDatabase(graph, strategy=strategy,
-                         ruleset=get_ruleset(args.ruleset),
-                         reformulation_strategy=reformulation_strategy,
-                         storage_dir=args.storage_dir,
-                         snapshot_every=snapshot_every)
     config = ServerConfig(
         workers=args.workers, queue_depth=args.queue_depth,
         timeout=args.timeout if args.timeout > 0 else None,
         cache_size=args.cache_size, host=args.host, port=args.port)
-    durable = f", storage={args.storage_dir}" if args.storage_dir else ""
+    if args.shards:
+        # the sharded tier: N forked workers, no durable storage
+        if args.storage_dir:
+            raise SystemExit(
+                "--shards is incompatible with --storage-dir: the "
+                "sharded tier keeps every fragment in memory")
+        if not args.graph:
+            raise SystemExit("serve --shards needs a graph file")
+        graph = _load_graph(args.graph, args.backend)
+        sharded = build_sharded_database(
+            graph, args.shards, strategy=strategy,
+            ruleset=get_ruleset(args.ruleset), backend=args.backend,
+            reformulation_strategy=reformulation_strategy,
+            cache_size=args.cache_size)
+        # duck-types the ServingDatabase surface the front-ends consume
+        service = cast(ServingDatabase, sharded)
+        triples = len(graph)
+        strategy_label, backend_label = strategy.value, args.backend
+        extras = f", shards={args.shards}"
+        close = sharded.close
+    else:
+        snapshot_every = (args.snapshot_every if args.snapshot_every
+                          else DEFAULT_SNAPSHOT_EVERY)
+        if args.storage_dir and DurableStore.exists(args.storage_dir):
+            # a committed store carries its graph and configuration;
+            # mixing in a fresh graph file would silently fork history
+            if args.graph:
+                raise SystemExit(
+                    f"{args.storage_dir} already holds a committed store; "
+                    "drop the graph argument to reopen it (or point "
+                    "--storage-dir at an empty directory to start fresh)")
+            db = RDFDatabase(storage_dir=args.storage_dir,
+                             snapshot_every=snapshot_every)
+        else:
+            if args.graph:
+                graph = _load_graph(args.graph, args.backend)
+            elif args.storage_dir:
+                graph = Graph(backend=args.backend)
+            else:
+                raise SystemExit("serve needs a graph file or --storage-dir")
+            db = RDFDatabase(graph, strategy=strategy,
+                             ruleset=get_ruleset(args.ruleset),
+                             reformulation_strategy=reformulation_strategy,
+                             storage_dir=args.storage_dir,
+                             snapshot_every=snapshot_every)
+        service = ServingDatabase(db, cache_size=config.cache_size)
+        triples = len(db)
+        strategy_label, backend_label = db.strategy.value, db.backend
+        extras = f", storage={args.storage_dir}" if args.storage_dir else ""
+        close = db.close
     if args.frontend == "asyncio":
-        from .server import serve_async
+        from .server import ReproAsyncServer
 
-        aserver = serve_async(db, config)
+        aserver = ReproAsyncServer(service, config)
         aserver.start()
         # the port line is machine-read by the smoke harness; keep it first
-        print(f"serving {len(db)} triples on {aserver.base_url} "
-              f"(strategy={db.strategy.value}, backend={db.backend}, "
-              f"workers={config.workers}, frontend=asyncio{durable})",
+        print(f"serving {triples} triples on {aserver.base_url} "
+              f"(strategy={strategy_label}, backend={backend_label}, "
+              f"workers={config.workers}, frontend=asyncio{extras})",
               flush=True)
         try:
             threading.Event().wait()  # the loop thread does the serving
@@ -544,20 +578,20 @@ def _cmd_serve(args) -> int:
             pass
         finally:
             aserver.shutdown()
-            db.close()
+            close()
         return 0
-    server = serve(db, config)
+    server = ReproHTTPServer(service, config)
     # the port line is machine-read by the smoke harness; keep it first
-    print(f"serving {len(db)} triples on {server.base_url} "
-          f"(strategy={db.strategy.value}, backend={db.backend}, "
-          f"workers={config.workers}{durable})", flush=True)
+    print(f"serving {triples} triples on {server.base_url} "
+          f"(strategy={strategy_label}, backend={backend_label}, "
+          f"workers={config.workers}{extras})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.shutdown()
-        db.close()
+        close()
     return 0
 
 

@@ -26,10 +26,29 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..rdf.graph import Graph
+from ..rdf.terms import Term
 from ..rdf.triples import Triple
 from ..schema import is_schema_triple
 
-__all__ = ["partition_of", "partition_graph", "PartitionedGraph"]
+__all__ = ["subject_owner", "partition_of", "partition_graph",
+           "PartitionedGraph"]
+
+
+def subject_owner(subject: Term, workers: int) -> int:
+    """The worker owning instance triples with this subject term.
+
+    This is the partitioning contract shared between the simulated
+    distributed engine and the real sharded serving tier: both the
+    data placement (:func:`partition_of`) and the query router
+    (``repro.server.shardplan``) must hash a subject identically, or
+    subject-bound atoms would be routed to shards that cannot hold
+    their answers.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    digest = hashlib.blake2s(subject.n3().encode("utf-8"),
+                             digest_size=4).digest()
+    return int.from_bytes(digest, "big") % workers
 
 
 def partition_of(triple: Triple, workers: int) -> int:
@@ -42,9 +61,7 @@ def partition_of(triple: Triple, workers: int) -> int:
         raise ValueError("need at least one worker")
     if is_schema_triple(triple):
         return 0
-    digest = hashlib.blake2s(triple.s.n3().encode("utf-8"),
-                             digest_size=4).digest()
-    return int.from_bytes(digest, "big") % workers
+    return subject_owner(triple.s, workers)
 
 
 @dataclass

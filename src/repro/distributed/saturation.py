@@ -22,7 +22,14 @@ repartitioning joins.
 
 The statistics — rounds, shipped triples, broadcast volume, fragment
 skew — are the quantities the paper's §II-D distributed-maintenance
-open problem is about.
+open problem is about.  They flow through :mod:`repro.obs`: every
+superstep runs inside a ``distributed.round`` span and increments the
+``distributed.rounds`` / ``distributed.shipped`` /
+``distributed.broadcast`` / ``distributed.derived`` counters (the same
+registry the sharded serving tier's ``shard.query`` / ``shard.update``
+/ ``shard.ship`` counters report into); :class:`DistributedStats` is
+the per-run return surface, read back from this run's counter deltas
+and the enclosing span's clock.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set, Tuple
 
-from ..obs import span
+from ..obs import get_metrics, span
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
 from ..reasoning.rules import Rule
@@ -126,57 +133,84 @@ class DistributedSaturation:
         fragments = partitioned.fragments
         stats = DistributedStats(workers=self.workers)
 
+        # the accounting lives in the process-wide obs registry — the
+        # same surface the sharded serving tier's shard.query /
+        # shard.update / shard.ship counters report into — and the
+        # returned DistributedStats is read back from the counter
+        # deltas of this run, not from ad-hoc accumulation
+        metrics = get_metrics()
+        counters = {name: metrics.counter(f"distributed.{name}")
+                    for name in ("rounds", "shipped", "broadcast",
+                                 "derived")}
+        floor = {name: counter.value
+                 for name, counter in counters.items()}
+
         deltas: List[List[Triple]] = [list(fragment) for fragment in fragments]
         while any(deltas):
-            stats.rounds += 1
-            round_stats = RoundStats(round_number=stats.rounds)
-            round_stats.active_workers = sum(1 for d in deltas if d)
-            inboxes: List[Set[Triple]] = [set() for __ in range(self.workers)]
-            broadcast_this_round: Set[Triple] = set()
+            round_number = len(stats.per_round) + 1
+            with span("distributed.round", round=round_number) as rsp:
+                round_stats = RoundStats(round_number=round_number)
+                round_stats.active_workers = sum(1 for d in deltas if d)
+                inboxes: List[Set[Triple]] = [set()
+                                              for __ in range(self.workers)]
+                broadcast_this_round: Set[Triple] = set()
 
-            for worker, delta in enumerate(deltas):
-                if not delta:
-                    continue
-                fragment = fragments[worker]
-                sent: Set[Triple] = set()
-                for rule in self.ruleset:
-                    for conclusion in rule.fire_conclusions(fragment, delta):
-                        if conclusion in sent:
-                            continue
-                        sent.add(conclusion)
-                        if is_schema_triple(conclusion):
-                            # the sender's own replica is authoritative:
-                            # schema replicas are in sync at each barrier
-                            if conclusion not in fragment:
-                                broadcast_this_round.add(conclusion)
-                            continue
-                        owner = partition_of(conclusion, self.workers)
-                        if owner == worker:
-                            if conclusion not in fragment:
-                                inboxes[worker].add(conclusion)
-                        else:
-                            # a sender cannot see the owner's state:
-                            # ship optimistically, dedupe at the receiver
-                            inboxes[owner].add(conclusion)
-                            round_stats.shipped += 1
+                for worker, delta in enumerate(deltas):
+                    if not delta:
+                        continue
+                    fragment = fragments[worker]
+                    sent: Set[Triple] = set()
+                    for rule in self.ruleset:
+                        for conclusion in rule.fire_conclusions(fragment,
+                                                                delta):
+                            if conclusion in sent:
+                                continue
+                            sent.add(conclusion)
+                            if is_schema_triple(conclusion):
+                                # the sender's own replica is
+                                # authoritative: schema replicas are in
+                                # sync at each barrier
+                                if conclusion not in fragment:
+                                    broadcast_this_round.add(conclusion)
+                                continue
+                            owner = partition_of(conclusion, self.workers)
+                            if owner == worker:
+                                if conclusion not in fragment:
+                                    inboxes[worker].add(conclusion)
+                            else:
+                                # a sender cannot see the owner's state:
+                                # ship optimistically, dedupe at the
+                                # receiver
+                                inboxes[owner].add(conclusion)
+                                round_stats.shipped += 1
 
-            for conclusion in broadcast_this_round:
-                round_stats.broadcast += 1
-                for inbox in inboxes:
-                    inbox.add(conclusion)
+                for conclusion in broadcast_this_round:
+                    round_stats.broadcast += 1
+                    for inbox in inboxes:
+                        inbox.add(conclusion)
 
-            # the barrier: apply inboxes; what is genuinely new becomes
-            # the next delta
-            next_deltas: List[List[Triple]] = []
-            for worker, inbox in enumerate(inboxes):
-                fresh = [t for t in inbox if fragments[worker].add(t)]
-                round_stats.derived += len(fresh)
-                next_deltas.append(fresh)
-            deltas = next_deltas
+                # the barrier: apply inboxes; what is genuinely new
+                # becomes the next delta
+                next_deltas: List[List[Triple]] = []
+                for worker, inbox in enumerate(inboxes):
+                    fresh = [t for t in inbox if fragments[worker].add(t)]
+                    round_stats.derived += len(fresh)
+                    next_deltas.append(fresh)
+                deltas = next_deltas
+
+                counters["rounds"].inc()
+                counters["shipped"].inc(round_stats.shipped)
+                counters["broadcast"].inc(round_stats.broadcast)
+                counters["derived"].inc(round_stats.derived)
+                rsp.set(active_workers=round_stats.active_workers,
+                        derived=round_stats.derived,
+                        shipped=round_stats.shipped,
+                        broadcast=round_stats.broadcast)
             stats.per_round.append(round_stats)
-            stats.shipped += round_stats.shipped
-            stats.broadcast += round_stats.broadcast
 
+        stats.rounds = counters["rounds"].value - floor["rounds"]
+        stats.shipped = counters["shipped"].value - floor["shipped"]
+        stats.broadcast = counters["broadcast"].value - floor["broadcast"]
         stats.skew = partitioned.skew()
         merged = partitioned.merged()
         stats.derived = len(merged) - len(graph)

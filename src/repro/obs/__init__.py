@@ -20,16 +20,16 @@ from .export import (REPORT_SCHEMA, measurement_window, observability_report,
 from .metrics import (Counter, Gauge, Histogram, HistogramSnapshot,
                       MetricsRegistry, get_metrics, pop_registry,
                       push_registry, set_metrics)
-from .tracing import (Span, Tracer, current_span, get_tracer, pop_tracer,
-                      push_tracer, set_tracer, span)
+from .tracing import (CpuStopwatch, Span, Tracer, current_span, get_tracer,
+                      pop_tracer, push_tracer, set_tracer, span)
 
 __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "HistogramSnapshot", "MetricsRegistry",
     "get_metrics", "set_metrics", "push_registry", "pop_registry",
     # tracing
-    "Span", "Tracer", "span", "current_span", "get_tracer", "set_tracer",
-    "push_tracer", "pop_tracer",
+    "CpuStopwatch", "Span", "Tracer", "span", "current_span", "get_tracer",
+    "set_tracer", "push_tracer", "pop_tracer",
     # export
     "REPORT_SCHEMA", "observability_report", "report_to_json",
     "write_report", "render_report", "measurement_window",

@@ -24,8 +24,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer", "span", "current_span", "get_tracer",
-           "set_tracer", "push_tracer", "pop_tracer"]
+__all__ = ["Span", "CpuStopwatch", "Tracer", "span", "current_span",
+           "get_tracer", "set_tracer", "push_tracer", "pop_tracer"]
 
 
 class Span:
@@ -81,6 +81,34 @@ class Span:
     def __repr__(self) -> str:
         state = "open" if self.ended is None else f"{self.duration * 1e3:.2f} ms"
         return f"<Span {self.name} [{state}]>"
+
+
+class CpuStopwatch:
+    """An accumulating *CPU-time* stopwatch (``time.process_time``).
+
+    Spans measure wall clock, which is the right ruler for latency but
+    the wrong one for *service demand*: on a host with fewer cores
+    than processes, a worker's wall clock silently includes slices
+    where a sibling held the CPU.  Capacity accounting (how much work
+    does this process actually perform?) reads CPU time instead —
+    e.g. a shard worker's ``busy_seconds``, whose bottleneck across
+    shards bounds the cluster's aggregate throughput.
+    """
+
+    __slots__ = ("seconds", "_started")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "CpuStopwatch":
+        self._started = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started is not None:
+            self.seconds += time.process_time() - self._started
+            self._started = None
 
 
 def _jsonable(value: object) -> object:

@@ -97,6 +97,11 @@ class URI(Term):
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("URI is immutable")
 
+    def __reduce__(self):
+        # The __setattr__ guard breaks default slot unpickling; rebuild
+        # through the constructor instead (pickle memoizes repeats).
+        return (URI, (self.value,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, URI) and other.value == self.value
 
@@ -151,6 +156,9 @@ class Literal(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Literal is immutable")
+
+    def __reduce__(self):
+        return (Literal, (self.lexical, self.datatype, self.language))
 
     def __eq__(self, other) -> bool:
         return (
@@ -229,6 +237,9 @@ class BlankNode(Term):
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("BlankNode is immutable")
 
+    def __reduce__(self):
+        return (BlankNode, (self.label,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, BlankNode) and other.label == self.label
 
@@ -269,6 +280,9 @@ class Variable(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Variable is immutable")
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __eq__(self, other) -> bool:
         return isinstance(other, Variable) and other.name == self.name

@@ -44,6 +44,11 @@ class Triple:
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Triple is immutable")
 
+    def __reduce__(self):
+        # The __setattr__ guard breaks default slot unpickling; rebuild
+        # through the constructor (terms memoize, so this stays cheap).
+        return (Triple, (self.s, self.p, self.o))
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, Triple)

@@ -29,23 +29,32 @@ CLI; this package turns the store into the system the ROADMAP aims at
   coroutine instead of a thread, which keeps tail latency flat under
   connection overload;
 * :mod:`repro.server.loadgen` — a closed-loop load generator driving
-  mixed Q1–Q10 + update traffic, plus an overload profile (idle
-  connections, slow readers, burst arrivals) for front-end p99
-  comparisons.
+  mixed Q1–Q10 + update traffic (optionally Zipf-skewed toward hot
+  keys), plus an overload profile (idle connections, slow readers,
+  burst arrivals) for front-end p99 comparisons;
+* :mod:`repro.server.shard` (with :mod:`~repro.server.shardplan`,
+  :mod:`~repro.server.shardwire`, :mod:`~repro.server.shard_worker`)
+  — the multi-process sharded tier: instance triples hash-partitioned
+  by subject across worker processes, scatter-gather query planning,
+  and a per-shard version vector keying the result cache.
 """
 
 from .aserver import ReproAsyncServer, serve_async
 from .cache import CacheStats, QueryResultCache
 from .http import ReproHTTPServer, serve
 from .loadgen import (LoadgenConfig, LoadReport, OverloadConfig,
-                      OverloadReport, run_load, run_overload)
+                      OverloadReport, run_load, run_overload, zipf_picker)
 from .pool import AdmissionError, WorkerPool
 from .rwlock import ReadWriteLock
 from .service import ServerConfig, ServingDatabase
+from .shard import (ShardCluster, ShardedDatabase, ShardUnavailableError,
+                    build_sharded_database)
 
 __all__ = [
     "AdmissionError", "CacheStats", "LoadReport", "LoadgenConfig",
     "OverloadConfig", "OverloadReport", "QueryResultCache", "ReadWriteLock",
     "ReproAsyncServer", "ReproHTTPServer", "ServerConfig", "ServingDatabase",
-    "WorkerPool", "run_load", "run_overload", "serve", "serve_async",
+    "ShardCluster", "ShardUnavailableError", "ShardedDatabase",
+    "WorkerPool", "build_sharded_database", "run_load", "run_overload",
+    "serve", "serve_async", "zipf_picker",
 ]

@@ -18,7 +18,9 @@ Two transports, same traffic and same report:
   in the report.
 
 The query mix samples the paper's Q1–Q10 workload
-(:data:`repro.workloads.WORKLOAD_QUERIES`); every ``update_every``-th
+(:data:`repro.workloads.WORKLOAD_QUERIES`), uniformly by default or
+Zipf-skewed toward head-of-pool hot keys when ``skew > 0``
+(:func:`zipf_picker`); every ``update_every``-th
 request per client is a SPARQL ``INSERT DATA`` built from
 :func:`repro.workloads.instance_insertions` — seeded, so two runs
 offer identical traffic.  Latencies are measured with unregistered
@@ -34,7 +36,9 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from itertools import accumulate
 from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,7 +51,7 @@ from .pool import AdmissionError
 from .service import ServingDatabase
 
 __all__ = ["LoadgenConfig", "LoadReport", "OverloadConfig", "OverloadReport",
-           "run_load", "run_overload", "update_texts"]
+           "run_load", "run_overload", "update_texts", "zipf_picker"]
 
 #: a transport maps (kind, text) -> HTTP-style status code
 Transport = Callable[[str, str], int]
@@ -65,6 +69,7 @@ class LoadgenConfig:
     seed: int = 20150413
     format: str = "json"          #: HTTP results serialization
     queries: Optional[Sequence[Tuple[str, str]]] = None  #: (id, sparql)
+    skew: float = 0.0             #: Zipf exponent over the query pool (0: uniform)
 
 
 @dataclass(slots=True)
@@ -77,6 +82,7 @@ class LoadReport:
     requests: int = 0
     queries: int = 0
     updates: int = 0
+    query_mix: Dict[str, int] = field(default_factory=dict)  #: draws per query id
 
     def _percentiles(self, samples: List[float]) -> Dict[str, float]:
         ordered = sorted(samples)
@@ -119,7 +125,37 @@ class LoadReport:
             "latency_all_seconds": {
                 name: round(value, 6)
                 for name, value in self._percentiles(every).items()},
+            "query_mix": dict(sorted(self.query_mix.items())),
         }
+
+
+def zipf_picker(pool: Sequence[Tuple[str, str]], skew: float
+                ) -> Callable[[Random], Tuple[str, str]]:
+    """A sampler over ``pool`` with Zipf-distributed rank popularity.
+
+    ``skew`` is the Zipf exponent ``s``: rank ``k`` (1-based, pool
+    order) is drawn with probability proportional to ``k**-s``.  At
+    ``s == 0`` every query is equally likely (uniform — the previous
+    behaviour); at ``s ≈ 1`` the head query dominates, which is the
+    cache's best case under a warm cache and its worst case under an
+    update-interleaved mix (every invalidation hits the hot key).
+    The cumulative weights are precomputed once; each draw is one
+    ``rng.random()`` plus a bisect.
+    """
+    if skew < 0.0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    if not pool:
+        raise ValueError("empty query pool")
+    if skew == 0.0:
+        return lambda rng: pool[rng.randrange(len(pool))]
+    cumulative = list(accumulate(
+        (rank + 1) ** -skew for rank in range(len(pool))))
+    total = cumulative[-1]
+
+    def pick(rng: Random) -> Tuple[str, str]:
+        return pool[bisect_left(cumulative, rng.random() * total)]
+
+    return pick
 
 
 def update_texts(graph: Graph, count: int, size: int,
@@ -190,20 +226,27 @@ def run_load(target: Union[ServingDatabase, str],
              graph: Optional[Graph] = None) -> LoadReport:
     """Run one closed-loop experiment against ``target``.
 
-    ``target`` is a :class:`ServingDatabase` (in-process) or a base
-    URL string (HTTP).  ``graph`` shapes the generated updates; it
-    defaults to the in-process service's own graph and is required for
-    HTTP targets when updates are in the mix.
+    ``target`` is an in-process service — a :class:`ServingDatabase`
+    or anything duck-typing its ``query``/``update`` surface, e.g. a
+    :class:`~repro.server.shard.ShardedDatabase` — or a base URL
+    string (HTTP).  ``graph`` shapes the generated updates; it
+    defaults to a single-process service's own graph and is required
+    for HTTP and sharded targets when updates are in the mix.
     """
     config = config if config is not None else LoadgenConfig()
-    if isinstance(target, ServingDatabase):
-        transport = _inproc_transport(target, config)
-        if graph is None:
-            graph = target.db.graph
-    else:
+    if isinstance(target, str):
         transport = _http_transport(target, config)
         if graph is None and config.update_every:
             raise ValueError("HTTP targets need `graph` to shape updates")
+    else:
+        transport = _inproc_transport(target, config)
+        if graph is None:
+            db = getattr(target, "db", None)  # sharded stores have no .db
+            if db is not None:
+                graph = db.graph
+            elif config.update_every:
+                raise ValueError(
+                    "sharded targets need `graph` to shape updates")
 
     if config.queries is not None:
         query_pool = list(config.queries)
@@ -212,6 +255,7 @@ def run_load(target: Union[ServingDatabase, str],
                       for qid, (__, query) in WORKLOAD_QUERIES.items()]
     if not query_pool:
         raise ValueError("empty query pool")
+    pick_query = zipf_picker(query_pool, config.skew)
 
     updates_per_client = (config.requests_per_client // config.update_every
                           if config.update_every else 0)
@@ -229,6 +273,7 @@ def run_load(target: Union[ServingDatabase, str],
         rng = Random(config.seed * 1031 + index)
         pending_updates = update_pool.get(index, [])
         local: List[Tuple[str, int, float]] = []
+        local_mix: Dict[str, int] = {}
         for i in range(config.requests_per_client):
             is_update = (config.update_every
                          and (i + 1) % config.update_every == 0
@@ -236,7 +281,9 @@ def run_load(target: Union[ServingDatabase, str],
             if is_update:
                 kind, text = "update", pending_updates.pop()
             else:
-                kind, text = "query", rng.choice(query_pool)[1]
+                qid, text = pick_query(rng)
+                kind = "query"
+                local_mix[qid] = local_mix.get(qid, 0) + 1
             stopwatch = Span("loadgen.request")
             status = transport(kind, text)
             stopwatch.finish()
@@ -250,6 +297,8 @@ def run_load(target: Union[ServingDatabase, str],
                     report.queries += 1
                 report.statuses[status] = report.statuses.get(status, 0) + 1
                 report.latencies.setdefault(kind, []).append(seconds)
+            for qid, count in local_mix.items():
+                report.query_mix[qid] = report.query_mix.get(qid, 0) + count
 
     wall = Span("loadgen.run")
     threads = [threading.Thread(target=client, args=(i,), daemon=True)

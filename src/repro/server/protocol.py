@@ -35,6 +35,7 @@ from ..sparql.results import (boolean_to_csv, boolean_to_json,
                               results_to_csv, results_to_json)
 from .pool import WorkerPool
 from .service import QueryOutcome, ServerConfig, ServingDatabase
+from .shard import ShardUnavailableError
 
 __all__ = ["Response", "Work", "plan_request", "merge_params",
            "negotiate_format", "request_deadline", "json_response",
@@ -84,7 +85,10 @@ class Work:
         return error_response(504, self.deadline_message, self.endpoint)
 
     def map_exception(self, error: BaseException) -> Optional[Response]:
-        """The 400 mapping for request-level faults; None re-raises."""
+        """The 400/503 mapping for request-level faults; None re-raises."""
+        if isinstance(error, ShardUnavailableError):
+            return error_response(503, str(error), self.endpoint,
+                                  {"Retry-After": "1"})
         if isinstance(error, (SPARQLSyntaxError, UnsupportedGraphError,
                               ValueError)):
             return error_response(400, str(error), self.endpoint)
@@ -176,17 +180,12 @@ def plan_request(service: ServingDatabase, pool: WorkerPool,
 
 
 def _healthz(service: ServingDatabase) -> Response:
-    document = {
-        "status": "ok",
-        "triples": len(service.db),
-        "version": service.db.graph.version,
-        "backend": service.db.backend,
-        "strategy": service.db.strategy.value,
-        "reformulation_strategy": service.db.reformulation_strategy,
-    }
-    if service.db.storage is not None:
-        document["storage"] = service.db.storage.stats()
-    return json_response(200, document, endpoint="healthz")
+    health = service.healthz()
+    # a degraded sharded cluster answers 503 so load balancers and
+    # orchestrators can act on the status code alone; the body still
+    # carries the full document (which shards are down)
+    status = 200 if health.get("status", "ok") == "ok" else 503
+    return json_response(status, health, endpoint="healthz")
 
 
 def _stats(service: ServingDatabase, pool: WorkerPool) -> Response:
@@ -295,7 +294,7 @@ def _plan_update(service: ServingDatabase, config: ServerConfig,
 
 def _plan_snapshot(service: ServingDatabase, config: ServerConfig,
                    params: Dict[str, str]) -> Union[Response, Work]:
-    if service.db.storage is None:
+    if not service.can_snapshot:
         return error_response(409, "server has no storage directory "
                               "(start with --storage-dir)",
                               endpoint="snapshot")

@@ -337,6 +337,25 @@ class ServingDatabase:
         get_metrics().counter("server.requests", endpoint="views").inc()
         return report
 
+    @property
+    def can_snapshot(self) -> bool:
+        """Snapshots need an attached durable store (``--storage-dir``)."""
+        return self.db.storage is not None
+
+    def healthz(self) -> Dict[str, object]:
+        """The health document served by ``GET /healthz``."""
+        document: Dict[str, object] = {
+            "status": "ok",
+            "triples": len(self.db),
+            "version": self.db.graph.version,
+            "backend": self.db.backend,
+            "strategy": self.db.strategy.value,
+            "reformulation_strategy": self.db.reformulation_strategy,
+        }
+        if self.db.storage is not None:
+            document["storage"] = self.db.storage.stats()
+        return document
+
     def stats(self) -> Dict[str, object]:
         """Serving statistics for ``GET /stats`` and dashboards."""
         cache = self.cache.stats()

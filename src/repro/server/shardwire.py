@@ -1,0 +1,74 @@
+"""Length-prefixed frame protocol between coordinator and shards.
+
+One frame is a 4-byte big-endian payload length followed by a pickled
+(protocol-highest) Python object — always a ``dict`` in this protocol.
+Pickle is the right wire format here because both ends are the same
+trusted process tree (the coordinator forks its shards): terms and
+triples cross the wire as objects (see ``Term.__reduce__``), framing
+and encoding both run at C speed, and the coordinator spends as little
+GIL time as possible per scatter.
+
+The functions are blocking-socket primitives; the coordinator
+serializes request/reply pairs per shard (one in flight per channel),
+so no sequence numbers are needed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from typing import Optional
+
+__all__ = ["send_frame", "recv_frame", "FrameError", "MAX_FRAME"]
+
+#: Upper bound on one frame (1 GiB): a corrupted length prefix must
+#: not become an unbounded allocation.
+MAX_FRAME = 1 << 30
+
+_HEADER_BYTES = 4
+
+
+class FrameError(RuntimeError):
+    """A malformed frame: bad length prefix or truncated payload."""
+
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Write one length-prefixed pickled frame to ``sock``."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME:
+        raise FrameError(f"frame of {len(data)} bytes exceeds MAX_FRAME")
+    sock.sendall(len(data).to_bytes(_HEADER_BYTES, "big") + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[object]:
+    """Read one frame from ``sock``; ``None`` on clean EOF.
+
+    EOF mid-frame (a peer that died between header and payload) raises
+    :class:`FrameError` — the channel is unrecoverable either way, but
+    the caller can distinguish an orderly close from a torn one.
+    """
+    header = _recv_exact(sock, _HEADER_BYTES)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length == 0 or length > MAX_FRAME:
+        raise FrameError(f"invalid frame length {length}")
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise FrameError("connection closed mid-frame")
+    return pickle.loads(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly ``count`` bytes, or ``None`` on EOF at a frame boundary."""
+    chunks = []
+    remaining = count
+    while remaining:  # sc: allow(SC303): bounded by the frame length; recv honors the socket timeout
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

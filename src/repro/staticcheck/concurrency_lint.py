@@ -89,6 +89,10 @@ HOT_LOOP_MODULES: Tuple[str, ...] = (
     "repro/reasoning/saturation.py",
     "repro/reasoning/batch.py",
     "repro/server/aserver.py",
+    "repro/server/shard.py",
+    "repro/server/shard_worker.py",
+    "repro/server/shardplan.py",
+    "repro/server/shardwire.py",
     "repro/views/materialize.py",
     "repro/views/rewriter.py",
 )

@@ -143,6 +143,29 @@ class TestTracing:
         assert sp.duration >= 0.0
         assert sp.attributes == {"size": 10, "result": 3}
 
+    def test_cpu_stopwatch_accumulates_across_entries(self):
+        from repro.obs import CpuStopwatch
+
+        watch = CpuStopwatch()
+        assert watch.seconds == 0.0
+        with watch:
+            sum(range(50_000))
+        first = watch.seconds
+        assert first > 0.0
+        with watch:
+            sum(range(50_000))
+        assert watch.seconds > first  # accumulates, not replaces
+
+    def test_cpu_stopwatch_charges_cpu_not_wall(self):
+        import time as _time
+
+        from repro.obs import CpuStopwatch
+
+        watch = CpuStopwatch()
+        with watch:
+            _time.sleep(0.05)  # sleeping burns wall, not CPU
+        assert watch.seconds < 0.05
+
     def test_to_dict_shape(self):
         tracer = Tracer()
         with tracer.span("op", label="x"):
